@@ -1,0 +1,95 @@
+"""Benchmark ablation A2: IPv6 reachability with and without valley-free relaxation.
+
+The paper argues that the IPv6 topology is partitioned under strict
+valley-free routing and that some valley paths exist purely to preserve
+reachability.  This ablation measures:
+
+* the valley-free reachability of the IPv6 plane under strict export
+  rules (the annotation alone), and
+* the reachability actually achieved by the propagation, which includes
+  the relaxed (leaking) adjacencies,
+
+and reports the pairs gained by the relaxation.  It also re-runs the
+propagation with all relaxations disabled to show the reachability gap
+directly at the routing layer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.partition import analyze_reachability
+from repro.bgp.policy import RoutingPolicy
+from repro.bgp.propagation import PropagationSimulator
+from repro.core.relationships import AFI
+
+
+def test_strict_valley_free_reachability(benchmark, snapshot):
+    """A2 (annotation level): how partitioned is the strict IPv6 plane?"""
+    annotation = snapshot.ground_truth_annotation(AFI.IPV6)
+    ases = [
+        asn
+        for asn in snapshot.graph.ases_in(AFI.IPV6)
+        if annotation.neighbors(asn)
+    ][:120]
+
+    report = benchmark(lambda: analyze_reachability(annotation, ases=ases))
+    benchmark.extra_info.update(
+        {
+            "reachable_fraction": round(report.reachable_fraction, 3),
+            "islands": report.island_count,
+        }
+    )
+    print("\n[Ablation A2] strict valley-free reachability of the IPv6 plane:")
+    print(f"  ASes analysed:       {report.ases}")
+    print(f"  reachable pairs:     {report.reachable_pairs}/{report.ordered_pairs} "
+          f"({report.reachable_fraction:.0%})")
+    print(f"  reachability islands: {report.island_count} "
+          f"(largest {report.island_sizes[0] if report.island_sizes else 0})")
+    assert report.ases == len(ases)
+
+
+def test_propagation_with_and_without_relaxation(benchmark, snapshot):
+    """A2 (routing level): prefixes reachable with and without the leaks."""
+    graph = snapshot.graph
+    ipv6_ases = graph.ases_in(AFI.IPV6)
+    # A handful of origins is enough to expose the reachability gap.
+    sample_origins = {
+        prefix: origin
+        for prefix, origin in list(snapshot.propagation[AFI.IPV6].origins.items())[:40]
+    }
+    vantages = [
+        vantage.asn
+        for collector in snapshot.collectors
+        for vantage in collector.vantage_points
+    ]
+
+    def run():
+        relaxed = PropagationSimulator(
+            graph, snapshot.policies, keep_ribs_for=vantages
+        ).run(sample_origins)
+        strict_policies = {
+            asn: RoutingPolicy(
+                asn=asn,
+                local_pref=policy.local_pref,
+                tagger=policy.tagger,
+                te_overrides=policy.te_overrides,
+                strip_communities_on_export=policy.strip_communities_on_export,
+            )
+            for asn, policy in snapshot.policies.items()
+        }
+        strict = PropagationSimulator(
+            graph, strict_policies, keep_ribs_for=vantages
+        ).run(sample_origins)
+        return relaxed, strict
+
+    relaxed, strict = benchmark(run)
+    relaxed_pairs = sum(relaxed.reachable_counts.values())
+    strict_pairs = sum(strict.reachable_counts.values())
+    benchmark.extra_info.update(
+        {"relaxed_pairs": relaxed_pairs, "strict_pairs": strict_pairs}
+    )
+    print("\n[Ablation A2] (origin, AS) pairs with a route, over "
+          f"{len(sample_origins)} sampled IPv6 prefixes:")
+    print(f"  with IPv6 relaxations:    {relaxed_pairs}")
+    print(f"  strict valley-free only:  {strict_pairs}")
+    print(f"  pairs gained by relaxing: {relaxed_pairs - strict_pairs}")
+    assert relaxed_pairs >= strict_pairs

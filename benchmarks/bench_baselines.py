@@ -1,0 +1,69 @@
+"""Benchmark: baseline ToR algorithms vs the Communities/LocPrf inference.
+
+Not a table of the 2-page paper per se, but the quantitative backbone of
+its argument: valley-free-based heuristics misinfer a substantial share
+of the IPv6 relationships that the Communities evidence pins down.  The
+benchmark times both baselines and reports their agreement with the
+Communities-derived annotation and with the ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.core.relationships import AFI
+from repro.inference.comparison import compare_annotations
+from repro.inference.degree_based import DegreeBasedInference
+from repro.inference.gao import GaoInference
+
+
+def test_gao_baseline_agreement(benchmark, snapshot, artifacts):
+    """Gao-2001 on the IPv6 paths vs Communities inference and ground truth."""
+    observations = snapshot.observations_for(AFI.IPV6)
+    reference = artifacts.inference.annotation(AFI.IPV6)
+    truth = snapshot.ground_truth_annotation(AFI.IPV6)
+
+    annotation = benchmark(lambda: GaoInference().infer(observations, AFI.IPV6))
+
+    vs_reference = compare_annotations(annotation, reference)
+    vs_truth = compare_annotations(annotation, truth)
+    benchmark.extra_info.update(
+        {
+            "accuracy_vs_communities": round(vs_reference.accuracy, 3),
+            "accuracy_vs_ground_truth": round(vs_truth.accuracy, 3),
+        }
+    )
+    print("\n[Baseline] Gao-2001 on IPv6 paths:")
+    print(f"  agreement with Communities inference: {vs_reference.accuracy:.0%} "
+          f"({vs_reference.agreements}/{vs_reference.common_links})")
+    print(f"  agreement with ground truth:          {vs_truth.accuracy:.0%}")
+    print(f"  misinferred links (vs Communities):   {vs_reference.disagreement_count}")
+    # The paper's premise: the heuristic misinfers a non-trivial share.
+    assert vs_reference.disagreement_count > 0
+    assert vs_reference.accuracy < 1.0
+
+
+def test_degree_baseline_agreement(benchmark, snapshot, artifacts):
+    """Degree-ratio heuristic on the IPv6 paths."""
+    observations = snapshot.observations_for(AFI.IPV6)
+    reference = artifacts.inference.annotation(AFI.IPV6)
+
+    annotation = benchmark(lambda: DegreeBasedInference().infer(observations, AFI.IPV6))
+
+    report = compare_annotations(annotation, reference)
+    benchmark.extra_info.update({"accuracy_vs_communities": round(report.accuracy, 3)})
+    print("\n[Baseline] degree-ratio heuristic on IPv6 paths:")
+    print(f"  agreement with Communities inference: {report.accuracy:.0%} "
+          f"({report.agreements}/{report.common_links})")
+    assert report.common_links > 0
+
+
+def test_snapshot_build(benchmark):
+    """Substrate cost: build a small end-to-end snapshot once (1 round)."""
+    from repro.datasets import build_snapshot, small_config
+
+    snapshot = benchmark.pedantic(
+        lambda: build_snapshot(small_config(seed=99)), rounds=1, iterations=1
+    )
+    print(f"\n[Substrate] small snapshot: {len(snapshot.graph)} ASes, "
+          f"{len(snapshot.observations)} observations, "
+          f"{snapshot.propagation[AFI.IPV6].events} IPv6 propagation events")
+    assert len(snapshot.observations) > 0

@@ -1,0 +1,70 @@
+"""Benchmark Figure 1: customer-tree computation and the p2c/p2p flip.
+
+Times customer-tree construction on the benchmark snapshot and
+regenerates the Figure-1 effect (the tree of an AS shrinks when one of
+its links is re-labelled from p2c to p2p).
+"""
+
+from __future__ import annotations
+
+from repro.core.customer_tree import customer_tree, union_of_customer_trees
+from repro.core.relationships import AFI, Relationship
+from repro.datasets.scenarios import figure1_scenario
+
+
+def test_figure1_toy_example(benchmark):
+    """The exact five-AS example of Figure 1."""
+    scenario = figure1_scenario()
+
+    def run():
+        tree_a = customer_tree(scenario.annotation_p2c, scenario.ROOT)
+        tree_b = customer_tree(scenario.annotation_p2p, scenario.ROOT)
+        return tree_a, tree_b
+
+    tree_a, tree_b = benchmark(run)
+    print("\n[Figure 1] customer tree of AS1:")
+    print(f"  (a) AS1-AS2 p2c: {sorted(tree_a.members)}")
+    print(f"  (b) AS1-AS2 p2p: {sorted(tree_b.members)}")
+    assert tree_a.members == scenario.expected_tree_p2c
+    assert tree_b.members == scenario.expected_tree_p2p
+
+
+def test_customer_tree_union_on_snapshot(benchmark, snapshot, artifacts):
+    """Customer-tree union over the measured IPv6 plane (Figure 2's substrate)."""
+    annotation = artifacts.inference.annotation(AFI.IPV6)
+
+    union = benchmark(lambda: union_of_customer_trees(annotation))
+    benchmark.extra_info.update({"union_members": union.size, "union_edges": len(union.edges)})
+    print(f"\n[Figure 1 -> 2] union of IPv6 customer trees: {union.size} ASes, "
+          f"{len(union.edges)} p2c edges")
+    assert union.size > 0
+    # Every union edge must be a p2c edge of the annotation.
+    for link in list(union.edges)[:50]:
+        assert annotation.get_canonical(link) in (Relationship.P2C, Relationship.C2P)
+
+
+def test_single_link_flip_changes_tree(benchmark, snapshot, artifacts):
+    """Figure-1 effect on the measured topology: flip the most visible
+    hybrid transit link to p2p and measure the provider's tree shrink."""
+    annotation = artifacts.inference.annotation(AFI.IPV6)
+    hybrid_links = [
+        link
+        for link in artifacts.visibility.top_links(20, links=artifacts.hybrid.hybrid_link_set())
+        if annotation.get_canonical(link).is_transit
+    ]
+    if not hybrid_links:
+        return
+    link = hybrid_links[0]
+    provider = link.a if annotation.get(link.a, link.b) is Relationship.P2C else link.b
+
+    def run():
+        with_transit = customer_tree(annotation, provider)
+        flipped = annotation.copy()
+        flipped.set_canonical(link, Relationship.P2P)
+        without_transit = customer_tree(flipped, provider)
+        return with_transit, without_transit
+
+    with_transit, without_transit = benchmark(run)
+    print(f"\n[Figure 1 on snapshot] AS{provider} tree with {link} as transit: "
+          f"{with_transit.size} ASes; as p2p: {without_transit.size} ASes")
+    assert without_transit.size <= with_transit.size

@@ -1,0 +1,66 @@
+"""Benchmark S3.5-S3.6: hybrid-link detection and the hybrid type mix.
+
+Regenerates the hybrid statistics (13% of dual-stack links are hybrid;
+67% of those are peering-for-IPv4 / transit-for-IPv6; a single
+reversed-transit case) and times the detection step.  The synthetic
+ground truth additionally allows precision/recall to be reported.
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid import HybridDetector
+from repro.core.relationships import AFI, HybridType
+
+
+def test_hybrid_detection(benchmark, snapshot, artifacts):
+    """S3.5-S3.6: detect hybrid links among the visible dual-stack links."""
+    detector = HybridDetector(
+        artifacts.inference.annotation(AFI.IPV4),
+        artifacts.inference.annotation(AFI.IPV6),
+    )
+    dual_stack_links = artifacts.inventory.dual_stack_links
+
+    report = benchmark(lambda: detector.detect(dual_stack_links))
+
+    validation = detector.validate(report, snapshot.true_hybrid_links)
+    benchmark.extra_info.update(
+        {
+            "hybrid_links": len(report.hybrid_links),
+            "hybrid_fraction": round(report.hybrid_fraction, 3),
+            "share_peer4_transit6": round(report.type_share(HybridType.PEER4_TRANSIT6), 3),
+            "precision": round(validation.precision, 3),
+            "recall": round(validation.recall, 3),
+        }
+    )
+    print("\n[S3.5-S3.6] hybrid links (paper: 779 links, 13%; 67% p2p4/transit6; 1 reversed):")
+    print(f"  assessed dual-stack links: {len(report.assessed_links)}")
+    print(f"  hybrid links:              {len(report.hybrid_links)} ({report.hybrid_fraction:.0%})")
+    print(f"  p2p IPv4 / transit IPv6:   {report.type_share(HybridType.PEER4_TRANSIT6):.0%}")
+    print(f"  p2p IPv6 / transit IPv4:   {report.type_share(HybridType.PEER6_TRANSIT4):.0%}")
+    print(f"  reversed transit:          {report.type_counts.get(HybridType.TRANSIT_REVERSED, 0)} link(s)")
+    print(f"  precision / recall vs ground truth: {validation.precision:.2f} / {validation.recall:.2f}")
+
+    assert 0.05 <= report.hybrid_fraction <= 0.25
+    assert report.type_share(HybridType.PEER4_TRANSIT6) >= report.type_share(
+        HybridType.PEER6_TRANSIT4
+    )
+    assert validation.precision >= 0.9
+
+
+def test_hybrid_links_live_in_the_core(benchmark, snapshot, artifacts):
+    """Paper: "the hybrid links usually happen among tier-1 or tier-2 ASes"."""
+    from repro.topology.tiers import classify_tiers, tier_of_link
+
+    graph = snapshot.graph
+    hybrid_links = artifacts.hybrid.hybrid_link_set()
+
+    def run():
+        tiers = classify_tiers(graph, AFI.IPV4)
+        core = sum(1 for link in hybrid_links if tier_of_link(tiers, link.a, link.b) <= 2)
+        return core, len(hybrid_links)
+
+    core, total = benchmark(run)
+    benchmark.extra_info.update({"core_hybrid_links": core, "hybrid_links": total})
+    print(f"\n[S3 tier observation] hybrid links on tier-1/tier-2 ASes: {core}/{total}")
+    if total:
+        assert core / total >= 0.5

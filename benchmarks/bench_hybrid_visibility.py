@@ -1,0 +1,39 @@
+"""Benchmark S3.7: visibility of hybrid links in the IPv6 AS paths.
+
+Regenerates the ">28% of the IPv6 paths contain at least one hybrid
+link" statistic and times the path-visibility indexing.
+"""
+
+from __future__ import annotations
+
+from repro.core.relationships import AFI
+from repro.core.visibility import build_visibility_index
+
+
+def test_hybrid_path_visibility(benchmark, snapshot, artifacts):
+    """S3.7: fraction of IPv6 paths crossing at least one hybrid link."""
+    observations = snapshot.observations_for(AFI.IPV6)
+    hybrid_links = artifacts.hybrid.hybrid_link_set()
+
+    def run():
+        index = build_visibility_index(observations, afi=AFI.IPV6)
+        return index, index.fraction_crossing_any(hybrid_links)
+
+    index, fraction = benchmark(run)
+    benchmark.extra_info.update(
+        {
+            "ipv6_paths": index.path_count,
+            "paths_crossing_hybrid": index.paths_crossing_any(hybrid_links),
+            "fraction_crossing_hybrid": round(fraction, 3),
+        }
+    )
+    print("\n[S3.7] hybrid link visibility (paper: >28% of IPv6 paths):")
+    print(f"  distinct IPv6 paths:          {index.path_count}")
+    print(f"  paths crossing a hybrid link: {index.paths_crossing_any(hybrid_links)} ({fraction:.0%})")
+    ranking = index.rank_links(hybrid_links)[:5]
+    for link, count in ranking:
+        print(f"    {link}: {count} paths")
+
+    # Shape: the (10-15%) hybrid links are over-represented in paths.
+    assert fraction > artifacts.report.hybrid_fraction
+    assert fraction > 0.15

@@ -1,0 +1,66 @@
+"""Benchmark S3.1-S3.4: path/link visibility counts and inference coverage.
+
+Regenerates the first block of Section-3 statistics (IPv6 paths, IPv6
+links, dual-stack links, relationship coverage from Communities+LocPrf)
+and times the two pipeline stages that produce them: observation/link
+extraction and the combined relationship inference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.links import build_link_inventory
+from repro.analysis.paths import extract_from_archive
+from repro.core.combined_inference import CombinedInference
+from repro.core.observations import unique_paths
+from repro.core.relationships import AFI
+
+
+def test_extraction_and_link_counts(benchmark, snapshot):
+    """S3.1-S3.3: extract observations and count paths/links per plane."""
+
+    def run():
+        extraction = extract_from_archive(snapshot.archive)
+        inventory = build_link_inventory(extraction.observations)
+        ipv6_paths = unique_paths(
+            o for o in extraction.observations if o.afi is AFI.IPV6
+        )
+        return {
+            "ipv6_paths": len(ipv6_paths),
+            "ipv6_links": len(inventory.ipv6_links),
+            "ipv4_links": len(inventory.ipv4_links),
+            "dual_stack_links": len(inventory.dual_stack_links),
+        }
+
+    counts = benchmark(run)
+    benchmark.extra_info.update(counts)
+    print("\n[S3.1-S3.3] visibility counts (paper: 346,649 paths / 10,535 / 7,618):")
+    for key, value in counts.items():
+        print(f"  {key:>18}: {value}")
+    assert counts["ipv6_paths"] > 0
+    assert 0 < counts["dual_stack_links"] <= counts["ipv6_links"]
+
+
+def test_combined_inference_coverage(benchmark, snapshot):
+    """S3.4: relationship coverage of the Communities + LocPrf inference."""
+    observations = snapshot.observations
+    inventory = build_link_inventory(observations)
+
+    def run():
+        return CombinedInference(snapshot.registry).infer(observations)
+
+    result = benchmark(run)
+    ipv6_coverage = result.coverage[AFI.IPV6].fraction
+    dual = result.dual_stack_coverage(inventory.dual_stack_links)
+    benchmark.extra_info.update(
+        {
+            "ipv6_coverage": round(ipv6_coverage, 3),
+            "dual_stack_coverage": round(dual.fraction, 3),
+        }
+    )
+    print("\n[S3.4] relationship coverage (paper: 72% of IPv6 links, 81% dual-stack):")
+    print(f"  IPv6 links:       {result.coverage[AFI.IPV6].annotated_links}"
+          f"/{result.coverage[AFI.IPV6].total_links} ({ipv6_coverage:.0%})")
+    print(f"  dual-stack links: {dual.annotated_links}/{dual.total_links} ({dual.fraction:.0%})")
+    # Shape check: well above half, and dual-stack coverage at least as good.
+    assert ipv6_coverage >= 0.5
+    assert dual.fraction >= ipv6_coverage - 0.05

@@ -1,0 +1,53 @@
+"""Benchmark S3.8-S3.9: valley paths and the reachability-motivated subset.
+
+Regenerates the valley-path statistics (13% of IPv6 paths are valley
+paths; 16% of those are needed for reachability) and times the valley
+analysis, which dominates the measurement pipeline's cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.relationships import AFI
+from repro.core.valley import ValleyAnalyzer
+
+
+def test_valley_path_analysis(benchmark, snapshot, artifacts):
+    """S3.8-S3.9: classify every distinct IPv6 path against the inferred ToR."""
+    observations = snapshot.observations_for(AFI.IPV6)
+    annotation = artifacts.inference.annotation(AFI.IPV6)
+
+    def run():
+        analyzer = ValleyAnalyzer(annotation)
+        return analyzer.analyze(observations, afi=AFI.IPV6)
+
+    report = benchmark(run)
+    benchmark.extra_info.update(
+        {
+            "valley_fraction": round(report.valley_fraction, 3),
+            "reachability_fraction": round(report.reachability_fraction, 3),
+        }
+    )
+    print("\n[S3.8-S3.9] valley paths (paper: 13% valley; 16% of those for reachability):")
+    print(f"  analysed IPv6 paths:        {report.total_paths}")
+    print(f"  valley paths:               {report.valley_count} ({report.valley_fraction:.0%})")
+    print(f"  needed for reachability:    {len(report.reachability_motivated)}"
+          f" ({report.reachability_fraction:.0%})")
+    print(f"  paths with unknown hops:    {report.unknown_paths}")
+
+    # Shape: valley paths exist, are a minority, and a (strict) subset is
+    # reachability-motivated.
+    assert 0.0 < report.valley_fraction < 0.5
+    assert 0 <= len(report.reachability_motivated) <= report.valley_count
+
+
+def test_valley_paths_against_ground_truth(benchmark, snapshot):
+    """Cross-check: the same analysis against the ground-truth annotation."""
+    observations = snapshot.observations_for(AFI.IPV6)
+    annotation = snapshot.ground_truth_annotation(AFI.IPV6)
+
+    report = benchmark(
+        lambda: ValleyAnalyzer(annotation).analyze(observations, afi=AFI.IPV6)
+    )
+    print("\n[S3.8 ground truth] valley fraction with ground-truth relationships: "
+          f"{report.valley_fraction:.0%} ({report.valley_count}/{report.total_paths})")
+    assert report.valley_count > 0

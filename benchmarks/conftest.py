@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks operate on one mid-sized synthetic snapshot (built once
+per session) so that the timing numbers describe the *analysis* stages —
+inference, hybrid detection, valley analysis, customer-tree metrics —
+rather than the snapshot construction, which is benchmarked separately
+and exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import compute_section3
+from repro.datasets import DatasetConfig, build_snapshot
+from repro.topology import TopologyConfig
+
+
+def bench_config(seed: int = 2010) -> DatasetConfig:
+    """The snapshot configuration used throughout the benchmark harness."""
+    return DatasetConfig(
+        topology=TopologyConfig(
+            seed=seed,
+            tier1_count=7,
+            tier2_count=45,
+            tier3_count=180,
+        ),
+        seed=seed,
+        vantage_points=16,
+        collectors_per_project=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def snapshot():
+    """The synthetic measurement snapshot shared by all benchmarks."""
+    return build_snapshot(bench_config())
+
+
+@pytest.fixture(scope="session")
+def artifacts(snapshot):
+    """Section-3 artifacts (inference, hybrid, visibility, valley) built once."""
+    return compute_section3(snapshot.observations, snapshot.registry)

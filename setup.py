@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs (which need to build an editable wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Measurement pipeline: path/link extraction, statistics, reachability, reports."""
+
+from repro.analysis.links import (
+    LinkInventory,
+    build_link_inventory,
+    endpoint_ases,
+    links_between,
+    links_of,
+)
+from repro.analysis.partition import (
+    ReachabilityPartitionReport,
+    analyze_reachability,
+    compare_relaxation,
+)
+from repro.analysis.paths import (
+    ExtractionResult,
+    ExtractionStats,
+    distinct_paths,
+    extract_from_archive,
+    extract_observations,
+    observation_from_record,
+    paths_by_origin,
+)
+from repro.analysis.report import format_series, format_summary, format_table, to_json
+from repro.analysis.stats import Section3Artifacts, Section3Report, compute_section3
+
+__all__ = [
+    "LinkInventory",
+    "build_link_inventory",
+    "endpoint_ases",
+    "links_between",
+    "links_of",
+    "ReachabilityPartitionReport",
+    "analyze_reachability",
+    "compare_relaxation",
+    "ExtractionResult",
+    "ExtractionStats",
+    "distinct_paths",
+    "extract_from_archive",
+    "extract_observations",
+    "observation_from_record",
+    "paths_by_origin",
+    "format_series",
+    "format_summary",
+    "format_table",
+    "to_json",
+    "Section3Artifacts",
+    "Section3Report",
+    "compute_section3",
+]

@@ -1,0 +1,98 @@
+"""AS-link extraction and dual-stack matching.
+
+The second stage of the measurement pipeline: from the per-family
+observations, derive
+
+* the set of links visible in the IPv4 plane,
+* the set of links visible in the IPv6 plane, and
+* their intersection — the *dual-stack* links on which hybrid
+  relationships can exist at all (the paper's 7,618 links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.observations import ObservedRoute, unique_links
+from repro.core.relationships import AFI, Link
+
+
+@dataclass
+class LinkInventory:
+    """Links visible per address family and their intersection.
+
+    Attributes:
+        ipv4_links: Links seen in at least one IPv4 path.
+        ipv6_links: Links seen in at least one IPv6 path.
+    """
+
+    ipv4_links: Set[Link] = field(default_factory=set)
+    ipv6_links: Set[Link] = field(default_factory=set)
+
+    @property
+    def dual_stack_links(self) -> Set[Link]:
+        """Links visible in both planes."""
+        return self.ipv4_links & self.ipv6_links
+
+    @property
+    def ipv6_only_links(self) -> Set[Link]:
+        """Links visible only in the IPv6 plane."""
+        return self.ipv6_links - self.ipv4_links
+
+    @property
+    def ipv4_only_links(self) -> Set[Link]:
+        """Links visible only in the IPv4 plane."""
+        return self.ipv4_links - self.ipv6_links
+
+    def links(self, afi: AFI) -> Set[Link]:
+        """Links of one plane."""
+        return self.ipv4_links if afi is AFI.IPV4 else self.ipv6_links
+
+    def summary(self) -> Dict[str, int]:
+        """Size summary used by reports."""
+        return {
+            "ipv4_links": len(self.ipv4_links),
+            "ipv6_links": len(self.ipv6_links),
+            "dual_stack_links": len(self.dual_stack_links),
+            "ipv6_only_links": len(self.ipv6_only_links),
+            "ipv4_only_links": len(self.ipv4_only_links),
+        }
+
+
+def build_link_inventory(observations: Iterable[ObservedRoute]) -> LinkInventory:
+    """Build the per-plane link sets from a mixed set of observations."""
+    inventory = LinkInventory()
+    for observation in observations:
+        target = (
+            inventory.ipv4_links
+            if observation.afi is AFI.IPV4
+            else inventory.ipv6_links
+        )
+        target.update(observation.links())
+    return inventory
+
+
+def links_of(observations: Iterable[ObservedRoute], afi: AFI) -> Set[Link]:
+    """Links visible in the observations of one plane."""
+    return unique_links(o for o in observations if o.afi is afi)
+
+
+def endpoint_ases(links: Iterable[Link]) -> Set[int]:
+    """All ASes appearing as an endpoint of the given links."""
+    ases: Set[int] = set()
+    for link in links:
+        ases.add(link.a)
+        ases.add(link.b)
+    return ases
+
+
+def links_between(links: Iterable[Link], ases: Iterable[int]) -> Set[Link]:
+    """Links whose both endpoints belong to ``ases``.
+
+    Used to restrict hybrid statistics to, e.g., tier-1/tier-2 core links
+    when reproducing the paper's observation about where hybrid links
+    live.
+    """
+    members = set(ases)
+    return {link for link in links if link.a in members and link.b in members}

@@ -1,0 +1,147 @@
+"""Extracting clean AS paths from collector archives.
+
+The first stage of the measurement pipeline: turn archived
+:class:`~repro.collectors.mrt.TableDumpRecord` lines into
+:class:`~repro.core.observations.ObservedRoute` objects, applying the
+standard hygiene steps (prepending collapse, loop filtering,
+de-duplication) and keeping per-stage counters so the data-reduction
+story of a run can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.collectors.archive import CollectorArchive
+from repro.collectors.mrt import TableDumpRecord
+from repro.core.observations import ObservedRoute, clean_raw_path
+from repro.core.relationships import AFI
+
+
+@dataclass
+class ExtractionStats:
+    """Counters describing one extraction run.
+
+    Attributes:
+        records: Raw records examined.
+        looped_paths: Records discarded because the cleaned path still
+            contained a loop.
+        observations: Observations produced.
+        distinct_paths: Distinct AS paths among the observations.
+    """
+
+    records: int = 0
+    looped_paths: int = 0
+    observations: int = 0
+    distinct_paths: int = 0
+
+
+@dataclass
+class ExtractionResult:
+    """Observations plus the counters of the extraction that produced them."""
+
+    observations: List[ObservedRoute]
+    stats: ExtractionStats
+
+    def __iter__(self) -> Iterator[ObservedRoute]:
+        return iter(self.observations)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+
+def observation_from_record(record: TableDumpRecord) -> Optional[ObservedRoute]:
+    """Convert one table-dump record into an observation.
+
+    Returns ``None`` when the path contains a loop after prepending is
+    collapsed (such paths are artifacts and are dropped, as the paper's
+    pipeline does).
+    """
+    cleaned = clean_raw_path(record.as_path.hops)
+    if cleaned is None:
+        return None
+    # The archived path starts with the vantage AS; defensively re-anchor
+    # it in case a malformed record slipped through.
+    vantage = cleaned[0]
+    if vantage != record.peer_as:
+        if record.peer_as in cleaned:
+            return None
+        cleaned = (record.peer_as,) + cleaned
+        vantage = record.peer_as
+    return ObservedRoute(
+        path=cleaned,
+        prefix=record.prefix,
+        vantage=vantage,
+        communities=record.communities,
+        local_pref=record.local_pref if record.local_pref > 0 else None,
+        collector=record.collector,
+    )
+
+
+def extract_observations(
+    records: Iterable[TableDumpRecord],
+    afi: Optional[AFI] = None,
+    deduplicate: bool = False,
+) -> ExtractionResult:
+    """Extract observations from raw records.
+
+    ``deduplicate=True`` keeps a single observation per (vantage, prefix,
+    path) triple, which is useful when several collectors archive the
+    same feed.
+    """
+    stats = ExtractionStats()
+    observations: List[ObservedRoute] = []
+    seen: Set[Tuple[int, str, Tuple[int, ...]]] = set()
+    distinct_paths: Set[Tuple[int, ...]] = set()
+    for record in records:
+        if afi is not None and record.afi is not afi:
+            continue
+        stats.records += 1
+        observation = observation_from_record(record)
+        if observation is None:
+            stats.looped_paths += 1
+            continue
+        if deduplicate:
+            key = (observation.vantage, str(observation.prefix), observation.path)
+            if key in seen:
+                continue
+            seen.add(key)
+        observations.append(observation)
+        distinct_paths.add(observation.path)
+    stats.observations = len(observations)
+    stats.distinct_paths = len(distinct_paths)
+    return ExtractionResult(observations=observations, stats=stats)
+
+
+def extract_from_archive(
+    archive: CollectorArchive,
+    afi: Optional[AFI] = None,
+    deduplicate: bool = True,
+) -> ExtractionResult:
+    """Extract observations from every record of an archive."""
+    return extract_observations(archive.records(afi=afi), afi=afi, deduplicate=deduplicate)
+
+
+def distinct_paths(
+    observations: Iterable[ObservedRoute], afi: Optional[AFI] = None
+) -> List[Tuple[int, ...]]:
+    """The distinct AS paths among the observations (sorted)."""
+    paths = {
+        observation.path
+        for observation in observations
+        if afi is None or observation.afi is afi
+    }
+    return sorted(paths)
+
+
+def paths_by_origin(
+    observations: Iterable[ObservedRoute], afi: Optional[AFI] = None
+) -> Dict[int, List[Tuple[int, ...]]]:
+    """Distinct paths grouped by the origin AS they lead to."""
+    grouped: Dict[int, Set[Tuple[int, ...]]] = {}
+    for observation in observations:
+        if afi is not None and observation.afi is not afi:
+            continue
+        grouped.setdefault(observation.origin_as, set()).add(observation.path)
+    return {origin: sorted(paths) for origin, paths in grouped.items()}

@@ -1,0 +1,201 @@
+"""Section-3 statistics: the numbers the paper reports inline.
+
+:func:`compute_section3` runs the full measurement pipeline over a set of
+observations — coverage of the Communities/LocPrf inference, hybrid-link
+detection, hybrid path visibility, valley-path analysis — and packages
+the results as a :class:`Section3Report` whose fields map one-to-one to
+the statistics of Section 3 of the paper (see the experiment table in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.links import LinkInventory, build_link_inventory
+from repro.core.combined_inference import CombinedInference, CombinedInferenceResult
+from repro.core.hybrid import HybridDetectionReport, HybridDetector
+from repro.core.observations import ObservedRoute, group_by_afi, unique_paths
+from repro.core.relationships import AFI, HybridType, Link
+from repro.core.valley import ValleyAnalysisReport, ValleyAnalyzer
+from repro.core.visibility import VisibilityIndex, build_visibility_index
+from repro.irr.registry import IRRRegistry
+
+
+@dataclass
+class Section3Report:
+    """All Section-3 statistics for one snapshot.
+
+    Attribute names follow the experiment ids used in DESIGN.md.
+    """
+
+    # S3.1 / S3.2 / S3.3 — raw visibility counts.
+    ipv6_paths: int = 0
+    ipv6_links: int = 0
+    ipv4_links: int = 0
+    dual_stack_links: int = 0
+    # S3.4 — inference coverage.
+    ipv6_links_with_relationship: int = 0
+    ipv6_coverage: float = 0.0
+    dual_stack_links_with_relationship: int = 0
+    dual_stack_coverage: float = 0.0
+    # S3.5 / S3.6 — hybrid links.
+    hybrid_links: int = 0
+    hybrid_fraction: float = 0.0
+    hybrid_share_peer4_transit6: float = 0.0
+    hybrid_share_peer6_transit4: float = 0.0
+    hybrid_share_transit_reversed: float = 0.0
+    # S3.7 — path visibility of hybrid links.
+    paths_crossing_hybrid: int = 0
+    fraction_paths_crossing_hybrid: float = 0.0
+    # S3.8 / S3.9 — valley paths.
+    valley_paths: int = 0
+    valley_fraction: float = 0.0
+    reachability_valley_paths: int = 0
+    reachability_valley_fraction: float = 0.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(label, value) rows mirroring how the paper reports them."""
+        return [
+            ("IPv6 AS paths", f"{self.ipv6_paths}"),
+            ("IPv6 AS links", f"{self.ipv6_links}"),
+            ("IPv4/IPv6 (dual-stack) links", f"{self.dual_stack_links}"),
+            (
+                "IPv6 links with relationship",
+                f"{self.ipv6_links_with_relationship} ({self.ipv6_coverage:.0%})",
+            ),
+            (
+                "dual-stack links with relationship",
+                f"{self.dual_stack_links_with_relationship} ({self.dual_stack_coverage:.0%})",
+            ),
+            ("hybrid links", f"{self.hybrid_links} ({self.hybrid_fraction:.0%})"),
+            (
+                "hybrid: p2p IPv4 / transit IPv6",
+                f"{self.hybrid_share_peer4_transit6:.0%}",
+            ),
+            (
+                "hybrid: p2p IPv6 / transit IPv4",
+                f"{self.hybrid_share_peer6_transit4:.0%}",
+            ),
+            (
+                "hybrid: reversed transit",
+                f"{self.hybrid_share_transit_reversed:.0%}",
+            ),
+            (
+                "IPv6 paths crossing a hybrid link",
+                f"{self.paths_crossing_hybrid} ({self.fraction_paths_crossing_hybrid:.0%})",
+            ),
+            ("IPv6 valley paths", f"{self.valley_paths} ({self.valley_fraction:.0%})"),
+            (
+                "valley paths needed for reachability",
+                f"{self.reachability_valley_paths} ({self.reachability_valley_fraction:.0%})",
+            ),
+        ]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric dictionary (for JSON reports and benchmarks)."""
+        return {
+            "ipv6_paths": self.ipv6_paths,
+            "ipv6_links": self.ipv6_links,
+            "ipv4_links": self.ipv4_links,
+            "dual_stack_links": self.dual_stack_links,
+            "ipv6_links_with_relationship": self.ipv6_links_with_relationship,
+            "ipv6_coverage": self.ipv6_coverage,
+            "dual_stack_links_with_relationship": self.dual_stack_links_with_relationship,
+            "dual_stack_coverage": self.dual_stack_coverage,
+            "hybrid_links": self.hybrid_links,
+            "hybrid_fraction": self.hybrid_fraction,
+            "hybrid_share_peer4_transit6": self.hybrid_share_peer4_transit6,
+            "hybrid_share_peer6_transit4": self.hybrid_share_peer6_transit4,
+            "hybrid_share_transit_reversed": self.hybrid_share_transit_reversed,
+            "paths_crossing_hybrid": self.paths_crossing_hybrid,
+            "fraction_paths_crossing_hybrid": self.fraction_paths_crossing_hybrid,
+            "valley_paths": self.valley_paths,
+            "valley_fraction": self.valley_fraction,
+            "reachability_valley_paths": self.reachability_valley_paths,
+            "reachability_valley_fraction": self.reachability_valley_fraction,
+        }
+
+
+@dataclass
+class Section3Artifacts:
+    """Intermediate objects produced while computing the report.
+
+    Keeping them around lets the examples and benchmarks reuse the heavy
+    steps (inference, visibility index) without recomputation.
+    """
+
+    report: Section3Report
+    inventory: LinkInventory
+    inference: CombinedInferenceResult
+    hybrid: HybridDetectionReport
+    visibility: VisibilityIndex
+    valley: ValleyAnalysisReport
+
+
+def compute_section3(
+    observations: Iterable[ObservedRoute],
+    registry: IRRRegistry,
+    inference: Optional[CombinedInference] = None,
+) -> Section3Artifacts:
+    """Compute every Section-3 statistic for a set of observations."""
+    observations = list(observations)
+    by_afi = group_by_afi(observations)
+    inventory = build_link_inventory(observations)
+
+    engine = inference or CombinedInference(registry)
+    result = engine.infer(observations)
+
+    report = Section3Report()
+    report.ipv6_paths = len(unique_paths(by_afi[AFI.IPV6]))
+    report.ipv6_links = len(inventory.ipv6_links)
+    report.ipv4_links = len(inventory.ipv4_links)
+    report.dual_stack_links = len(inventory.dual_stack_links)
+
+    # S3.4 — coverage.
+    ipv6_annotation = result.annotation(AFI.IPV6)
+    annotated_ipv6 = {
+        link for link in inventory.ipv6_links if ipv6_annotation.get_canonical(link).is_known
+    }
+    report.ipv6_links_with_relationship = len(annotated_ipv6)
+    report.ipv6_coverage = (
+        len(annotated_ipv6) / report.ipv6_links if report.ipv6_links else 0.0
+    )
+    dual_coverage = result.dual_stack_coverage(inventory.dual_stack_links)
+    report.dual_stack_links_with_relationship = dual_coverage.annotated_links
+    report.dual_stack_coverage = dual_coverage.fraction
+
+    # S3.5 / S3.6 — hybrid detection over the visible dual-stack links.
+    detector = HybridDetector(result.annotation(AFI.IPV4), ipv6_annotation)
+    hybrid_report = detector.detect(inventory.dual_stack_links)
+    report.hybrid_links = len(hybrid_report.hybrid_links)
+    report.hybrid_fraction = hybrid_report.hybrid_fraction
+    report.hybrid_share_peer4_transit6 = hybrid_report.type_share(HybridType.PEER4_TRANSIT6)
+    report.hybrid_share_peer6_transit4 = hybrid_report.type_share(HybridType.PEER6_TRANSIT4)
+    report.hybrid_share_transit_reversed = hybrid_report.type_share(
+        HybridType.TRANSIT_REVERSED
+    )
+
+    # S3.7 — visibility of hybrid links in IPv6 paths.
+    visibility = build_visibility_index(by_afi[AFI.IPV6], afi=AFI.IPV6)
+    hybrid_links = hybrid_report.hybrid_link_set()
+    report.paths_crossing_hybrid = visibility.paths_crossing_any(hybrid_links)
+    report.fraction_paths_crossing_hybrid = visibility.fraction_crossing_any(hybrid_links)
+
+    # S3.8 / S3.9 — valley analysis of the IPv6 paths.
+    analyzer = ValleyAnalyzer(ipv6_annotation)
+    valley_report = analyzer.analyze(by_afi[AFI.IPV6], afi=AFI.IPV6)
+    report.valley_paths = valley_report.valley_count
+    report.valley_fraction = valley_report.valley_fraction
+    report.reachability_valley_paths = len(valley_report.reachability_motivated)
+    report.reachability_valley_fraction = valley_report.reachability_fraction
+
+    return Section3Artifacts(
+        report=report,
+        inventory=inventory,
+        inference=result,
+        hybrid=hybrid_report,
+        visibility=visibility,
+        valley=valley_report,
+    )

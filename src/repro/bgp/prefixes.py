@@ -1,0 +1,113 @@
+"""IP prefix handling for both address families.
+
+The reproduction never routes real packets, but prefixes still matter:
+the collectors archive one RIB entry per (vantage point, prefix), paths
+are counted per prefix, and the AFI of a prefix decides which plane a
+path belongs to.  This module wraps :mod:`ipaddress` with the small
+amount of convenience the rest of the library needs, plus a deterministic
+per-AS prefix allocator used by the synthetic dataset builder.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+from repro.core.relationships import AFI
+
+_IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 or IPv6 prefix in CIDR notation.
+
+    The textual form is normalised through :mod:`ipaddress`, so two
+    prefixes describing the same network compare equal regardless of how
+    they were written.
+    """
+
+    network: str
+
+    def __init__(self, network: Union[str, _IPNetwork]) -> None:  # noqa: D107
+        parsed = (
+            network
+            if isinstance(network, (ipaddress.IPv4Network, ipaddress.IPv6Network))
+            else ipaddress.ip_network(network, strict=True)
+        )
+        object.__setattr__(self, "network", str(parsed))
+
+    @property
+    def parsed(self) -> _IPNetwork:
+        """The underlying :mod:`ipaddress` network object."""
+        return ipaddress.ip_network(self.network)
+
+    @property
+    def afi(self) -> AFI:
+        """Address family of the prefix."""
+        return AFI.IPV4 if self.parsed.version == 4 else AFI.IPV6
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits."""
+        return self.parsed.prefixlen
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        if self.afi is not other.afi:
+            return False
+        return other.parsed.subnet_of(self.parsed)
+
+    def __str__(self) -> str:
+        return self.network
+
+
+class PrefixAllocator:
+    """Deterministically allocate origin prefixes to ASes.
+
+    Every AS receives one IPv4 ``/20`` carved from ``10.0.0.0/8`` and/or
+    one IPv6 ``/32`` carved from the ``3fff::/20`` documentation block
+    (sized so that tens of thousands of ASes fit without collision).
+    Allocation is a pure function of the ASN, so independently
+    constructed allocators agree.
+    """
+
+    IPV4_BASE = ipaddress.ip_network("10.0.0.0/8")
+    IPV4_PLEN = 20
+    IPV6_BASE = ipaddress.ip_network("3fff::/20")
+    IPV6_PLEN = 32
+
+    def __init__(self) -> None:
+        self._ipv4_capacity = 2 ** (self.IPV4_PLEN - self.IPV4_BASE.prefixlen)
+        self._ipv6_capacity = 2 ** (self.IPV6_PLEN - self.IPV6_BASE.prefixlen)
+
+    def ipv4_prefix(self, asn: int) -> Prefix:
+        """The IPv4 prefix originated by ``asn``."""
+        index = asn % self._ipv4_capacity
+        offset = index * 2 ** (32 - self.IPV4_PLEN)
+        address = int(self.IPV4_BASE.network_address) + offset
+        return Prefix(f"{ipaddress.IPv4Address(address)}/{self.IPV4_PLEN}")
+
+    def ipv6_prefix(self, asn: int) -> Prefix:
+        """The IPv6 prefix originated by ``asn``."""
+        index = asn % self._ipv6_capacity
+        offset = index * 2 ** (128 - self.IPV6_PLEN)
+        address = int(self.IPV6_BASE.network_address) + offset
+        return Prefix(f"{ipaddress.IPv6Address(address)}/{self.IPV6_PLEN}")
+
+    def prefix(self, asn: int, afi: AFI) -> Prefix:
+        """The prefix originated by ``asn`` in the requested plane."""
+        return self.ipv4_prefix(asn) if afi is AFI.IPV4 else self.ipv6_prefix(asn)
+
+    def prefixes_for(self, asns: Iterable[int], afi: AFI) -> Dict[int, Prefix]:
+        """Allocate prefixes for many ASes at once."""
+        return {asn: self.prefix(asn, afi) for asn in asns}
+
+
+def group_by_afi(prefixes: Iterable[Prefix]) -> Dict[AFI, List[Prefix]]:
+    """Split a collection of prefixes by address family."""
+    groups: Dict[AFI, List[Prefix]] = {AFI.IPV4: [], AFI.IPV6: []}
+    for prefix in prefixes:
+        groups[prefix.afi].append(prefix)
+    return groups

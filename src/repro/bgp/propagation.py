@@ -1,0 +1,209 @@
+"""Network-wide BGP route propagation.
+
+The :class:`PropagationSimulator` wires one :class:`~repro.bgp.router.BGPSpeaker`
+per AS, derives each speaker's per-AFI neighbour relationships from the
+annotated :class:`~repro.topology.graph.ASGraph`, originates the
+requested prefixes and then lets announcements propagate until the
+network is quiescent.
+
+The propagation is event driven: whenever a speaker's best route for a
+prefix changes, the new best is (re-)exported to every neighbour the
+export policy allows, and withdrawals are sent to neighbours that had
+previously received a route that is no longer exportable.  With
+relationship-consistent policies this converges; a generous event cap
+guards against pathological configurations and makes the failure mode a
+loud exception instead of an endless loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.relationships import AFI, Relationship
+from repro.bgp.messages import Announcement, Route
+from repro.bgp.policy import RoutingPolicy
+from repro.bgp.prefixes import Prefix
+from repro.bgp.rib import RibSnapshot
+from repro.bgp.router import BGPSpeaker
+from repro.topology.graph import ASGraph
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when propagation does not quiesce within the event budget."""
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of a propagation run.
+
+    Attributes:
+        speakers: The fully converged speakers, keyed by ASN.
+        origins: Which AS originated which prefix.
+        events: Number of best-route changes processed (a measure of
+            convergence work, reported by the benchmarks).
+        reachable_counts: For every propagated prefix, the number of ASes
+            that ended up with a route to it (including the origin).
+            Available even when per-AS RIBs were pruned to save memory.
+    """
+
+    speakers: Dict[int, BGPSpeaker]
+    origins: Dict[Prefix, int]
+    events: int = 0
+    reachable_counts: Dict[Prefix, int] = field(default_factory=dict)
+
+    def snapshot(self, asn: int) -> RibSnapshot:
+        """Frozen Loc-RIB of one AS."""
+        return self.speakers[asn].snapshot()
+
+    def best_route(self, asn: int, prefix: Prefix) -> Optional[Route]:
+        """Best route of ``asn`` towards ``prefix`` (``None`` if unreachable)."""
+        return self.speakers[asn].best_route(prefix)
+
+    def best_path(self, asn: int, prefix: Prefix) -> Optional[Tuple[int, ...]]:
+        """The full AS path (including ``asn``) towards ``prefix``."""
+        route = self.best_route(asn, prefix)
+        if route is None:
+            return None
+        return route.full_path()
+
+    def reachable_prefixes(self, asn: int, afi: Optional[AFI] = None) -> List[Prefix]:
+        """Prefixes for which ``asn`` holds a best route."""
+        return self.speakers[asn].loc_rib.prefixes(afi)
+
+
+class PropagationSimulator:
+    """Propagate routes over an annotated AS topology."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        policies: Optional[Mapping[int, RoutingPolicy]] = None,
+        max_events_per_prefix: int = 200_000,
+        keep_ribs_for: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Create a simulator over ``graph``.
+
+        ``keep_ribs_for`` enables the memory-saving mode: after each
+        prefix converges, Adj-RIB-In state is dropped everywhere and the
+        Loc-RIB entry is kept only for the listed ASes (typically the
+        collector vantage points).  ``None`` keeps everything.
+        """
+        self.graph = graph
+        self.max_events_per_prefix = max_events_per_prefix
+        self.keep_ribs_for = set(keep_ribs_for) if keep_ribs_for is not None else None
+        self.speakers: Dict[int, BGPSpeaker] = {}
+        policies = policies or {}
+        for asn in graph.ases:
+            policy = policies.get(asn)
+            self.speakers[asn] = BGPSpeaker(asn, policy)
+        self._build_sessions()
+
+    def _build_sessions(self) -> None:
+        """Create the per-AFI BGP adjacencies from the annotated graph."""
+        for afi in (AFI.IPV4, AFI.IPV6):
+            for link in self.graph.links(afi):
+                rel_ab = self.graph.relationship(link.a, link.b, afi)
+                rel_ba = self.graph.relationship(link.b, link.a, afi)
+                self.speakers[link.a].add_neighbor(link.b, rel_ab, afi)
+                self.speakers[link.b].add_neighbor(link.a, rel_ba, afi)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def run(self, origins: Mapping[Prefix, int]) -> PropagationResult:
+        """Originate ``origins`` and propagate to quiescence.
+
+        ``origins`` maps each prefix to the AS that originates it.  The
+        origin AS must participate in the prefix's address family.
+        """
+        total_events = 0
+        reachable_counts: Dict[Prefix, int] = {}
+        for prefix, origin_asn in origins.items():
+            if origin_asn not in self.speakers:
+                raise KeyError(f"origin AS{origin_asn} is not in the topology")
+            if not self.graph.node(origin_asn).supports(prefix.afi):
+                raise ValueError(
+                    f"AS{origin_asn} does not participate in {prefix.afi} "
+                    f"but originates {prefix}"
+                )
+            total_events += self._propagate_prefix(prefix, origin_asn)
+            reachable_counts[prefix] = sum(
+                1
+                for speaker in self.speakers.values()
+                if speaker.best_route(prefix) is not None
+            )
+            if self.keep_ribs_for is not None:
+                for asn, speaker in self.speakers.items():
+                    speaker.prune_prefix(prefix, keep_best=asn in self.keep_ribs_for)
+        return PropagationResult(
+            speakers=self.speakers,
+            origins=dict(origins),
+            events=total_events,
+            reachable_counts=reachable_counts,
+        )
+
+    def _propagate_prefix(self, prefix: Prefix, origin_asn: int) -> int:
+        """Event-driven propagation of a single prefix; returns event count."""
+        afi = prefix.afi
+        origin = self.speakers[origin_asn]
+        origin.originate(prefix)
+        # Track which neighbours each AS has successfully announced to, so
+        # that withdrawals can be sent when a new best is not exportable.
+        announced_to: Dict[int, Set[int]] = {asn: set() for asn in self.speakers}
+        queue = deque([origin_asn])
+        queued: Set[int] = {origin_asn}
+        events = 0
+        while queue:
+            events += 1
+            if events > self.max_events_per_prefix:
+                raise ConvergenceError(
+                    f"prefix {prefix} did not converge within "
+                    f"{self.max_events_per_prefix} events"
+                )
+            asn = queue.popleft()
+            queued.discard(asn)
+            speaker = self.speakers[asn]
+            exportable = set(speaker.exportable_neighbors(prefix))
+            # Withdraw from neighbours that no longer receive the route.
+            for neighbor_asn in sorted(announced_to[asn] - exportable):
+                announced_to[asn].discard(neighbor_asn)
+                changed = self.speakers[neighbor_asn].withdraw(prefix, asn)
+                if changed and neighbor_asn not in queued:
+                    queue.append(neighbor_asn)
+                    queued.add(neighbor_asn)
+            # (Re-)announce to every exportable neighbour.
+            for neighbor_asn in sorted(exportable):
+                announcement = speaker.export_to(neighbor_asn, prefix)
+                if announcement is None:
+                    continue
+                announced_to[asn].add(neighbor_asn)
+                changed = self.speakers[neighbor_asn].receive(announcement)
+                if changed and neighbor_asn not in queued:
+                    queue.append(neighbor_asn)
+                    queued.add(neighbor_asn)
+        return events
+
+
+def originate_one_prefix_per_as(
+    graph: ASGraph,
+    afi: AFI,
+    allocator=None,
+    ases: Optional[Iterable[int]] = None,
+) -> Dict[Prefix, int]:
+    """Convenience helper: every AS (in ``afi``) originates one prefix.
+
+    ``allocator`` defaults to a fresh
+    :class:`~repro.bgp.prefixes.PrefixAllocator`.
+    """
+    from repro.bgp.prefixes import PrefixAllocator
+
+    allocator = allocator or PrefixAllocator()
+    selected = list(ases) if ases is not None else graph.ases_in(afi)
+    origins: Dict[Prefix, int] = {}
+    for asn in selected:
+        if not graph.node(asn).supports(afi):
+            continue
+        origins[allocator.prefix(asn, afi)] = asn
+    return origins

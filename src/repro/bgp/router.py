@@ -1,0 +1,250 @@
+"""A policy-driven BGP speaker.
+
+Each AS in the propagation simulator is represented by a
+:class:`BGPSpeaker` that
+
+* originates its own prefixes,
+* imports announcements from neighbours (applying LOCAL_PREF assignment
+  and community tagging according to its :class:`~repro.bgp.policy.RoutingPolicy`),
+* runs the BGP decision process to maintain a Loc-RIB, and
+* exports its best routes to neighbours, subject to the (possibly
+  relaxed) valley-free export rules.
+
+The decision process implements the attribute comparisons that matter
+for the reproduction: highest LOCAL_PREF, then shortest AS path, then
+lowest neighbour ASN as the deterministic tie breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.relationships import AFI, Relationship
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.messages import Announcement, Route
+from repro.bgp.policy import RoutingPolicy
+from repro.bgp.prefixes import Prefix
+from repro.bgp.rib import AdjRibIn, LocRib, RibSnapshot
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """A BGP adjacency and the relationship the local AS has towards it.
+
+    ``relationship`` is from the local AS's point of view and may differ
+    per address family (hybrid links!), hence one :class:`Neighbor` entry
+    per AFI.
+    """
+
+    asn: int
+    relationship: Relationship
+
+
+class BGPSpeaker:
+    """One AS participating in the route propagation."""
+
+    def __init__(self, asn: int, policy: Optional[RoutingPolicy] = None) -> None:
+        self.asn = asn
+        self.policy = policy or RoutingPolicy(asn=asn)
+        # Per-AFI neighbour tables: asn -> Neighbor.
+        self._neighbors: Dict[AFI, Dict[int, Neighbor]] = {AFI.IPV4: {}, AFI.IPV6: {}}
+        self._adj_rib_in: Dict[int, AdjRibIn] = {}
+        self.loc_rib = LocRib()
+        self._local_routes: Dict[Prefix, Route] = {}
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def add_neighbor(self, asn: int, relationship: Relationship, afi: AFI) -> None:
+        """Register a neighbour for one address family."""
+        if asn == self.asn:
+            raise ValueError("an AS cannot neighbour itself")
+        if not relationship.is_known:
+            raise ValueError("neighbour relationship must be known")
+        self._neighbors[afi][asn] = Neighbor(asn=asn, relationship=relationship)
+        self._adj_rib_in.setdefault(asn, AdjRibIn(asn))
+
+    def neighbors(self, afi: AFI) -> List[Neighbor]:
+        """All neighbours for one address family."""
+        return sorted(self._neighbors[afi].values(), key=lambda n: n.asn)
+
+    def relationship_to(self, asn: int, afi: AFI) -> Optional[Relationship]:
+        """Relationship towards a neighbour (``None`` if not adjacent in ``afi``)."""
+        neighbor = self._neighbors[afi].get(asn)
+        return neighbor.relationship if neighbor else None
+
+    # ------------------------------------------------------------------
+    # origination and import
+    # ------------------------------------------------------------------
+    def originate(self, prefix: Prefix) -> Route:
+        """Originate a prefix locally and install it as best."""
+        route = Route.originate(prefix, self.asn)
+        self._local_routes[prefix] = route
+        self.loc_rib.install(route)
+        return route
+
+    def receive(self, announcement: Announcement) -> bool:
+        """Import an announcement from a neighbour.
+
+        Returns True when the best route for the prefix changed (and the
+        new best therefore needs to be re-exported).
+        """
+        sender = announcement.sender
+        relationship = self.relationship_to(sender, announcement.afi)
+        if relationship is None:
+            raise ValueError(
+                f"AS{self.asn} received an announcement from non-neighbour AS{sender}"
+            )
+        # Standard loop prevention: reject paths that already contain us.
+        if announcement.as_path.contains(self.asn):
+            return False
+        local_pref, override = self.policy.local_pref_for(
+            sender, relationship, announcement.prefix
+        )
+        added_communities = self.policy.import_communities(relationship, override)
+        attributes = announcement.attributes.add_communities(added_communities)
+        attributes = PathAttributes(
+            as_path=attributes.as_path,
+            local_pref=local_pref,
+            med=attributes.med,
+            origin=attributes.origin,
+            next_hop=attributes.next_hop,
+            communities=attributes.communities,
+        )
+        route = Route(
+            prefix=announcement.prefix,
+            holder=self.asn,
+            attributes=attributes,
+            learned_from=sender,
+            learned_relationship=relationship,
+        )
+        self._adj_rib_in[sender].update(route)
+        return self._run_decision(announcement.prefix)
+
+    def withdraw(self, prefix: Prefix, sender: int) -> bool:
+        """Process a withdrawal from a neighbour; returns True if best changed."""
+        rib = self._adj_rib_in.get(sender)
+        if rib is None or rib.withdraw(prefix) is None:
+            return False
+        return self._run_decision(prefix)
+
+    # ------------------------------------------------------------------
+    # decision process
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _preference_key(route: Route) -> Tuple[int, int, int, int]:
+        """Sort key: higher is better.
+
+        Locally originated routes always win; otherwise higher
+        LOCAL_PREF, then shorter AS path, then lower neighbour ASN.
+        """
+        if route.is_local:
+            return (1, 0, 0, 0)
+        local_pref = route.local_pref if route.local_pref is not None else 100
+        # Negative values convert "smaller is better" into "larger is better".
+        return (0, local_pref, -len(route.as_path.hops), -route.learned_from)
+
+    def _candidates(self, prefix: Prefix) -> List[Route]:
+        candidates: List[Route] = []
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        for rib in self._adj_rib_in.values():
+            route = rib.route_for(prefix)
+            if route is not None:
+                candidates.append(route)
+        return candidates
+
+    def _run_decision(self, prefix: Prefix) -> bool:
+        candidates = self._candidates(prefix)
+        if not candidates:
+            return self.loc_rib.remove(prefix) is not None
+        best = max(candidates, key=self._preference_key)
+        return self.loc_rib.install(best)
+
+    def best_route(self, prefix: Prefix) -> Optional[Route]:
+        """The current best route for a prefix (``None`` if unreachable)."""
+        return self.loc_rib.best(prefix)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export_to(self, neighbor_asn: int, prefix: Prefix) -> Optional[Announcement]:
+        """Build the announcement of the best route towards one neighbour.
+
+        Returns ``None`` when the route must not be exported (export
+        policy) or when there is no best route for the prefix.
+        """
+        best = self.loc_rib.best(prefix)
+        if best is None:
+            return None
+        afi = prefix.afi
+        neighbor = self._neighbors[afi].get(neighbor_asn)
+        if neighbor is None:
+            return None
+        # Never send a route back to the neighbour it was learned from.
+        if best.learned_from == neighbor_asn:
+            return None
+        if not self.policy.export_allowed(
+            best.learned_relationship, neighbor.relationship, neighbor_asn, afi
+        ):
+            return None
+        # Locally originated routes already carry the origin AS as their
+        # only hop; prepending again would duplicate it.
+        exported_path = best.as_path if best.is_local else best.as_path.prepend(self.asn)
+        communities = () if self.policy.strip_communities_on_export else best.communities
+        attributes = PathAttributes(
+            as_path=exported_path,
+            local_pref=None,  # LOCAL_PREF is not propagated across EBGP sessions.
+            med=0,
+            origin=best.attributes.origin,
+            next_hop="",
+            communities=communities,
+        )
+        return Announcement(
+            prefix=prefix, sender=self.asn, receiver=neighbor_asn, attributes=attributes
+        )
+
+    def exportable_neighbors(self, prefix: Prefix) -> List[int]:
+        """Neighbours to which the current best route may be exported."""
+        best = self.loc_rib.best(prefix)
+        if best is None:
+            return []
+        afi = prefix.afi
+        result = []
+        for neighbor in self.neighbors(afi):
+            if neighbor.asn == best.learned_from:
+                continue
+            if self.policy.export_allowed(
+                best.learned_relationship, neighbor.relationship, neighbor.asn, afi
+            ):
+                result.append(neighbor.asn)
+        return result
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def prune_prefix(self, prefix: Prefix, keep_best: bool = True) -> None:
+        """Drop per-prefix state that is no longer needed after convergence.
+
+        The Adj-RIB-In entries for ``prefix`` are always removed (they are
+        only needed while the prefix is still propagating); the Loc-RIB
+        entry is removed too unless ``keep_best`` is True.  The
+        network-wide simulator uses this to keep memory proportional to
+        the number of vantage points rather than to ASes x prefixes.
+        """
+        for rib in self._adj_rib_in.values():
+            rib.withdraw(prefix)
+        if not keep_best:
+            self.loc_rib.remove(prefix)
+            self._local_routes.pop(prefix, None)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RibSnapshot:
+        """A frozen copy of the Loc-RIB, for the collectors."""
+        return RibSnapshot(
+            asn=self.asn, best_routes={route.prefix: route for route in self.loc_rib}
+        )

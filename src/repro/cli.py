@@ -1,0 +1,155 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows without writing any code::
+
+    python -m repro section3  [--small | --paper-scale] [--json PATH]
+    python -m repro figure2   [--small | --paper-scale] [--top N]
+    python -m repro snapshot  --output DIR [--small | --paper-scale]
+
+``section3`` prints the Section-3 statistics table, ``figure2`` prints
+the correction-sweep series, and ``snapshot`` builds a synthetic snapshot
+and writes its collector archive (bgpdump-style text files), the
+dual-stack relationship ground truth and the IRR documentation corpus to
+a directory, so the pipeline can also be exercised from files on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import compute_section3, format_series, format_summary, format_table
+from repro.core.correction import CorrectionExperiment, plane_agnostic_annotation
+from repro.core.relationships import AFI
+from repro.datasets import (
+    DatasetConfig,
+    build_snapshot,
+    paper_scale_config,
+    small_config,
+)
+from repro.topology.serialization import write_dual_stack
+
+
+def _config_from_args(args: argparse.Namespace) -> DatasetConfig:
+    if args.paper_scale:
+        config = paper_scale_config(seed=args.seed)
+    else:
+        config = small_config(seed=args.seed)
+    return config
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--small", action="store_true", help="small snapshot (default, seconds to build)"
+    )
+    scale.add_argument(
+        "--paper-scale", action="store_true", help="larger snapshot (minutes to build)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="snapshot seed")
+
+
+def _cmd_section3(args: argparse.Namespace) -> int:
+    snapshot = build_snapshot(_config_from_args(args))
+    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    print(format_table(artifacts.report.rows(), title="Section 3 statistics"))
+    if args.json:
+        payload = {
+            "config": {"ases": snapshot.config.topology.total_ases, "seed": args.seed},
+            "section3": artifacts.report.as_dict(),
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"\nwrote JSON report to {args.json}")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    snapshot = build_snapshot(_config_from_args(args))
+    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    reference = artifacts.inference.annotation(AFI.IPV6)
+    misinferred = plane_agnostic_annotation(
+        reference, artifacts.inference.annotation(AFI.IPV4)
+    )
+    experiment = CorrectionExperiment(misinferred, reference, max_sources=args.max_sources)
+    series = experiment.run_with_visibility(
+        artifacts.hybrid.hybrid_link_set(), artifacts.visibility, top=args.top
+    )
+    print(
+        format_series(
+            "corrected links",
+            {"avg path length": series.averages, "diameter": series.diameters},
+            title="Figure 2 — correction sweep",
+        )
+    )
+    print()
+    print(format_summary(series.improvement(), title="Start vs end"))
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    snapshot = build_snapshot(_config_from_args(args))
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    dumps = snapshot.archive.save(output / "rib-dumps")
+    write_dual_stack(snapshot.graph, output / "ground-truth-asrel.txt")
+    irr_dir = output / "irr"
+    irr_dir.mkdir(exist_ok=True)
+    for asn, lines in snapshot.registry.documentation_corpus().items():
+        (irr_dir / f"AS{asn}.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"snapshot written to {output}")
+    print(f"  {len(dumps)} collector dump files")
+    print(f"  ground truth: {output / 'ground-truth-asrel.txt'}")
+    print(f"  IRR documentation for {len(snapshot.registry)} ASes in {irr_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Detecting and Assessing the Hybrid "
+        "IPv4/IPv6 AS Relationships' (Giotsas & Zhou, SIGCOMM 2011).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    section3 = subparsers.add_parser(
+        "section3", help="compute the Section-3 statistics on a synthetic snapshot"
+    )
+    _add_common_options(section3)
+    section3.add_argument("--json", help="also write the report as JSON to this path")
+    section3.set_defaults(handler=_cmd_section3)
+
+    figure2 = subparsers.add_parser(
+        "figure2", help="run the Figure-2 correction sweep"
+    )
+    _add_common_options(figure2)
+    figure2.add_argument("--top", type=int, default=20, help="links to correct")
+    figure2.add_argument(
+        "--max-sources", type=int, default=60,
+        help="valley-free BFS sources sampled per step (0 = exact)",
+    )
+    figure2.set_defaults(handler=_cmd_figure2)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="build a synthetic snapshot and write it to disk"
+    )
+    _add_common_options(snapshot)
+    snapshot.add_argument("--output", required=True, help="output directory")
+    snapshot.set_defaults(handler=_cmd_snapshot)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "max_sources", None) == 0:
+        args.max_sources = None
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Route collectors and their vantage points.
+
+A *collector* (RouteViews' ``route-views6``, RIPE RIS' ``rrc00`` ...)
+maintains BGP sessions with a set of *vantage points*: operator ASes
+that feed it their routing tables.  The paper's raw material is the
+union of the RIB snapshots archived by those collectors.
+
+In this reproduction the vantage points are ASes of the synthetic
+topology; a collector reads their converged Loc-RIBs out of a
+:class:`~repro.bgp.propagation.PropagationResult` and archives them as
+:class:`~repro.collectors.mrt.TableDumpRecord` lines, exactly the shape
+the measurement pipeline would get from ``bgpdump``.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.relationships import AFI
+from repro.bgp.propagation import PropagationResult
+from repro.collectors.mrt import TableDumpRecord
+
+#: Default snapshot timestamp: 2010-08-20 00:00:00 UTC, inside the
+#: August 2010 measurement window used by the paper.
+DEFAULT_TIMESTAMP = 1282262400
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One full-feed peering session of a collector.
+
+    Attributes:
+        asn: The vantage-point AS.
+        peer_ip: Address of the session (synthetic but stable).
+        exports_local_pref: Whether the feed exports LOCAL_PREF.  Real
+            archives contain a mix; the LocPrf part of the methodology
+            can only use feeds where this is True.
+        afis: The address families the session carries.
+    """
+
+    asn: int
+    peer_ip: str
+    exports_local_pref: bool = True
+    afis: Tuple[AFI, ...] = (AFI.IPV4, AFI.IPV6)
+
+    def carries(self, afi: AFI) -> bool:
+        """True when the session carries routes of the given family."""
+        return afi in self.afis
+
+
+def _synthetic_peer_ip(collector_index: int, asn: int, afi: AFI) -> str:
+    """Deterministic, collision-free session addresses for vantage points."""
+    if afi is AFI.IPV4:
+        base = int(ipaddress.IPv4Address("198.51.100.0")) + collector_index * 256
+        return str(ipaddress.IPv4Address(base + (asn % 250) + 1))
+    base = int(ipaddress.IPv6Address("2001:db8:ffff::")) + (collector_index << 64)
+    return str(ipaddress.IPv6Address(base + asn))
+
+
+@dataclass
+class Collector:
+    """A RouteViews / RIPE-RIS style route collector."""
+
+    name: str
+    project: str = "routeviews"
+    vantage_points: List[VantagePoint] = field(default_factory=list)
+
+    def add_vantage_point(
+        self,
+        asn: int,
+        peer_ip: Optional[str] = None,
+        exports_local_pref: bool = True,
+        afis: Tuple[AFI, ...] = (AFI.IPV4, AFI.IPV6),
+    ) -> VantagePoint:
+        """Register a vantage point feeding this collector."""
+        if peer_ip is None:
+            peer_ip = _synthetic_peer_ip(len(self.name) % 16, asn, afis[0])
+        vantage = VantagePoint(
+            asn=asn, peer_ip=peer_ip, exports_local_pref=exports_local_pref, afis=afis
+        )
+        self.vantage_points.append(vantage)
+        return vantage
+
+    @property
+    def vantage_asns(self) -> List[int]:
+        """ASNs of all vantage points."""
+        return sorted(v.asn for v in self.vantage_points)
+
+    def collect(
+        self,
+        result: PropagationResult,
+        afi: Optional[AFI] = None,
+        timestamp: int = DEFAULT_TIMESTAMP,
+    ) -> List[TableDumpRecord]:
+        """Archive a RIB snapshot from every vantage point.
+
+        Each vantage point contributes its best route for every prefix it
+        can reach, restricted to ``afi`` when given.
+        """
+        records: List[TableDumpRecord] = []
+        for vantage in self.vantage_points:
+            if vantage.asn not in result.speakers:
+                continue
+            snapshot = result.snapshot(vantage.asn)
+            for route in snapshot.routes(afi):
+                if not vantage.carries(route.afi):
+                    continue
+                records.append(
+                    TableDumpRecord.from_route(
+                        route,
+                        peer_ip=vantage.peer_ip,
+                        timestamp=timestamp,
+                        collector=self.name,
+                        include_local_pref=vantage.exports_local_pref,
+                    )
+                )
+        return records
+
+
+def default_collectors(
+    vantage_asns: Sequence[int],
+    collectors_per_project: int = 2,
+    exports_local_pref_fraction: float = 0.7,
+) -> List[Collector]:
+    """Build a plausible set of collectors over the given vantage ASes.
+
+    Vantage points are distributed round-robin over RouteViews-style and
+    RIS-style collectors; a deterministic fraction of the feeds export
+    LOCAL_PREF (the rest report 0, as many real feeds do).
+    """
+    if not vantage_asns:
+        raise ValueError("at least one vantage AS is required")
+    names = [f"route-views{index or ''}" for index in range(collectors_per_project)]
+    names += [f"rrc{index:02d}" for index in range(collectors_per_project)]
+    collectors = [
+        Collector(name=name, project="routeviews" if name.startswith("route-views") else "ris")
+        for name in names
+    ]
+    for position, asn in enumerate(vantage_asns):
+        collector = collectors[position % len(collectors)]
+        exports_local_pref = (position % 10) < int(round(exports_local_pref_fraction * 10))
+        collector.add_vantage_point(asn, exports_local_pref=exports_local_pref)
+    return collectors

@@ -1,0 +1,267 @@
+"""Type-of-Relationship annotations for a single address family.
+
+A :class:`ToRAnnotation` is the object every relationship-producing and
+relationship-consuming component exchanges: a mapping from canonical
+:class:`~repro.core.relationships.Link` to
+:class:`~repro.core.relationships.Relationship` for one address family,
+together with the helpers needed to treat it as an annotated graph
+(neighbour queries, customer cones, valley-free reachability ...).
+
+Producers: the ground-truth topology, the Communities/LocPrf inference
+(:mod:`repro.core.combined_inference`) and the baseline ToR algorithms
+(:mod:`repro.inference`).  Consumers: hybrid detection, valley analysis,
+customer-tree metrics and the Figure-2 correction experiment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.relationships import (
+    AFI,
+    Link,
+    Relationship,
+    RelationshipRecord,
+    RelationshipSource,
+    orient_relationship,
+)
+
+
+class ToRAnnotation:
+    """Relationship annotation of the links of one address-family plane."""
+
+    def __init__(
+        self,
+        afi: AFI,
+        relationships: Optional[Mapping[Link, Relationship]] = None,
+        source: RelationshipSource = RelationshipSource.MANUAL,
+    ) -> None:
+        self.afi = afi
+        self.source = source
+        self._relationships: Dict[Link, Relationship] = {}
+        self._adjacency: Dict[int, Set[int]] = defaultdict(set)
+        if relationships:
+            for link, relationship in relationships.items():
+                self.set(link.a, link.b, relationship)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def set(self, a: int, b: int, relationship: Relationship) -> None:
+        """Set the relationship of link ``a-b`` as seen from ``a``."""
+        link = Link(a, b)
+        self._relationships[link] = orient_relationship(a, b, relationship)
+        self._adjacency[link.a].add(link.b)
+        self._adjacency[link.b].add(link.a)
+
+    def set_canonical(self, link: Link, relationship: Relationship) -> None:
+        """Set the relationship of a link already in canonical orientation."""
+        self._relationships[link] = relationship
+        self._adjacency[link.a].add(link.b)
+        self._adjacency[link.b].add(link.a)
+
+    def remove(self, a: int, b: int) -> None:
+        """Remove a link from the annotation."""
+        link = Link(a, b)
+        if link in self._relationships:
+            del self._relationships[link]
+            self._adjacency[link.a].discard(link.b)
+            self._adjacency[link.b].discard(link.a)
+
+    def update(self, other: "ToRAnnotation", overwrite: bool = True) -> None:
+        """Merge another annotation into this one.
+
+        ``overwrite=False`` keeps existing entries and only fills gaps,
+        which is how LocPrf-derived relationships complement (but never
+        override) Communities-derived ones.
+        """
+        if other.afi is not self.afi:
+            raise ValueError("cannot merge annotations of different address families")
+        for link, relationship in other.items():
+            if not overwrite and link in self._relationships:
+                continue
+            self.set_canonical(link, relationship)
+
+    def copy(self) -> "ToRAnnotation":
+        """An independent copy of this annotation."""
+        return ToRAnnotation(self.afi, dict(self._relationships), source=self.source)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._relationships)
+
+    def __contains__(self, link: Link) -> bool:
+        return link in self._relationships
+
+    def items(self) -> Iterator[Tuple[Link, Relationship]]:
+        """Iterate over (link, canonical relationship) pairs."""
+        return iter(self._relationships.items())
+
+    def links(self) -> List[Link]:
+        """All annotated links, sorted."""
+        return sorted(self._relationships)
+
+    @property
+    def ases(self) -> List[int]:
+        """All ASes appearing in the annotation."""
+        return sorted(asn for asn, neighbors in self._adjacency.items() if neighbors)
+
+    def get(self, a: int, b: int) -> Relationship:
+        """Relationship of ``a-b`` from ``a``'s point of view (UNKNOWN if absent)."""
+        if a == b:
+            return Relationship.UNKNOWN
+        link = Link(a, b)
+        canonical = self._relationships.get(link, Relationship.UNKNOWN)
+        if not canonical.is_known:
+            return Relationship.UNKNOWN
+        return link.relationship_from(a, canonical)
+
+    def get_canonical(self, link: Link) -> Relationship:
+        """Canonical relationship of a link (UNKNOWN if absent)."""
+        return self._relationships.get(link, Relationship.UNKNOWN)
+
+    def neighbors(self, asn: int) -> List[int]:
+        """All annotated neighbours of an AS."""
+        return sorted(self._adjacency.get(asn, ()))
+
+    def providers_of(self, asn: int) -> List[int]:
+        """Providers of an AS according to the annotation."""
+        return [n for n in self.neighbors(asn) if self.get(asn, n) is Relationship.C2P]
+
+    def customers_of(self, asn: int) -> List[int]:
+        """Customers of an AS according to the annotation."""
+        return [n for n in self.neighbors(asn) if self.get(asn, n) is Relationship.P2C]
+
+    def peers_of(self, asn: int) -> List[int]:
+        """Peers of an AS according to the annotation."""
+        return [n for n in self.neighbors(asn) if self.get(asn, n) is Relationship.P2P]
+
+    def records(self) -> List[RelationshipRecord]:
+        """Export as a list of :class:`RelationshipRecord` objects."""
+        return [
+            RelationshipRecord(link=link, afi=self.afi, relationship=rel, source=self.source)
+            for link, rel in sorted(self._relationships.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def agreement_with(self, other: "ToRAnnotation") -> Dict[str, int]:
+        """Compare against another annotation over the common links.
+
+        Returns counts of links that agree, disagree and are only present
+        in one of the two annotations.
+        """
+        agree = disagree = 0
+        mine = set(self._relationships)
+        theirs = set(other._relationships)
+        for link in mine & theirs:
+            if self._relationships[link] is other._relationships[link]:
+                agree += 1
+            else:
+                disagree += 1
+        return {
+            "common": agree + disagree,
+            "agree": agree,
+            "disagree": disagree,
+            "only_self": len(mine - theirs),
+            "only_other": len(theirs - mine),
+        }
+
+    def differing_links(self, other: "ToRAnnotation") -> List[Link]:
+        """Common links whose relationship differs between the annotations."""
+        result = []
+        for link in set(self._relationships) & set(other._relationships):
+            if self._relationships[link] is not other._relationships[link]:
+                result.append(link)
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph, afi: AFI) -> "ToRAnnotation":
+        """Extract the annotation of one plane from an annotated ASGraph."""
+        annotation = cls(afi, source=RelationshipSource.GROUND_TRUTH)
+        for link in graph.links(afi):
+            record = graph.dual_stack_relationship(link.a, link.b)
+            annotation.set_canonical(link, record.relationship(afi))
+        return annotation
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[RelationshipRecord], afi: AFI
+    ) -> "ToRAnnotation":
+        """Build an annotation from relationship records of one plane."""
+        annotation = cls(afi)
+        for record in records:
+            if record.afi is not afi:
+                continue
+            annotation.set_canonical(record.link, record.relationship)
+        return annotation
+
+
+def valley_free_distances(
+    annotation: ToRAnnotation,
+    source: int,
+    targets: Optional[Set[int]] = None,
+) -> Dict[int, int]:
+    """Shortest valley-free path lengths (in AS hops) from ``source``.
+
+    Implements the classic two-state BFS over the annotated graph:
+
+    * In the **uphill** state the path may continue over c2p links (still
+      climbing), or take a single p2p link or a p2c link, which switches
+      it to the downhill state.
+    * In the **downhill** state only p2c links may be taken.
+
+    The returned mapping contains, for every reachable AS, the length of
+    the shortest *valid* (valley-free) path from ``source``; ``source``
+    itself maps to 0.  ``targets`` optionally stops the search early once
+    all the requested targets have been reached.
+    """
+    UP, DOWN = 0, 1
+    best: Dict[Tuple[int, int], int] = {(source, UP): 0}
+    distances: Dict[int, int] = {source: 0}
+    remaining = set(targets) - {source} if targets is not None else None
+    frontier: List[Tuple[int, int]] = [(source, UP)]
+    depth = 0
+    while frontier:
+        if remaining is not None and not remaining:
+            break
+        depth += 1
+        next_frontier: List[Tuple[int, int]] = []
+        for asn, state in frontier:
+            for neighbor in annotation.neighbors(asn):
+                relationship = annotation.get(asn, neighbor)
+                if state == UP:
+                    if relationship is Relationship.C2P:
+                        new_state = UP
+                    elif relationship in (Relationship.P2P, Relationship.P2C):
+                        new_state = DOWN
+                    elif relationship is Relationship.SIBLING:
+                        new_state = UP
+                    else:
+                        continue
+                else:  # DOWN
+                    if relationship is Relationship.P2C:
+                        new_state = DOWN
+                    elif relationship is Relationship.SIBLING:
+                        new_state = DOWN
+                    else:
+                        continue
+                key = (neighbor, new_state)
+                if key in best:
+                    continue
+                best[key] = depth
+                next_frontier.append(key)
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    if remaining is not None:
+                        remaining.discard(neighbor)
+        frontier = next_frontier
+    return distances

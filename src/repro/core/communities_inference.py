@@ -1,0 +1,194 @@
+"""Relationship inference from the BGP Communities attribute.
+
+This is the first half of the paper's methodology (Section 2).  Operators
+tag routes with communities whose documented meaning encodes the
+relationship towards the neighbour the route was learned from
+("65010:100 — routes learned from customers").  Given
+
+* a set of :class:`~repro.core.observations.ObservedRoute` objects, and
+* an :class:`~repro.irr.registry.IRRRegistry` with the documentation of
+  (a subset of) the tagging ASes,
+
+the inference walks every observed path, finds the communities whose
+administering AS lies on the path, translates them through the registry
+and records a *vote* for the relationship of the link between the tagging
+AS and the AS it learned the route from.  Votes are aggregated per link
+and address family; contradictory evidence is refused rather than
+guessed, exactly as a conservative measurement study would.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.annotation import ToRAnnotation
+from repro.core.observations import ObservedRoute
+from repro.core.relationships import (
+    AFI,
+    Link,
+    Relationship,
+    RelationshipRecord,
+    RelationshipSource,
+    majority_relationship,
+)
+from repro.irr.registry import IRRRegistry
+
+
+@dataclass(frozen=True)
+class RelationshipVote:
+    """One piece of community-derived evidence about a link.
+
+    Attributes:
+        link: The link the vote is about.
+        afi: Address family of the observation the vote came from.
+        relationship: Canonical-orientation relationship implied by the
+            community.
+        tagger: The AS whose community produced the vote.
+        observed_from: The vantage point of the observation.
+    """
+
+    link: Link
+    afi: AFI
+    relationship: Relationship
+    tagger: int
+    observed_from: int
+
+
+@dataclass
+class CommunitiesInferenceResult:
+    """Outcome of the communities-based inference.
+
+    Attributes:
+        annotations: One :class:`ToRAnnotation` per address family with
+            the links whose relationship could be established.
+        votes: The raw per-link votes (useful for debugging, confidence
+            reporting and the benchmarks' agreement statistics).
+        conflicting_links: Links whose votes disagreed beyond the
+            configured threshold and were therefore left unannotated.
+    """
+
+    annotations: Dict[AFI, ToRAnnotation]
+    votes: Dict[Tuple[Link, AFI], List[RelationshipVote]] = field(default_factory=dict)
+    conflicting_links: Dict[AFI, List[Link]] = field(default_factory=dict)
+
+    def annotation(self, afi: AFI) -> ToRAnnotation:
+        """The annotation for one address family."""
+        return self.annotations[afi]
+
+    def coverage(self, afi: AFI, observed_links: Iterable[Link]) -> float:
+        """Fraction of ``observed_links`` that received a relationship."""
+        observed = set(observed_links)
+        if not observed:
+            return 0.0
+        annotated = set(self.annotations[afi].links())
+        return len(observed & annotated) / len(observed)
+
+    def records(self) -> List[RelationshipRecord]:
+        """All inferred relationships as flat records."""
+        result: List[RelationshipRecord] = []
+        for annotation in self.annotations.values():
+            result.extend(annotation.records())
+        return result
+
+
+class CommunitiesInference:
+    """Infer per-link, per-AFI relationships from community tags.
+
+    Args:
+        registry: The IRR registry used to translate community values.
+        min_votes: Minimum number of (known) votes required before a link
+            is annotated.
+        min_agreement: Minimum fraction of the votes that must agree on
+            the winning relationship.
+    """
+
+    def __init__(
+        self,
+        registry: IRRRegistry,
+        min_votes: int = 1,
+        min_agreement: float = 0.75,
+    ) -> None:
+        if min_votes < 1:
+            raise ValueError("min_votes must be at least 1")
+        if not 0.0 < min_agreement <= 1.0:
+            raise ValueError("min_agreement must be in (0, 1]")
+        self.registry = registry
+        self.min_votes = min_votes
+        self.min_agreement = min_agreement
+
+    # ------------------------------------------------------------------
+    # vote extraction
+    # ------------------------------------------------------------------
+    def votes_for_route(self, route: ObservedRoute) -> List[RelationshipVote]:
+        """Extract relationship votes from a single observed route.
+
+        A community ``asn:value`` produces a vote only when
+
+        * ``asn`` is an AS on the path (other than the origin), so that
+          "the neighbour the route was learned from" is well defined, and
+        * the registry documents ``asn:value`` as a relationship tag.
+
+        The vote describes the relationship between ``asn`` and the next
+        hop towards the origin, from ``asn``'s point of view.
+        """
+        votes: List[RelationshipVote] = []
+        for community in route.communities:
+            tagger = community.asn
+            learned_from = route.next_hop_of(tagger)
+            if learned_from is None:
+                continue
+            relationship = self.registry.relationship_for(community)
+            if relationship is None or not relationship.is_known:
+                continue
+            link = Link(tagger, learned_from)
+            # Express the tagger-centric relationship in canonical orientation.
+            canonical = relationship if link.a == tagger else relationship.inverse
+            votes.append(
+                RelationshipVote(
+                    link=link,
+                    afi=route.afi,
+                    relationship=canonical,
+                    tagger=tagger,
+                    observed_from=route.vantage,
+                )
+            )
+        return votes
+
+    def collect_votes(
+        self, observations: Iterable[ObservedRoute]
+    ) -> Dict[Tuple[Link, AFI], List[RelationshipVote]]:
+        """Extract and group votes from many observations."""
+        grouped: Dict[Tuple[Link, AFI], List[RelationshipVote]] = defaultdict(list)
+        for route in observations:
+            for vote in self.votes_for_route(route):
+                grouped[(vote.link, vote.afi)].append(vote)
+        return dict(grouped)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def infer(self, observations: Iterable[ObservedRoute]) -> CommunitiesInferenceResult:
+        """Run the full inference over a set of observations."""
+        votes = self.collect_votes(observations)
+        annotations = {
+            AFI.IPV4: ToRAnnotation(AFI.IPV4, source=RelationshipSource.COMMUNITIES),
+            AFI.IPV6: ToRAnnotation(AFI.IPV6, source=RelationshipSource.COMMUNITIES),
+        }
+        conflicts: Dict[AFI, List[Link]] = {AFI.IPV4: [], AFI.IPV6: []}
+        for (link, afi), link_votes in votes.items():
+            winner = majority_relationship(
+                (vote.relationship for vote in link_votes),
+                min_votes=self.min_votes,
+                min_agreement=self.min_agreement,
+            )
+            if winner is None:
+                conflicts[afi].append(link)
+                continue
+            annotations[afi].set_canonical(link, winner)
+        for afi in conflicts:
+            conflicts[afi].sort()
+        return CommunitiesInferenceResult(
+            annotations=annotations, votes=votes, conflicting_links=conflicts
+        )

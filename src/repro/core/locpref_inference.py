@@ -1,0 +1,245 @@
+"""Relationship inference from the Local Preference attribute.
+
+This is the second half of the paper's methodology.  LOCAL_PREF usually
+obeys ``customer > peer > provider``, but the numeric values are
+operator-specific and routinely overridden for traffic engineering, so a
+raw LocPrf value says nothing by itself.  The paper's trick — the
+"Rosetta Stone" — is to *calibrate* each vantage point's LocPrf values
+against the relationships already established from its communities:
+
+1. For every vantage AS, collect the routes whose first-hop relationship
+   is known from that AS's own relationship communities **and** that
+   carry no traffic-engineering communities.  These routes map a LocPrf
+   value to a relationship.
+2. Keep only LocPrf values that map consistently to a single
+   relationship (ambiguous values are dropped).
+3. Apply the mapping to the remaining routes of the same vantage point
+   (again skipping routes with traffic-engineering communities), which
+   yields relationships for first-hop links that communities alone did
+   not cover.
+
+The class also exposes the two ablation knobs evaluated in the benchmark
+harness: disabling the communities validation (step 1-2 replaced by a
+rank-based guess) and disabling the traffic-engineering filter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.annotation import ToRAnnotation
+from repro.core.observations import ObservedRoute, group_by_vantage
+from repro.core.relationships import (
+    AFI,
+    Link,
+    Relationship,
+    RelationshipSource,
+    majority_relationship,
+)
+from repro.irr.registry import IRRRegistry
+
+
+@dataclass
+class LocPrefMapping:
+    """The calibrated LocPrf → relationship mapping of one vantage AS.
+
+    Attributes:
+        vantage: The vantage-point AS the mapping belongs to.
+        mapping: Validated ``local_pref value -> relationship`` entries.
+        ambiguous_values: LocPrf values discarded because they were seen
+            with more than one communities-derived relationship.
+        samples: Number of calibration routes that contributed.
+    """
+
+    vantage: int
+    mapping: Dict[int, Relationship] = field(default_factory=dict)
+    ambiguous_values: Set[int] = field(default_factory=set)
+    samples: int = 0
+
+    def relationship_for(self, local_pref: int) -> Optional[Relationship]:
+        """Relationship a LocPrf value maps to (``None`` when unvalidated)."""
+        return self.mapping.get(local_pref)
+
+
+@dataclass
+class LocPrefInferenceResult:
+    """Outcome of the LocPrf-based inference.
+
+    Attributes:
+        annotations: Per-AFI annotations of first-hop links.
+        mappings: The per-vantage Rosetta-Stone mappings used.
+        filtered_traffic_engineering: Number of observations skipped
+            because they carried traffic-engineering communities.
+        unmapped_observations: Number of observations whose LocPrf value
+            had no validated mapping.
+    """
+
+    annotations: Dict[AFI, ToRAnnotation]
+    mappings: Dict[int, LocPrefMapping] = field(default_factory=dict)
+    filtered_traffic_engineering: int = 0
+    unmapped_observations: int = 0
+
+    def annotation(self, afi: AFI) -> ToRAnnotation:
+        """The annotation for one address family."""
+        return self.annotations[afi]
+
+
+class LocPrefInference:
+    """Infer first-hop relationships from calibrated LOCAL_PREF values.
+
+    Args:
+        registry: IRR registry used both to read the vantage AS's own
+            relationship communities (calibration) and to recognise
+            traffic-engineering communities (filtering).
+        validate_with_communities: When False the Rosetta-Stone
+            calibration is replaced by the naive rank heuristic (highest
+            observed value = customer, middle = peer, lowest = provider).
+            This is ablation A1 in DESIGN.md.
+        filter_traffic_engineering: When False routes carrying
+            traffic-engineering communities are *not* excluded, letting
+            TE-tuned LocPrf values pollute both calibration and
+            application.
+        min_calibration_samples: Minimum number of calibration routes a
+            (vantage, value) pair needs before it is trusted.
+    """
+
+    def __init__(
+        self,
+        registry: IRRRegistry,
+        validate_with_communities: bool = True,
+        filter_traffic_engineering: bool = True,
+        min_calibration_samples: int = 1,
+    ) -> None:
+        self.registry = registry
+        self.validate_with_communities = validate_with_communities
+        self.filter_traffic_engineering = filter_traffic_engineering
+        self.min_calibration_samples = min_calibration_samples
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _has_traffic_engineering(self, route: ObservedRoute) -> bool:
+        return any(self.registry.is_traffic_engineering(c) for c in route.communities)
+
+    def _first_hop_relationship_from_communities(
+        self, route: ObservedRoute
+    ) -> Optional[Relationship]:
+        """Relationship of the vantage towards its first hop, per the vantage's tags."""
+        first_hop = route.path[1] if len(route.path) > 1 else None
+        if first_hop is None:
+            return None
+        votes: List[Relationship] = []
+        for community in route.communities_of(route.vantage):
+            relationship = self.registry.relationship_for(community)
+            if relationship is not None and relationship.is_known:
+                votes.append(relationship)
+        return majority_relationship(votes, min_votes=1, min_agreement=1.0)
+
+    # ------------------------------------------------------------------
+    # calibration (the Rosetta Stone)
+    # ------------------------------------------------------------------
+    def calibrate(self, observations: Iterable[ObservedRoute]) -> Dict[int, LocPrefMapping]:
+        """Build per-vantage LocPrf → relationship mappings."""
+        by_vantage = group_by_vantage(observations)
+        mappings: Dict[int, LocPrefMapping] = {}
+        for vantage, routes in by_vantage.items():
+            mapping = LocPrefMapping(vantage=vantage)
+            if self.validate_with_communities:
+                self._calibrate_with_communities(mapping, routes)
+            else:
+                self._calibrate_by_rank(mapping, routes)
+            mappings[vantage] = mapping
+        return mappings
+
+    def _calibrate_with_communities(
+        self, mapping: LocPrefMapping, routes: List[ObservedRoute]
+    ) -> None:
+        value_votes: Dict[int, Dict[Relationship, int]] = defaultdict(lambda: defaultdict(int))
+        for route in routes:
+            if route.local_pref is None or route.local_pref <= 0:
+                continue
+            if self.filter_traffic_engineering and self._has_traffic_engineering(route):
+                continue
+            relationship = self._first_hop_relationship_from_communities(route)
+            if relationship is None:
+                continue
+            value_votes[route.local_pref][relationship] += 1
+            mapping.samples += 1
+        for value, votes in value_votes.items():
+            total = sum(votes.values())
+            if total < self.min_calibration_samples:
+                continue
+            if len(votes) == 1:
+                mapping.mapping[value] = next(iter(votes))
+            else:
+                mapping.ambiguous_values.add(value)
+
+    def _calibrate_by_rank(
+        self, mapping: LocPrefMapping, routes: List[ObservedRoute]
+    ) -> None:
+        """Naive calibration used when communities validation is disabled.
+
+        Assumes the conventional ordering holds and that the vantage uses
+        at most three values: the highest seen is customer, the lowest is
+        provider, anything in between is peer.  This is exactly the kind
+        of assumption the paper warns produces artifacts.
+        """
+        values: Set[int] = set()
+        for route in routes:
+            if route.local_pref is not None and route.local_pref > 0:
+                values.add(route.local_pref)
+                mapping.samples += 1
+        if not values:
+            return
+        ordered = sorted(values, reverse=True)
+        mapping.mapping[ordered[0]] = Relationship.P2C
+        if len(ordered) > 1:
+            mapping.mapping[ordered[-1]] = Relationship.C2P
+        for value in ordered[1:-1]:
+            mapping.mapping[value] = Relationship.P2P
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def infer(self, observations: Iterable[ObservedRoute]) -> LocPrefInferenceResult:
+        """Run calibration then apply the mappings to all observations."""
+        observations = list(observations)
+        mappings = self.calibrate(observations)
+        annotations = {
+            AFI.IPV4: ToRAnnotation(AFI.IPV4, source=RelationshipSource.LOCPREF),
+            AFI.IPV6: ToRAnnotation(AFI.IPV6, source=RelationshipSource.LOCPREF),
+        }
+        votes: Dict[Tuple[Link, AFI], List[Relationship]] = defaultdict(list)
+        filtered = 0
+        unmapped = 0
+        for route in observations:
+            if route.local_pref is None or route.local_pref <= 0:
+                continue
+            if len(route.path) < 2:
+                continue
+            if self.filter_traffic_engineering and self._has_traffic_engineering(route):
+                filtered += 1
+                continue
+            mapping = mappings.get(route.vantage)
+            if mapping is None:
+                continue
+            relationship = mapping.relationship_for(route.local_pref)
+            if relationship is None:
+                unmapped += 1
+                continue
+            first_hop = route.path[1]
+            link = Link(route.vantage, first_hop)
+            canonical = relationship if link.a == route.vantage else relationship.inverse
+            votes[(link, route.afi)].append(canonical)
+        for (link, afi), link_votes in votes.items():
+            winner = majority_relationship(link_votes, min_votes=1, min_agreement=0.75)
+            if winner is not None:
+                annotations[afi].set_canonical(link, winner)
+        return LocPrefInferenceResult(
+            annotations=annotations,
+            mappings=mappings,
+            filtered_traffic_engineering=filtered,
+            unmapped_observations=unmapped,
+        )

@@ -1,0 +1,143 @@
+"""Observed routes: the measurement-side view of BGP data.
+
+The inference algorithms never see the ground-truth topology.  Their
+input is a list of :class:`ObservedRoute` objects — one per archived
+table-dump record — carrying exactly the fields the paper's methodology
+uses: the (cleaned) AS path, the communities, the LOCAL_PREF reported by
+the vantage feed, and the prefix/address family.
+
+Keeping this type in :mod:`repro.core` (rather than the analysis
+pipeline) lets the inference be exercised on hand-built observations in
+unit tests without dragging the whole collector substrate in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.relationships import AFI, Link
+from repro.bgp.attributes import Community
+from repro.bgp.prefixes import Prefix
+
+
+@dataclass(frozen=True)
+class ObservedRoute:
+    """One route observation from a vantage point.
+
+    Attributes:
+        path: The cleaned AS path — prepending collapsed, vantage AS
+            first, origin AS last.  Paths with loops are dropped during
+            extraction and never reach the inference.
+        prefix: The prefix the path leads to.
+        vantage: The vantage-point AS (equals ``path[0]``).
+        communities: Communities carried by the route.
+        local_pref: LOCAL_PREF reported by the vantage feed, ``None``
+            when the feed does not export it.
+        collector: Name of the collector the record came from.
+    """
+
+    path: Tuple[int, ...]
+    prefix: Prefix
+    vantage: int
+    communities: Tuple[Community, ...] = ()
+    local_pref: Optional[int] = None
+    collector: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 1:
+            raise ValueError("an observed path cannot be empty")
+        if self.path[0] != self.vantage:
+            raise ValueError("the vantage AS must be the first hop of the path")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError("observed paths must be loop-free and prepending-free")
+
+    @property
+    def afi(self) -> AFI:
+        """Address family of the observation."""
+        return self.prefix.afi
+
+    @property
+    def origin_as(self) -> int:
+        """The AS originating the prefix."""
+        return self.path[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of AS hops in the path."""
+        return len(self.path)
+
+    def links(self) -> List[Link]:
+        """Canonical links traversed by the path (observer side first)."""
+        return [Link(self.path[i], self.path[i + 1]) for i in range(len(self.path) - 1)]
+
+    def next_hop_of(self, asn: int) -> Optional[int]:
+        """The AS from which ``asn`` learned this route (towards the origin).
+
+        Returns ``None`` when ``asn`` is the origin or not on the path.
+        This is the step the communities-based inference relies on: a
+        relationship community set by ``asn`` describes its relationship
+        with ``next_hop_of(asn)``.
+        """
+        for index, hop in enumerate(self.path[:-1]):
+            if hop == asn:
+                return self.path[index + 1]
+        return None
+
+    def communities_of(self, asn: int) -> List[Community]:
+        """Communities administered by ``asn`` carried on this route."""
+        return [community for community in self.communities if community.asn == asn]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.prefix} via {' '.join(str(h) for h in self.path)}"
+
+
+def clean_raw_path(raw_hops: Sequence[int]) -> Optional[Tuple[int, ...]]:
+    """Collapse prepending and reject loops.
+
+    Returns the cleaned hop tuple, or ``None`` when the path contains a
+    (non-prepending) loop and must be discarded, which is how both the
+    paper and standard topology pipelines treat poisoned/looped paths.
+    """
+    collapsed: List[int] = []
+    for hop in raw_hops:
+        if not collapsed or collapsed[-1] != hop:
+            collapsed.append(int(hop))
+    if len(set(collapsed)) != len(collapsed):
+        return None
+    if not collapsed:
+        return None
+    return tuple(collapsed)
+
+
+def unique_paths(observations: Iterable[ObservedRoute]) -> Set[Tuple[int, ...]]:
+    """The set of distinct AS paths among the observations."""
+    return {observation.path for observation in observations}
+
+
+def unique_links(observations: Iterable[ObservedRoute]) -> Set[Link]:
+    """The set of distinct AS links traversed by the observations."""
+    links: Set[Link] = set()
+    for observation in observations:
+        links.update(observation.links())
+    return links
+
+
+def group_by_afi(
+    observations: Iterable[ObservedRoute],
+) -> Dict[AFI, List[ObservedRoute]]:
+    """Split observations by address family."""
+    groups: Dict[AFI, List[ObservedRoute]] = {AFI.IPV4: [], AFI.IPV6: []}
+    for observation in observations:
+        groups[observation.afi].append(observation)
+    return groups
+
+
+def group_by_vantage(
+    observations: Iterable[ObservedRoute],
+) -> Dict[int, List[ObservedRoute]]:
+    """Group observations by vantage-point AS."""
+    groups: Dict[int, List[ObservedRoute]] = {}
+    for observation in observations:
+        groups.setdefault(observation.vantage, []).append(observation)
+    return groups

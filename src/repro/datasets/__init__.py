@@ -1,0 +1,35 @@
+"""Dataset builders: the synthetic snapshot and hand-built scenarios."""
+
+from repro.datasets.scenarios import (
+    Figure1Scenario,
+    HybridScenario,
+    RosettaScenario,
+    ValleyScenario,
+    figure1_scenario,
+    hybrid_scenario,
+    rosetta_scenario,
+    valley_scenario,
+)
+from repro.datasets.synthetic import (
+    DatasetConfig,
+    SyntheticSnapshot,
+    build_snapshot,
+    paper_scale_config,
+    small_config,
+)
+
+__all__ = [
+    "Figure1Scenario",
+    "HybridScenario",
+    "RosettaScenario",
+    "ValleyScenario",
+    "figure1_scenario",
+    "hybrid_scenario",
+    "rosetta_scenario",
+    "valley_scenario",
+    "DatasetConfig",
+    "SyntheticSnapshot",
+    "build_snapshot",
+    "paper_scale_config",
+    "small_config",
+]

@@ -1,0 +1,226 @@
+"""Small hand-built scenarios used by tests, examples and documentation.
+
+Each scenario is deliberately tiny (a handful of ASes) so that the
+expected outcome of every algorithm can be worked out by hand; the unit
+tests assert those hand-computed outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.annotation import ToRAnnotation
+from repro.core.observations import ObservedRoute
+from repro.core.relationships import AFI, Link, Relationship
+from repro.bgp.attributes import Community
+from repro.bgp.prefixes import Prefix
+from repro.irr.dictionary import CommunityDictionary
+from repro.irr.registry import IRRRegistry
+from repro.topology.graph import ASGraph
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the customer tree of AS1 with the AS1-AS2 link p2c vs p2p
+# ----------------------------------------------------------------------
+@dataclass
+class Figure1Scenario:
+    """The five-AS example of Figure 1.
+
+    AS1 is the root; AS3 is its direct customer; AS2 has customers AS4
+    and AS5.  In variant (a) the link AS1–AS2 is provider-to-customer,
+    so AS1's customer tree covers every AS; in variant (b) the link is
+    peer-to-peer and the tree shrinks to {AS1, AS3}.
+
+    Attributes:
+        annotation_p2c: IPv6 annotation for variant (a).
+        annotation_p2p: IPv6 annotation for variant (b).
+    """
+
+    annotation_p2c: ToRAnnotation
+    annotation_p2p: ToRAnnotation
+
+    ROOT: int = 1
+
+    @property
+    def expected_tree_p2c(self) -> frozenset:
+        """Members of AS1's customer tree in variant (a)."""
+        return frozenset({1, 2, 3, 4, 5})
+
+    @property
+    def expected_tree_p2p(self) -> frozenset:
+        """Members of AS1's customer tree in variant (b)."""
+        return frozenset({1, 3})
+
+
+def figure1_scenario() -> Figure1Scenario:
+    """Build both variants of the Figure-1 example."""
+    base: Dict[Tuple[int, int], Relationship] = {
+        (1, 3): Relationship.P2C,
+        (2, 4): Relationship.P2C,
+        (2, 5): Relationship.P2C,
+    }
+    annotation_p2c = ToRAnnotation(AFI.IPV6)
+    annotation_p2p = ToRAnnotation(AFI.IPV6)
+    for (a, b), relationship in base.items():
+        annotation_p2c.set(a, b, relationship)
+        annotation_p2p.set(a, b, relationship)
+    annotation_p2c.set(1, 2, Relationship.P2C)
+    annotation_p2p.set(1, 2, Relationship.P2P)
+    return Figure1Scenario(annotation_p2c=annotation_p2c, annotation_p2p=annotation_p2p)
+
+
+# ----------------------------------------------------------------------
+# A small dual-stack topology with one hybrid link
+# ----------------------------------------------------------------------
+@dataclass
+class HybridScenario:
+    """A seven-AS dual-stack topology with exactly one hybrid link.
+
+    The link AS10–AS20 is peer-to-peer for IPv4 but AS10 sells transit to
+    AS20 for IPv6 (the dominant hybrid type found by the paper).
+    """
+
+    graph: ASGraph
+    hybrid_link: Link
+
+
+def hybrid_scenario() -> HybridScenario:
+    """Build the seven-AS hybrid scenario."""
+    graph = ASGraph()
+    # Two providers (10, 20), one shared upstream (1), stubs below.
+    graph.add_as(1, name="tier1", tier=1, ipv6=True)
+    graph.add_as(10, name="left-transit", tier=2, ipv6=True)
+    graph.add_as(20, name="right-transit", tier=2, ipv6=True)
+    for stub in (101, 102, 201, 202):
+        graph.add_as(stub, name=f"stub-{stub}", tier=3, ipv6=True)
+    graph.add_link(1, 10, rel_v4=Relationship.P2C, rel_v6=Relationship.P2C)
+    graph.add_link(1, 20, rel_v4=Relationship.P2C, rel_v6=Relationship.P2C)
+    # The hybrid link: p2p for IPv4, p2c (10 provides to 20) for IPv6.
+    graph.add_link(10, 20, rel_v4=Relationship.P2P, rel_v6=Relationship.P2C)
+    graph.add_link(10, 101, rel_v4=Relationship.P2C, rel_v6=Relationship.P2C)
+    graph.add_link(10, 102, rel_v4=Relationship.P2C, rel_v6=Relationship.P2C)
+    graph.add_link(20, 201, rel_v4=Relationship.P2C, rel_v6=Relationship.P2C)
+    graph.add_link(20, 202, rel_v4=Relationship.P2C, rel_v6=Relationship.P2C)
+    return HybridScenario(graph=graph, hybrid_link=Link(10, 20))
+
+
+# ----------------------------------------------------------------------
+# Observations with communities and LOCAL_PREF (the Rosetta Stone)
+# ----------------------------------------------------------------------
+@dataclass
+class RosettaScenario:
+    """Hand-built observations exercising the LocPrf calibration.
+
+    Vantage AS 100 peers with AS 200 (peer), buys from AS 300 (provider)
+    and sells to AS 400 (customer).  Its community dictionary documents
+    relationship tags; its LOCAL_PREF scheme is 900/800/700.  One route
+    carries a traffic-engineering community with a misleading LOCAL_PREF
+    value which must be filtered out.
+    """
+
+    registry: IRRRegistry
+    observations: List[ObservedRoute]
+    vantage: int = 100
+
+    CUSTOMER_PREF: int = 900
+    PEER_PREF: int = 800
+    PROVIDER_PREF: int = 700
+    TE_PREF: int = 50
+
+
+def rosetta_scenario() -> RosettaScenario:
+    """Build the Rosetta-Stone calibration scenario."""
+    vantage = 100
+    dictionary = CommunityDictionary(vantage)
+    dictionary.add_relationship(10, Relationship.P2C, "routes learned from customers")
+    dictionary.add_relationship(20, Relationship.P2P, "routes learned from peers")
+    dictionary.add_relationship(30, Relationship.C2P, "routes learned from upstream providers")
+    dictionary.add_traffic_engineering(666, "lower-pref", "set local preference below default")
+    registry = IRRRegistry()
+    registry.register(dictionary)
+
+    def prefix(index: int) -> Prefix:
+        return Prefix(f"3fff:{index:x}::/32")
+
+    observations = [
+        # Calibration routes: communities identify the first-hop relationship.
+        ObservedRoute(
+            path=(100, 400),
+            prefix=prefix(1),
+            vantage=vantage,
+            communities=(Community(100, 10),),
+            local_pref=900,
+        ),
+        ObservedRoute(
+            path=(100, 200, 210),
+            prefix=prefix(2),
+            vantage=vantage,
+            communities=(Community(100, 20),),
+            local_pref=800,
+        ),
+        ObservedRoute(
+            path=(100, 300, 310),
+            prefix=prefix(3),
+            vantage=vantage,
+            communities=(Community(100, 30),),
+            local_pref=700,
+        ),
+        # Application route: no relationship community, LOCAL_PREF 800
+        # reveals that AS 100 and AS 250 are peers.
+        ObservedRoute(
+            path=(100, 250, 251),
+            prefix=prefix(4),
+            vantage=vantage,
+            communities=(),
+            local_pref=800,
+        ),
+        # Traffic-engineering route: misleading LOCAL_PREF, must be skipped.
+        ObservedRoute(
+            path=(100, 260, 261),
+            prefix=prefix(5),
+            vantage=vantage,
+            communities=(Community(100, 666),),
+            local_pref=50,
+        ),
+    ]
+    return RosettaScenario(registry=registry, observations=observations, vantage=vantage)
+
+
+# ----------------------------------------------------------------------
+# A valley path scenario
+# ----------------------------------------------------------------------
+@dataclass
+class ValleyScenario:
+    """A topology whose IPv6 plane needs a valley to stay connected.
+
+    Tier-1 ASes 1 and 2 do not interconnect for IPv6 (a peering dispute);
+    AS 30 is a customer of both and leaks routes between them, producing
+    paths such as ``50 1 30 2 60`` which contain the valley ``1 -> 30 ->
+    2`` (down then up).  There is no valley-free alternative between the
+    two customer cones, so the valley is reachability-motivated.
+    """
+
+    annotation: ToRAnnotation
+    valley_path: Tuple[int, ...]
+    valley_free_path: Tuple[int, ...]
+
+
+def valley_scenario() -> ValleyScenario:
+    """Build the peering-dispute valley scenario."""
+    annotation = ToRAnnotation(AFI.IPV6)
+    # Two disconnected tier-1s; AS 30 buys from both.
+    annotation.set(1, 30, Relationship.P2C)
+    annotation.set(2, 30, Relationship.P2C)
+    # Each tier-1 has its own customer.
+    annotation.set(1, 50, Relationship.P2C)
+    annotation.set(2, 60, Relationship.P2C)
+    # A valley path observed from AS 50 towards AS 60's prefix.
+    valley_path = (50, 1, 30, 2, 60)
+    # A valley-free path that does exist: from 50 to 30 (up to 1, down to 30).
+    valley_free_path = (50, 1, 30)
+    return ValleyScenario(
+        annotation=annotation,
+        valley_path=valley_path,
+        valley_free_path=valley_free_path,
+    )

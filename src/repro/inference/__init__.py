@@ -1,0 +1,19 @@
+"""Baseline Type-of-Relationship inference algorithms and comparison tools."""
+
+from repro.inference.comparison import (
+    ComparisonReport,
+    compare_annotations,
+    misinference_rate,
+)
+from repro.inference.degree_based import DegreeBasedInference, DegreeParameters
+from repro.inference.gao import GaoInference, GaoParameters
+
+__all__ = [
+    "ComparisonReport",
+    "compare_annotations",
+    "misinference_rate",
+    "DegreeBasedInference",
+    "DegreeParameters",
+    "GaoInference",
+    "GaoParameters",
+]

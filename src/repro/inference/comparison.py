@@ -1,0 +1,116 @@
+"""Comparing Type-of-Relationship annotations.
+
+The paper's argument hinges on the disagreement between heuristic
+inference and the Communities-derived relationships: those disagreements
+are the misinferences whose impact Figure 2 quantifies.  This module
+provides the agreement/misinference accounting used by the analysis
+pipeline, the benchmarks and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.annotation import ToRAnnotation
+from repro.core.relationships import Link, Relationship
+
+
+@dataclass
+class ComparisonReport:
+    """Link-level comparison of a candidate annotation against a reference.
+
+    Attributes:
+        common_links: Links annotated by both.
+        agreements: Links with the same relationship in both.
+        disagreements: Links whose relationship differs, with the pair of
+            (candidate, reference) relationships.
+        only_candidate: Links only the candidate annotated.
+        only_reference: Links only the reference annotated.
+    """
+
+    common_links: int = 0
+    agreements: int = 0
+    disagreements: Dict[Link, Tuple[Relationship, Relationship]] = field(default_factory=dict)
+    only_candidate: int = 0
+    only_reference: int = 0
+
+    @property
+    def disagreement_count(self) -> int:
+        """Number of links with differing relationships."""
+        return len(self.disagreements)
+
+    @property
+    def accuracy(self) -> float:
+        """Agreement fraction over the common links."""
+        if self.common_links == 0:
+            return 0.0
+        return self.agreements / self.common_links
+
+    @property
+    def misinferred_links(self) -> List[Link]:
+        """The links the candidate got wrong (relative to the reference)."""
+        return sorted(self.disagreements)
+
+    def confusion(self) -> Dict[Tuple[Relationship, Relationship], int]:
+        """Counts of (candidate, reference) relationship pairs that disagree."""
+        result: Dict[Tuple[Relationship, Relationship], int] = {}
+        for pair in self.disagreements.values():
+            result[pair] = result.get(pair, 0) + 1
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary for reports and benchmarks."""
+        return {
+            "common_links": float(self.common_links),
+            "agreements": float(self.agreements),
+            "disagreements": float(self.disagreement_count),
+            "accuracy": self.accuracy,
+            "only_candidate": float(self.only_candidate),
+            "only_reference": float(self.only_reference),
+        }
+
+
+def compare_annotations(
+    candidate: ToRAnnotation,
+    reference: ToRAnnotation,
+    links: Optional[Iterable[Link]] = None,
+) -> ComparisonReport:
+    """Compare a candidate annotation against a reference one.
+
+    ``links`` optionally restricts the comparison, e.g. to the links
+    visible in the measured IPv6 paths.
+    """
+    if candidate.afi is not reference.afi:
+        raise ValueError("annotations must describe the same address family")
+    candidate_links = set(candidate.links())
+    reference_links = set(reference.links())
+    if links is not None:
+        restriction = set(links)
+        candidate_links &= restriction
+        reference_links &= restriction
+    report = ComparisonReport()
+    common = candidate_links & reference_links
+    report.common_links = len(common)
+    report.only_candidate = len(candidate_links - reference_links)
+    report.only_reference = len(reference_links - candidate_links)
+    for link in common:
+        mine = candidate.get_canonical(link)
+        theirs = reference.get_canonical(link)
+        if mine is theirs:
+            report.agreements += 1
+        else:
+            report.disagreements[link] = (mine, theirs)
+    return report
+
+
+def misinference_rate(
+    candidate: ToRAnnotation,
+    reference: ToRAnnotation,
+    links: Optional[Iterable[Link]] = None,
+) -> float:
+    """Fraction of common links the candidate misinfers."""
+    report = compare_annotations(candidate, reference, links)
+    if report.common_links == 0:
+        return 0.0
+    return report.disagreement_count / report.common_links

@@ -1,0 +1,113 @@
+"""Degree-ratio Type-of-Relationship inference (Dimitropoulos-style).
+
+A second, simpler baseline in the spirit of the CAIDA / Dimitropoulos et
+al. family of heuristics: it classifies every observed link directly from
+the (transit-)degrees of its endpoints.
+
+* If the two endpoints have comparable degrees (within
+  ``peering_ratio``), the link is labelled p2p.
+* Otherwise the higher-degree endpoint is assumed to be the provider.
+
+Like all valley-free-based heuristics it produces a single label per
+link, independent of the address family semantics — which is exactly the
+limitation the paper attacks.  It exists in this repository to provide
+the "misinferred" starting annotation for the Figure-2 experiment and a
+comparison point for the agreement benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.core.annotation import ToRAnnotation
+from repro.core.observations import ObservedRoute
+from repro.core.relationships import AFI, Link, Relationship, RelationshipSource
+
+
+@dataclass
+class DegreeParameters:
+    """Parameters of the degree-ratio heuristic.
+
+    Attributes:
+        peering_ratio: Maximum degree ratio for two ASes to be considered
+            peers.
+        use_transit_degree: Use the number of *customers implied by path
+            positions* (transit degree) instead of the plain degree when
+            ranking; plain degree is the default, as in the simplest
+            published variants.
+    """
+
+    peering_ratio: float = 2.5
+    use_transit_degree: bool = False
+
+    def __post_init__(self) -> None:
+        if self.peering_ratio < 1.0:
+            raise ValueError("peering_ratio must be >= 1")
+
+
+class DegreeBasedInference:
+    """Classify links by comparing endpoint degrees."""
+
+    def __init__(self, parameters: Optional[DegreeParameters] = None) -> None:
+        self.parameters = parameters or DegreeParameters()
+
+    @staticmethod
+    def _degrees(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+        neighbors: Dict[int, Set[int]] = defaultdict(set)
+        for path in paths:
+            for index in range(len(path) - 1):
+                a, b = path[index], path[index + 1]
+                if a == b:
+                    continue
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+        return {asn: len(adjacent) for asn, adjacent in neighbors.items()}
+
+    @staticmethod
+    def _transit_degrees(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+        """Number of distinct ASes observed "below" each AS in some path.
+
+        An AS that appears in the middle of a path transits for the AS
+        that follows it (towards the observer side the relationship is
+        unknown, so only the origin-side neighbour is counted).
+        """
+        below: Dict[int, Set[int]] = defaultdict(set)
+        for path in paths:
+            for index in range(len(path) - 1):
+                below[path[index]].add(path[index + 1])
+        return {asn: len(members) for asn, members in below.items()}
+
+    def infer_paths(self, paths: Iterable[Sequence[int]], afi: AFI) -> ToRAnnotation:
+        """Run the heuristic over raw AS paths (observer-side first)."""
+        path_list = [tuple(path) for path in paths]
+        if self.parameters.use_transit_degree:
+            degrees = self._transit_degrees(path_list)
+        else:
+            degrees = self._degrees(path_list)
+        links: Set[Link] = set()
+        for path in path_list:
+            for index in range(len(path) - 1):
+                if path[index] != path[index + 1]:
+                    links.add(Link(path[index], path[index + 1]))
+        annotation = ToRAnnotation(afi, source=RelationshipSource.DEGREE)
+        ratio = self.parameters.peering_ratio
+        for link in links:
+            degree_a = degrees.get(link.a, 1) or 1
+            degree_b = degrees.get(link.b, 1) or 1
+            larger, smaller = max(degree_a, degree_b), min(degree_a, degree_b)
+            if larger / smaller <= ratio:
+                annotation.set_canonical(link, Relationship.P2P)
+            elif degree_a > degree_b:
+                annotation.set_canonical(link, Relationship.P2C)
+            else:
+                annotation.set_canonical(link, Relationship.C2P)
+        return annotation
+
+    def infer(self, observations: Iterable[ObservedRoute], afi: AFI) -> ToRAnnotation:
+        """Run the heuristic over the distinct paths of some observations."""
+        paths = {
+            observation.path for observation in observations if observation.afi is afi
+        }
+        return self.infer_paths(sorted(paths), afi)

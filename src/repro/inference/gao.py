@@ -1,0 +1,170 @@
+"""Gao's (2001) degree-based Type-of-Relationship inference.
+
+This is the classic baseline the paper contrasts with: a heuristic that
+looks only at AS paths and node degrees, assumes every path is
+valley-free, and therefore mislabels links whose IPv6 relationship
+departs from the conventional hierarchy.
+
+The implementation follows the structure of the original algorithm
+(Gao, "On inferring autonomous system relationships in the Internet",
+IEEE/ACM ToN 2001):
+
+1. Compute the degree of every AS from the observed paths.
+2. For every path, locate the *top provider* — the highest-degree AS on
+   the path.  Every link left of the top provider is recorded as a
+   customer-to-provider hop, every link right of it as
+   provider-to-customer.
+3. Aggregate the per-path votes: links whose votes are (almost) all in
+   one transit direction become p2c/c2p; links with substantial votes in
+   both directions become sibling (we map them to p2p here, the common
+   simplification when sibling information is unavailable).
+4. A final peering phase re-labels as p2p the links adjacent to the top
+   provider whose endpoints have comparable degrees and that were not
+   confirmed as transit by step 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.annotation import ToRAnnotation
+from repro.core.observations import ObservedRoute
+from repro.core.relationships import AFI, Link, Relationship, RelationshipSource
+
+
+@dataclass
+class GaoParameters:
+    """Tunable parameters of the Gao inference.
+
+    Attributes:
+        transit_ratio: Minimum fraction of votes in the dominant transit
+            direction for a link to be labelled p2c/c2p (Gao's parameter
+            L, expressed as a ratio).
+        peering_degree_ratio: Maximum degree ratio between two ASes for
+            the peering phase to consider them comparable (Gao's R).
+    """
+
+    transit_ratio: float = 0.6
+    peering_degree_ratio: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.transit_ratio <= 1.0:
+            raise ValueError("transit_ratio must be within [0.5, 1.0]")
+        if self.peering_degree_ratio < 1.0:
+            raise ValueError("peering_degree_ratio must be >= 1")
+
+
+class GaoInference:
+    """Infer relationships for one address family from observed paths."""
+
+    def __init__(self, parameters: Optional[GaoParameters] = None) -> None:
+        self.parameters = parameters or GaoParameters()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def degrees_from_paths(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+        """Node degree (number of distinct neighbours) seen in the paths."""
+        neighbors: Dict[int, Set[int]] = defaultdict(set)
+        for path in paths:
+            for index in range(len(path) - 1):
+                a, b = path[index], path[index + 1]
+                if a == b:
+                    continue
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+        return {asn: len(adjacent) for asn, adjacent in neighbors.items()}
+
+    @staticmethod
+    def top_provider_index(path: Sequence[int], degrees: Dict[int, int]) -> int:
+        """Index of the highest-degree AS on the path (ties: first)."""
+        best_index = 0
+        best_degree = -1
+        for index, asn in enumerate(path):
+            degree = degrees.get(asn, 0)
+            if degree > best_degree:
+                best_degree = degree
+                best_index = index
+        return best_index
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def infer_paths(
+        self, paths: Iterable[Sequence[int]], afi: AFI
+    ) -> ToRAnnotation:
+        """Run the inference over raw AS paths (observer-side first)."""
+        path_list = [tuple(path) for path in paths]
+        degrees = self.degrees_from_paths(path_list)
+        # Vote counting: for each canonical link, votes[link][rel] counts
+        # how many paths implied that canonical relationship.
+        votes: Dict[Link, Dict[Relationship, int]] = defaultdict(lambda: defaultdict(int))
+        adjacent_to_top: Set[Link] = set()
+        for path in path_list:
+            if len(path) < 2:
+                continue
+            top = self.top_provider_index(path, degrees)
+            for index in range(len(path) - 1):
+                a, b = path[index], path[index + 1]
+                if a == b:
+                    continue
+                link = Link(a, b)
+                # Paths are observer-first: hops before the top provider
+                # climb towards it (a is a customer of b), hops after it
+                # descend (a is a provider of b).
+                if index < top:
+                    rel_from_a = Relationship.C2P
+                else:
+                    rel_from_a = Relationship.P2C
+                canonical = rel_from_a if link.a == a else rel_from_a.inverse
+                votes[link][canonical] += 1
+                if index in (top - 1, top):
+                    adjacent_to_top.add(link)
+
+        annotation = ToRAnnotation(afi, source=RelationshipSource.GAO)
+        for link, link_votes in votes.items():
+            p2c = link_votes.get(Relationship.P2C, 0)
+            c2p = link_votes.get(Relationship.C2P, 0)
+            total = p2c + c2p
+            if total == 0:
+                continue
+            if p2c / total >= self.parameters.transit_ratio:
+                annotation.set_canonical(link, Relationship.P2C)
+            elif c2p / total >= self.parameters.transit_ratio:
+                annotation.set_canonical(link, Relationship.C2P)
+            else:
+                # Conflicting transit evidence: Gao labels these sibling;
+                # without sibling ground truth we fall back to peering.
+                annotation.set_canonical(link, Relationship.P2P)
+
+        # Peering phase: links next to the top provider whose endpoints
+        # have comparable degrees are re-labelled p2p.
+        ratio = self.parameters.peering_degree_ratio
+        for link in adjacent_to_top:
+            current = annotation.get_canonical(link)
+            if not current.is_transit:
+                continue
+            degree_a = degrees.get(link.a, 1) or 1
+            degree_b = degrees.get(link.b, 1) or 1
+            if max(degree_a, degree_b) / min(degree_a, degree_b) < ratio:
+                # Only re-label when the transit evidence is not unanimous.
+                link_votes = votes[link]
+                p2c = link_votes.get(Relationship.P2C, 0)
+                c2p = link_votes.get(Relationship.C2P, 0)
+                if p2c and c2p:
+                    annotation.set_canonical(link, Relationship.P2P)
+        return annotation
+
+    def infer(
+        self, observations: Iterable[ObservedRoute], afi: AFI
+    ) -> ToRAnnotation:
+        """Run the inference over the distinct paths of some observations."""
+        paths = {
+            observation.path
+            for observation in observations
+            if observation.afi is afi
+        }
+        return self.infer_paths(sorted(paths), afi)

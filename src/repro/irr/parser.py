@@ -1,0 +1,153 @@
+"""Parsing free-text community documentation into structured meanings.
+
+Real IRR objects and operator web pages describe communities in prose::
+
+    remarks: 65010:100   Routes learned from customers
+    remarks: 65010:200   Routes learned from peering partners
+    remarks: 65010:300   Routes received from transit providers
+    remarks: 65010:666   Set local-preference to 70 (backup)
+    remarks: 65010:901   Prepend 65010 once to AS path
+
+The paper mines such text; this module implements the text-mining step:
+a keyword/regex based classifier that turns one documentation line into a
+:class:`~repro.irr.dictionary.CommunityMeaning`.  The classifier is
+deliberately conservative: a line that matches neither the relationship
+nor the traffic-engineering vocabulary is classified as informational,
+never guessed into a relationship.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.relationships import Relationship
+from repro.bgp.attributes import Community
+from repro.irr.dictionary import CommunityDictionary, CommunityMeaning, MeaningKind
+
+#: Regex locating a community value at the start of a documentation line.
+_COMMUNITY_RE = re.compile(r"(?P<asn>\d+):(?P<value>\d+)")
+
+#: Keyword patterns for relationship semantics.  Order matters: the first
+#: match wins, and more specific phrases come first.
+_RELATIONSHIP_PATTERNS: Tuple[Tuple[Relationship, re.Pattern], ...] = (
+    (Relationship.P2C, re.compile(r"\b(from|of|via)\s+(a\s+)?customers?\b", re.I)),
+    (Relationship.P2C, re.compile(r"\bcustomer\s+routes?\b", re.I)),
+    (Relationship.P2C, re.compile(r"\bdownstream\b", re.I)),
+    (Relationship.P2P, re.compile(r"\b(from|of|via)\s+(a\s+)?(peers?|peering\s+partners?)\b", re.I)),
+    (Relationship.P2P, re.compile(r"\bpeer\s+routes?\b", re.I)),
+    (Relationship.P2P, re.compile(r"\b(public|private)\s+peering\b", re.I)),
+    (Relationship.C2P, re.compile(r"\b(from|of|via)\s+(an?\s+)?(upstreams?|providers?|transit\s+providers?)\b", re.I)),
+    (Relationship.C2P, re.compile(r"\bupstream\s+routes?\b", re.I)),
+    (Relationship.C2P, re.compile(r"\btransit\s+routes?\b", re.I)),
+    (Relationship.SIBLING, re.compile(r"\bsiblings?\b", re.I)),
+)
+
+#: Keyword patterns for traffic-engineering semantics (action, pattern).
+_TE_PATTERNS: Tuple[Tuple[str, re.Pattern], ...] = (
+    ("prepend-3", re.compile(r"\bprepend(?:ed|ing)?\b.*\b(3|three|thrice)\b", re.I)),
+    ("prepend-2", re.compile(r"\bprepend(?:ed|ing)?\b.*\b(2|two|twice)\b", re.I)),
+    ("prepend-1", re.compile(r"\bprepend(?:ed|ing)?\b", re.I)),
+    ("blackhole", re.compile(r"\b(blackhole|black-hole|discard\s+traffic)\b", re.I)),
+    ("no-export-peers", re.compile(r"\b(do\s+not|don't)\s+(announce|export)\b.*\bpeers?\b", re.I)),
+    ("no-export-upstreams", re.compile(r"\b(do\s+not|don't)\s+(announce|export)\b.*\b(upstreams?|providers?)\b", re.I)),
+    ("lower-pref", re.compile(r"\b(lower|reduce|decrease|set)\b.*\b(local[- ]?pref(erence)?)\b.*\b(below|backup|\d+)\b", re.I)),
+    ("lower-pref", re.compile(r"\blocal[- ]?pref(erence)?\b.*\b(below\s+default|backup)\b", re.I)),
+    ("raise-pref", re.compile(r"\b(raise|increase)\b.*\blocal[- ]?pref(erence)?\b", re.I)),
+)
+
+
+class DocumentationParseError(ValueError):
+    """Raised when a documentation line has no recognisable community."""
+
+
+def parse_documentation_line(line: str) -> Optional[CommunityMeaning]:
+    """Parse one documentation line.
+
+    Returns ``None`` for comment / empty lines.  Raises
+    :class:`DocumentationParseError` when the line is non-empty but does
+    not start with a recognisable ``asn:value`` community.
+    """
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    # IRR objects prefix lines with "remarks:"; tolerate and strip it.
+    if text.lower().startswith("remarks:"):
+        text = text[len("remarks:"):].strip()
+    if not text:
+        return None
+    match = _COMMUNITY_RE.match(text)
+    if match is None:
+        raise DocumentationParseError(f"no community value found in {line!r}")
+    community = Community(int(match.group("asn")), int(match.group("value")))
+    description = text[match.end():].strip(" \t-:")
+    kind, relationship, action = classify_description(description)
+    return CommunityMeaning(
+        community=community,
+        kind=kind,
+        relationship=relationship,
+        action=action,
+        description=description,
+    )
+
+
+def classify_description(
+    description: str,
+) -> Tuple[MeaningKind, Optional[Relationship], Optional[str]]:
+    """Classify a free-text description.
+
+    Traffic-engineering vocabulary is checked *before* relationship
+    vocabulary: a line such as "do not announce to peers" mentions peers
+    but is a TE action, and misclassifying it as a relationship tag would
+    poison the inference (the paper makes the same distinction).
+    """
+    for action, pattern in _TE_PATTERNS:
+        if pattern.search(description):
+            return MeaningKind.TRAFFIC_ENGINEERING, None, action
+    for relationship, pattern in _RELATIONSHIP_PATTERNS:
+        if pattern.search(description):
+            return MeaningKind.RELATIONSHIP, relationship, None
+    return MeaningKind.INFORMATIONAL, None, None
+
+
+def parse_documentation(
+    lines: Iterable[str], expected_asn: Optional[int] = None
+) -> List[CommunityMeaning]:
+    """Parse a block of documentation lines.
+
+    ``expected_asn`` restricts the result to communities administered by
+    one AS (lines about other ASes are skipped, which mirrors how the
+    paper only trusts an AS's documentation for its own communities).
+    """
+    meanings: List[CommunityMeaning] = []
+    for line in lines:
+        meaning = parse_documentation_line(line)
+        if meaning is None:
+            continue
+        if expected_asn is not None and meaning.community.asn != expected_asn:
+            continue
+        meanings.append(meaning)
+    return meanings
+
+
+def dictionary_from_documentation(
+    asn: int, lines: Iterable[str]
+) -> CommunityDictionary:
+    """Build a :class:`CommunityDictionary` from documentation text."""
+    dictionary = CommunityDictionary(asn)
+    for meaning in parse_documentation(lines, expected_asn=asn):
+        dictionary.add(meaning)
+    return dictionary
+
+
+def render_documentation(dictionary: CommunityDictionary) -> List[str]:
+    """Render a dictionary back into IRR-style documentation lines.
+
+    The output round-trips through :func:`dictionary_from_documentation`
+    (property-tested in the test suite), which keeps the generated
+    corpora realistic and the parser honest.
+    """
+    lines = [f"# BGP communities of AS{dictionary.asn}"]
+    for meaning in dictionary.meanings():
+        lines.append(f"remarks: {meaning.community}   {meaning.description}")
+    return lines

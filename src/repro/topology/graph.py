@@ -1,0 +1,394 @@
+"""AS-level topology annotated with per-address-family relationships.
+
+The :class:`ASGraph` is the central data structure of the substrate: an
+undirected multigraph-free AS graph whose edges carry *two* relationship
+annotations, one for IPv4 and one for IPv6.  A link can exist in only one
+of the planes (an IPv6-only peering, say) in which case the relationship
+for the other plane is :data:`~repro.core.relationships.Relationship.UNKNOWN`
+and the link is not reported as dual-stack.
+
+The graph is deliberately independent of any BGP machinery; the BGP
+propagation simulator (:mod:`repro.bgp.propagation`) and the inference
+pipeline (:mod:`repro.core`) both operate on it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.relationships import (
+    AFI,
+    DualStackRelationship,
+    Link,
+    Relationship,
+    orient_relationship,
+)
+
+
+@dataclass
+class ASNode:
+    """Metadata attached to an AS in the topology.
+
+    Attributes:
+        asn: The autonomous system number.
+        name: Optional human-readable name (synthetic names look like
+            real-world operator names, e.g. ``"AS3356-like"``).
+        tier: Coarse position in the transit hierarchy (1 = transit free,
+            2 = regional transit, 3 = stub/edge).  The generator fills it
+            in; graphs built from external data may leave it at ``0``.
+        ipv4: Whether the AS originates/forwards IPv4 prefixes.
+        ipv6: Whether the AS originates/forwards IPv6 prefixes.
+    """
+
+    asn: int
+    name: str = ""
+    tier: int = 0
+    ipv4: bool = True
+    ipv6: bool = False
+
+    def supports(self, afi: AFI) -> bool:
+        """True if the AS participates in the given address family."""
+        return self.ipv4 if afi is AFI.IPV4 else self.ipv6
+
+    @property
+    def dual_stack(self) -> bool:
+        """True when the AS participates in both planes."""
+        return self.ipv4 and self.ipv6
+
+
+class ASGraph:
+    """Undirected AS graph with per-AFI relationship annotations.
+
+    Relationships are stored in the canonical orientation of each
+    :class:`~repro.core.relationships.Link` (smaller ASN first).  All the
+    query helpers (``providers_of``, ``customers_of`` ...) re-orient them
+    transparently.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ASNode] = {}
+        self._adjacency: Dict[int, Set[int]] = defaultdict(set)
+        self._relationships: Dict[Link, DualStackRelationship] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_as(
+        self,
+        asn: int,
+        name: str = "",
+        tier: int = 0,
+        ipv4: bool = True,
+        ipv6: bool = False,
+    ) -> ASNode:
+        """Add an AS (or update its metadata if it already exists)."""
+        if asn < 0:
+            raise ValueError("AS numbers must be non-negative")
+        node = self._nodes.get(asn)
+        if node is None:
+            node = ASNode(asn=asn, name=name, tier=tier, ipv4=ipv4, ipv6=ipv6)
+            self._nodes[asn] = node
+            self._adjacency.setdefault(asn, set())
+        else:
+            if name:
+                node.name = name
+            if tier:
+                node.tier = tier
+            node.ipv4 = node.ipv4 or ipv4
+            node.ipv6 = node.ipv6 or ipv6
+        return node
+
+    def add_link(
+        self,
+        a: int,
+        b: int,
+        rel_v4: Optional[Relationship] = None,
+        rel_v6: Optional[Relationship] = None,
+    ) -> Link:
+        """Add a link with relationships expressed from ``a``'s point of view.
+
+        ``rel_v4=Relationship.P2C`` means "``a`` is the provider of ``b``
+        in the IPv4 plane".  ``None`` leaves the corresponding plane
+        untouched (``UNKNOWN`` for a new link), which is how IPv6-only or
+        IPv4-only links are represented.
+
+        Endpoints that are not in the graph yet are created with no plane
+        participation; the planes they join are derived from the
+        relationships set on their links (or from an explicit
+        :meth:`add_as` call).
+        """
+        if a not in self._nodes:
+            self.add_as(a, ipv4=False)
+        if b not in self._nodes:
+            self.add_as(b, ipv4=False)
+        link = Link(a, b)
+        record = self._relationships.get(link)
+        if record is None:
+            record = DualStackRelationship(link=link)
+            self._relationships[link] = record
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        if rel_v4 is not None:
+            record.ipv4 = orient_relationship(a, b, rel_v4)
+            self._nodes[a].ipv4 = True
+            self._nodes[b].ipv4 = True
+        if rel_v6 is not None:
+            record.ipv6 = orient_relationship(a, b, rel_v6)
+            self._nodes[a].ipv6 = True
+            self._nodes[b].ipv6 = True
+        return link
+
+    def set_relationship(
+        self, a: int, b: int, afi: AFI, relationship: Relationship
+    ) -> None:
+        """Set the relationship of an existing link for one plane.
+
+        The relationship is expressed from ``a``'s point of view.
+        """
+        link = Link(a, b)
+        record = self._relationships.get(link)
+        if record is None:
+            raise KeyError(f"link {link} is not in the graph")
+        record.set_relationship(afi, orient_relationship(a, b, relationship))
+
+    def remove_link(self, a: int, b: int) -> None:
+        """Remove a link entirely (both planes)."""
+        link = Link(a, b)
+        if link not in self._relationships:
+            raise KeyError(f"link {link} is not in the graph")
+        del self._relationships[link]
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def ases(self) -> List[int]:
+        """All AS numbers, sorted."""
+        return sorted(self._nodes)
+
+    def node(self, asn: int) -> ASNode:
+        """Metadata for one AS."""
+        return self._nodes[asn]
+
+    def nodes(self) -> Iterator[ASNode]:
+        """Iterate over all AS metadata records."""
+        return iter(self._nodes.values())
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True if a link between ``a`` and ``b`` exists in any plane."""
+        if a == b:
+            return False
+        return Link(a, b) in self._relationships
+
+    def links(self, afi: Optional[AFI] = None) -> List[Link]:
+        """All links, optionally restricted to those present in ``afi``.
+
+        A link is present in a plane when its relationship there is known
+        *or* when both endpoints participate in the plane and the
+        relationship was explicitly set (possibly to ``UNKNOWN``) — in
+        practice the generator and the serializers always set known
+        relationships, so "present" boils down to "relationship known".
+        """
+        if afi is None:
+            return sorted(self._relationships)
+        return sorted(
+            link
+            for link, record in self._relationships.items()
+            if record.relationship(afi).is_known
+        )
+
+    def dual_stack_links(self) -> List[Link]:
+        """Links whose relationship is known in both planes."""
+        return sorted(
+            link for link, record in self._relationships.items() if record.both_known
+        )
+
+    def relationship(self, a: int, b: int, afi: AFI) -> Relationship:
+        """Relationship of the link ``a-b`` in ``afi`` from ``a``'s view.
+
+        Returns ``UNKNOWN`` for absent links so that callers probing
+        arbitrary pairs do not need to special-case missing edges.
+        """
+        if a == b:
+            return Relationship.UNKNOWN
+        record = self._relationships.get(Link(a, b))
+        if record is None:
+            return Relationship.UNKNOWN
+        canonical = record.relationship(afi)
+        if not canonical.is_known:
+            return Relationship.UNKNOWN
+        return Link(a, b).relationship_from(a, canonical)
+
+    def dual_stack_relationship(self, a: int, b: int) -> Optional[DualStackRelationship]:
+        """The raw per-plane relationship record of a link (canonical view)."""
+        return self._relationships.get(Link(a, b))
+
+    def neighbors(self, asn: int, afi: Optional[AFI] = None) -> List[int]:
+        """Neighbors of an AS, optionally restricted to one plane."""
+        if asn not in self._nodes:
+            raise KeyError(f"AS{asn} is not in the graph")
+        if afi is None:
+            return sorted(self._adjacency[asn])
+        return sorted(
+            other
+            for other in self._adjacency[asn]
+            if self.relationship(asn, other, afi).is_known
+        )
+
+    def degree(self, asn: int, afi: Optional[AFI] = None) -> int:
+        """Number of neighbors of an AS (optionally per plane)."""
+        return len(self.neighbors(asn, afi))
+
+    # ------------------------------------------------------------------
+    # relationship-oriented queries
+    # ------------------------------------------------------------------
+    def providers_of(self, asn: int, afi: AFI) -> List[int]:
+        """ASes that provide transit to ``asn`` in the given plane."""
+        return sorted(
+            other
+            for other in self._adjacency[asn]
+            if self.relationship(asn, other, afi) is Relationship.C2P
+        )
+
+    def customers_of(self, asn: int, afi: AFI) -> List[int]:
+        """ASes that buy transit from ``asn`` in the given plane."""
+        return sorted(
+            other
+            for other in self._adjacency[asn]
+            if self.relationship(asn, other, afi) is Relationship.P2C
+        )
+
+    def peers_of(self, asn: int, afi: AFI) -> List[int]:
+        """Settlement-free peers of ``asn`` in the given plane."""
+        return sorted(
+            other
+            for other in self._adjacency[asn]
+            if self.relationship(asn, other, afi) is Relationship.P2P
+        )
+
+    def siblings_of(self, asn: int, afi: AFI) -> List[int]:
+        """Sibling ASes of ``asn`` in the given plane."""
+        return sorted(
+            other
+            for other in self._adjacency[asn]
+            if self.relationship(asn, other, afi) is Relationship.SIBLING
+        )
+
+    def transit_free(self, asn: int, afi: AFI) -> bool:
+        """True when the AS has no providers in the given plane."""
+        return not self.providers_of(asn, afi)
+
+    def customer_cone(self, asn: int, afi: AFI) -> Set[int]:
+        """All ASes reachable from ``asn`` by repeatedly following p2c links.
+
+        The root itself is included, matching the usual CAIDA definition
+        of the customer cone.
+        """
+        cone: Set[int] = {asn}
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in self.customers_of(current, afi):
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        return cone
+
+    def transit_degree(self, asn: int, afi: AFI) -> int:
+        """Number of customers — the 'transit degree' used by degree heuristics."""
+        return len(self.customers_of(asn, afi))
+
+    # ------------------------------------------------------------------
+    # plane-level views
+    # ------------------------------------------------------------------
+    def ases_in(self, afi: AFI) -> List[int]:
+        """ASes that participate in the given plane."""
+        return sorted(asn for asn, node in self._nodes.items() if node.supports(afi))
+
+    def dual_stack_ases(self) -> List[int]:
+        """ASes that participate in both planes."""
+        return sorted(asn for asn, node in self._nodes.items() if node.dual_stack)
+
+    def subgraph(self, afi: AFI) -> "ASGraph":
+        """A new :class:`ASGraph` restricted to one plane's links."""
+        result = ASGraph()
+        for asn in self.ases_in(afi):
+            node = self._nodes[asn]
+            result.add_as(asn, name=node.name, tier=node.tier, ipv4=node.ipv4, ipv6=node.ipv6)
+        for link in self.links(afi):
+            record = self._relationships[link]
+            rel = record.relationship(afi)
+            if afi is AFI.IPV4:
+                result.add_link(link.a, link.b, rel_v4=rel)
+            else:
+                result.add_link(link.a, link.b, rel_v6=rel)
+        return result
+
+    def to_networkx(self, afi: Optional[AFI] = None) -> nx.Graph:
+        """Export to a :class:`networkx.Graph` for generic graph algorithms.
+
+        Edge attributes ``rel_v4`` / ``rel_v6`` hold the canonical
+        relationship values; node attributes mirror :class:`ASNode`.
+        """
+        graph = nx.Graph()
+        for asn, node in self._nodes.items():
+            if afi is not None and not node.supports(afi):
+                continue
+            graph.add_node(asn, name=node.name, tier=node.tier, ipv4=node.ipv4, ipv6=node.ipv6)
+        for link, record in self._relationships.items():
+            if afi is not None and not record.relationship(afi).is_known:
+                continue
+            graph.add_edge(
+                link.a,
+                link.b,
+                rel_v4=record.ipv4,
+                rel_v6=record.ipv6,
+            )
+        return graph
+
+    def copy(self) -> "ASGraph":
+        """Deep-enough copy: nodes and relationship records are duplicated."""
+        result = ASGraph()
+        for asn, node in self._nodes.items():
+            result.add_as(asn, name=node.name, tier=node.tier, ipv4=node.ipv4, ipv6=node.ipv6)
+        for link, record in self._relationships.items():
+            result._relationships[link] = DualStackRelationship(
+                link=link, ipv4=record.ipv4, ipv6=record.ipv6
+            )
+            result._adjacency[link.a].add(link.b)
+            result._adjacency[link.b].add(link.a)
+        return result
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Coarse size statistics used in reports and tests."""
+        return {
+            "ases": len(self._nodes),
+            "links": len(self._relationships),
+            "ipv4_links": len(self.links(AFI.IPV4)),
+            "ipv6_links": len(self.links(AFI.IPV6)),
+            "dual_stack_links": len(self.dual_stack_links()),
+            "ipv6_ases": len(self.ases_in(AFI.IPV6)),
+            "dual_stack_ases": len(self.dual_stack_ases()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"ASGraph(ases={stats['ases']}, links={stats['links']}, "
+            f"ipv6_links={stats['ipv6_links']}, dual_stack={stats['dual_stack_links']})"
+        )

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_section3_defaults(self):
+        args = build_parser().parse_args(["section3"])
+        assert args.command == "section3"
+        assert args.seed == 7
+        assert not args.paper_scale
+
+    def test_scale_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["section3", "--small", "--paper-scale"])
+
+    def test_snapshot_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot"])
+
+
+class TestCommands:
+    def test_section3_prints_table_and_writes_json(self, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        exit_code = main(["section3", "--small", "--seed", "3", "--json", str(json_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Section 3 statistics" in output
+        assert "hybrid links" in output
+        payload = json.loads(json_path.read_text())
+        assert "section3" in payload
+        assert payload["section3"]["ipv6_paths"] > 0
+
+    def test_figure2_prints_series(self, capsys):
+        exit_code = main(
+            ["figure2", "--small", "--seed", "3", "--top", "3", "--max-sources", "20"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "avg path length" in output
+
+    def test_snapshot_writes_files(self, tmp_path, capsys):
+        exit_code = main(
+            ["snapshot", "--small", "--seed", "3", "--output", str(tmp_path / "snap")]
+        )
+        assert exit_code == 0
+        output_dir = tmp_path / "snap"
+        assert (output_dir / "ground-truth-asrel.txt").exists()
+        assert list((output_dir / "rib-dumps").glob("*.txt"))
+        assert list((output_dir / "irr").glob("AS*.txt"))
+        assert "snapshot written" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""Unit tests for MRT records, collectors and archives."""
+
+import datetime as dt
+
+import pytest
+
+from repro.bgp.attributes import ASPath, Community, Origin, PathAttributes
+from repro.bgp.messages import Route
+from repro.bgp.prefixes import Prefix
+from repro.collectors.archive import CollectorArchive
+from repro.collectors.collector import Collector, VantagePoint, default_collectors
+from repro.collectors.mrt import (
+    MRTFormatError,
+    TableDumpRecord,
+    parse_table_dump,
+    write_table_dump,
+)
+from repro.core.relationships import AFI, Relationship
+
+
+def make_record(prefix="3fff:100::/32", peer_as=64500, path=(64500, 64501), **kwargs):
+    defaults = dict(
+        timestamp=1282262400,
+        peer_ip="2001:db8::1",
+        peer_as=peer_as,
+        prefix=Prefix(prefix),
+        as_path=ASPath(path),
+        local_pref=300,
+        communities=(Community(64500, 100),),
+        collector="route-views6",
+    )
+    defaults.update(kwargs)
+    return TableDumpRecord(**defaults)
+
+
+class TestTableDumpRecord:
+    def test_line_round_trip(self):
+        record = make_record()
+        line = record.to_line()
+        parsed = TableDumpRecord.from_line(line, collector="route-views6")
+        assert parsed.prefix == record.prefix
+        assert parsed.as_path == record.as_path
+        assert parsed.peer_as == record.peer_as
+        assert parsed.local_pref == record.local_pref
+        assert parsed.communities == record.communities
+
+    def test_afi_property(self):
+        assert make_record().afi is AFI.IPV6
+        assert make_record(prefix="10.1.0.0/20").afi is AFI.IPV4
+
+    def test_from_line_rejects_garbage(self):
+        with pytest.raises(MRTFormatError):
+            TableDumpRecord.from_line("not|enough|fields")
+        with pytest.raises(MRTFormatError):
+            TableDumpRecord.from_line("OTHER|1|B|ip|1|10.0.0.0/8|1 2|IGP||100|0||NAG|")
+        with pytest.raises(MRTFormatError):
+            TableDumpRecord.from_line(
+                "TABLE_DUMP2|x|B|ip|1|10.0.0.0/8|1 2|IGP||100|0||NAG|"
+            )
+
+    def test_unparseable_communities_skipped(self):
+        line = make_record(communities=()).to_line()
+        parts = line.split("|")
+        parts[11] = "64500:100 garbage 64501:xyz"
+        parsed = TableDumpRecord.from_line("|".join(parts))
+        assert parsed.communities == (Community(64500, 100),)
+
+    def test_from_route_includes_vantage_in_path(self):
+        attributes = PathAttributes(
+            as_path=ASPath([64501, 64502]),
+            local_pref=250,
+            communities=(Community(64500, 20),),
+        )
+        route = Route(
+            prefix=Prefix("3fff:200::/32"),
+            holder=64500,
+            attributes=attributes,
+            learned_from=64501,
+            learned_relationship=Relationship.P2P,
+        )
+        record = TableDumpRecord.from_route(route, peer_ip="::1", timestamp=1)
+        assert record.as_path.hops == (64500, 64501, 64502)
+        assert record.local_pref == 250
+        without_pref = TableDumpRecord.from_route(
+            route, peer_ip="::1", timestamp=1, include_local_pref=False
+        )
+        assert without_pref.local_pref == 0
+
+    def test_write_and_parse_table_dump(self):
+        records = [make_record(), make_record(prefix="10.2.0.0/20")]
+        text = write_table_dump(records)
+        parsed = parse_table_dump(text, collector="rrc00")
+        assert len(parsed) == 2
+        assert all(record.collector == "rrc00" for record in parsed)
+
+    def test_write_empty_dump(self):
+        assert write_table_dump([]) == ""
+        assert parse_table_dump("") == []
+
+
+class TestCollector:
+    def test_add_vantage_point_generates_ip(self):
+        collector = Collector(name="route-views6")
+        vantage = collector.add_vantage_point(64500)
+        assert vantage.asn == 64500
+        assert vantage.peer_ip
+        assert collector.vantage_asns == [64500]
+
+    def test_vantage_point_carries(self):
+        vantage = VantagePoint(asn=1, peer_ip="::1", afis=(AFI.IPV6,))
+        assert vantage.carries(AFI.IPV6)
+        assert not vantage.carries(AFI.IPV4)
+
+    def test_default_collectors_distribution(self):
+        collectors = default_collectors(list(range(1, 13)), collectors_per_project=2)
+        assert len(collectors) == 4
+        total = sum(len(c.vantage_points) for c in collectors)
+        assert total == 12
+        projects = {c.project for c in collectors}
+        assert projects == {"routeviews", "ris"}
+
+    def test_default_collectors_require_vantages(self):
+        with pytest.raises(ValueError):
+            default_collectors([])
+
+
+class TestArchive:
+    def make_archive(self):
+        archive = CollectorArchive()
+        date = dt.date(2010, 8, 20)
+        archive.add_snapshot(
+            "route-views6", date, [make_record()], project="routeviews"
+        )
+        archive.add_snapshot(
+            "rrc00",
+            date,
+            [make_record(prefix="10.9.0.0/20", peer_as=64777, path=(64777, 64778))],
+            project="ris",
+        )
+        return archive
+
+    def test_record_counts_and_filters(self):
+        archive = self.make_archive()
+        assert len(archive) == 2
+        assert archive.record_count(afi=AFI.IPV6) == 1
+        assert archive.record_count(afi=AFI.IPV4) == 1
+        assert len(list(archive.records(collector="rrc00"))) == 1
+        assert len(list(archive.records(project="routeviews"))) == 1
+        assert archive.vantage_points() == [64500, 64777]
+
+    def test_collectors_and_dates(self):
+        archive = self.make_archive()
+        assert archive.collectors == ["route-views6", "rrc00"]
+        assert archive.dates == [dt.date(2010, 8, 20)]
+        assert archive.project_of("rrc00") == "ris"
+        assert archive.project_of("unknown") == ""
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        archive = self.make_archive()
+        written = archive.save(tmp_path)
+        assert len(written) == 2
+        loaded = CollectorArchive.load(tmp_path)
+        assert len(loaded) == len(archive)
+        assert loaded.collectors == archive.collectors
+        assert loaded.record_count(afi=AFI.IPV6) == 1
+
+    def test_collect_from_propagation(self, snapshot):
+        """The snapshot fixture's archive must contain both planes."""
+        assert snapshot.archive.record_count(afi=AFI.IPV4) > 0
+        assert snapshot.archive.record_count(afi=AFI.IPV6) > 0
+        # Every record's vantage is one of the configured vantage points.
+        vantages = {
+            vantage.asn
+            for collector in snapshot.collectors
+            for vantage in collector.vantage_points
+        }
+        assert set(snapshot.archive.vantage_points()).issubset(vantages)

@@ -1,0 +1,161 @@
+"""Unit tests for the baseline ToR inference algorithms and their comparison."""
+
+import pytest
+
+from repro.bgp.prefixes import Prefix
+from repro.core.annotation import ToRAnnotation
+from repro.core.observations import ObservedRoute
+from repro.core.relationships import AFI, Link, Relationship
+from repro.inference.comparison import compare_annotations, misinference_rate
+from repro.inference.degree_based import DegreeBasedInference, DegreeParameters
+from repro.inference.gao import GaoInference, GaoParameters
+
+
+#: A small hierarchy: 1 is the high-degree core; 2 and 3 are mid;
+#: 4, 5, 6, 7 are stubs.  Observer-first paths as a collector would see.
+PATHS = [
+    (4, 2, 1),
+    (5, 2, 1),
+    (4, 2, 1, 3, 6),
+    (5, 2, 1, 3, 7),
+    (6, 3, 1),
+    (7, 3, 1),
+    (6, 3, 1, 2, 4),
+    (7, 3, 1, 2, 5),
+]
+
+
+class TestGaoInference:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            GaoParameters(transit_ratio=0.4)
+        with pytest.raises(ValueError):
+            GaoParameters(peering_degree_ratio=0.5)
+
+    def test_degree_computation(self):
+        degrees = GaoInference.degrees_from_paths(PATHS)
+        assert degrees[1] == 2
+        assert degrees[2] == 3
+        assert degrees[4] == 1
+
+    def test_top_provider_index(self):
+        degrees = GaoInference.degrees_from_paths(PATHS)
+        # AS2 and AS3 have the highest degree (3); ties pick the first.
+        assert GaoInference.top_provider_index((4, 2, 1), degrees) == 1
+        assert GaoInference.top_provider_index((4, 2, 1, 3, 6), degrees) == 1
+        assert GaoInference.top_provider_index((6, 3, 1), degrees) == 1
+
+    def test_transit_links_inferred(self):
+        annotation = GaoInference().infer_paths(PATHS, AFI.IPV6)
+        assert annotation.get(2, 4) is Relationship.P2C
+        assert annotation.get(3, 6) is Relationship.P2C
+        assert annotation.get(4, 2) is Relationship.C2P
+
+    def test_core_links_point_to_top(self):
+        annotation = GaoInference().infer_paths(PATHS, AFI.IPV6)
+        # 1 has the highest degree...? Both 2 and 3 have degree 3 vs 1's 2;
+        # whichever wins, the annotation must label the 1-2 and 1-3 links.
+        assert annotation.get(1, 2).is_known
+        assert annotation.get(1, 3).is_known
+
+    def test_infer_from_observations_filters_afi(self):
+        observations = [
+            ObservedRoute(path=p, prefix=Prefix("3fff:1::/32"), vantage=p[0])
+            for p in PATHS
+        ] + [
+            ObservedRoute(path=(9, 8), prefix=Prefix("10.0.0.0/20"), vantage=9)
+        ]
+        annotation = GaoInference().infer(observations, AFI.IPV6)
+        assert annotation.get(8, 9) is Relationship.UNKNOWN
+        assert annotation.get(2, 4).is_known
+
+    def test_valley_free_assumption_misinfers_ipv6_peering(self):
+        """The motivating artifact: a peering link crossed 'sideways' in
+        many paths gets labelled as transit by the degree heuristics."""
+        paths = [
+            (10, 2, 3, 11),
+            (10, 2, 3, 12),
+            (13, 2, 3, 11),
+        ]
+        annotation = GaoInference().infer_paths(paths, AFI.IPV6)
+        # Whatever the exact label, the heuristic cannot know 2-3 is p2p
+        # without communities; it assigns a transit direction.
+        assert annotation.get(2, 3).is_transit
+
+
+class TestDegreeBasedInference:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            DegreeParameters(peering_ratio=0.9)
+
+    def test_peering_between_similar_degrees(self):
+        paths = [(1, 2), (2, 1), (1, 3), (2, 4)]
+        annotation = DegreeBasedInference().infer_paths(paths, AFI.IPV6)
+        assert annotation.get(1, 2) is Relationship.P2P
+
+    def test_transit_between_asymmetric_degrees(self):
+        annotation = DegreeBasedInference(
+            DegreeParameters(peering_ratio=1.5)
+        ).infer_paths(PATHS, AFI.IPV6)
+        assert annotation.get(2, 4) is Relationship.P2C
+        assert annotation.get(4, 2) is Relationship.C2P
+
+    def test_transit_degree_variant(self):
+        annotation = DegreeBasedInference(
+            DegreeParameters(use_transit_degree=True, peering_ratio=1.2)
+        ).infer_paths(PATHS, AFI.IPV6)
+        assert annotation.get(2, 4).is_known
+
+    def test_every_observed_link_gets_a_label(self):
+        annotation = DegreeBasedInference().infer_paths(PATHS, AFI.IPV6)
+        observed_links = {
+            Link(p[i], p[i + 1]) for p in PATHS for i in range(len(p) - 1)
+        }
+        assert set(annotation.links()) == observed_links
+
+
+class TestComparison:
+    def build(self):
+        reference = ToRAnnotation(AFI.IPV6)
+        reference.set(1, 2, Relationship.P2C)
+        reference.set(2, 3, Relationship.P2P)
+        reference.set(3, 4, Relationship.P2C)
+        candidate = reference.copy()
+        candidate.set(2, 3, Relationship.P2C)      # misinference
+        candidate.set(5, 6, Relationship.P2P)      # extra link
+        candidate.remove(3, 4)                     # missing link
+        return candidate, reference
+
+    def test_compare_annotations(self):
+        candidate, reference = self.build()
+        report = compare_annotations(candidate, reference)
+        assert report.common_links == 2
+        assert report.agreements == 1
+        assert report.disagreement_count == 1
+        assert report.only_candidate == 1
+        assert report.only_reference == 1
+        assert report.accuracy == pytest.approx(0.5)
+        assert report.misinferred_links == [Link(2, 3)]
+        assert report.confusion()[(Relationship.P2C, Relationship.P2P)] == 1
+
+    def test_compare_with_link_restriction(self):
+        candidate, reference = self.build()
+        report = compare_annotations(candidate, reference, links=[Link(1, 2)])
+        assert report.common_links == 1
+        assert report.disagreement_count == 0
+
+    def test_afi_mismatch_rejected(self):
+        candidate, _ = self.build()
+        with pytest.raises(ValueError):
+            compare_annotations(candidate, ToRAnnotation(AFI.IPV4))
+
+    def test_misinference_rate(self):
+        candidate, reference = self.build()
+        assert misinference_rate(candidate, reference) == pytest.approx(0.5)
+        assert misinference_rate(ToRAnnotation(AFI.IPV6), reference) == 0.0
+
+    def test_summary(self):
+        candidate, reference = self.build()
+        summary = compare_annotations(candidate, reference).summary()
+        assert summary["accuracy"] == pytest.approx(0.5)
+        assert summary["common_links"] == 2.0
