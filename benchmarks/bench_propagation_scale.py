@@ -1,0 +1,114 @@
+"""Benchmark: end-to-end route propagation, optimized vs reference.
+
+The fast-path PR's headline claim — ≥3x end-to-end propagation speedup
+with route-for-route identical outcomes — is tracked here.  Two
+benchmarks time the optimized :class:`PropagationSimulator` on the
+session bench topology (one prefix per AS, per address family), one
+times the frozen seed implementation for the speedup ratio, and one
+drives the batched :class:`PropagationEngine`.
+
+``benchmarks/run_benchmarks.py`` is the scriptable twin of this file:
+it produces the machine-readable ``BENCH_propagation.json`` that future
+PRs diff against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relationships import AFI
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.policy import default_policies
+from repro.bgp.propagation import PropagationSimulator, originate_one_prefix_per_as
+from repro.bgp.reference import ReferencePropagationSimulator
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    """The 232-AS topology the propagation numbers are quoted on."""
+    topology = generate_topology(
+        TopologyConfig(seed=2010, tier1_count=7, tier2_count=45, tier3_count=180)
+    )
+    return topology.graph
+
+
+@pytest.fixture(scope="module")
+def bench_policies(bench_graph):
+    return default_policies(bench_graph.ases)
+
+
+@pytest.mark.parametrize("afi", (AFI.IPV4, AFI.IPV6), ids=("ipv4", "ipv6"))
+def test_propagation_optimized(benchmark, bench_graph, bench_policies, afi):
+    """Optimized fast path: one prefix per AS over the bench topology."""
+    origins = originate_one_prefix_per_as(bench_graph, afi)
+
+    def run():
+        return PropagationSimulator(bench_graph, bench_policies).run(origins)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "ases": len(bench_graph),
+            "prefixes": len(origins),
+            "events": result.events,
+        }
+    )
+    assert result.events > 0
+    assert all(count >= 1 for count in result.reachable_counts.values())
+
+
+def test_propagation_reference_baseline(benchmark, bench_graph, bench_policies):
+    """The frozen seed implementation — the denominator of the speedup."""
+    origins = originate_one_prefix_per_as(bench_graph, AFI.IPV4)
+
+    def run():
+        return ReferencePropagationSimulator(bench_graph, bench_policies).run(origins)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"ases": len(bench_graph), "events": result.events})
+    assert result.events > 0
+
+
+def test_propagation_engine_batched(benchmark, bench_graph, bench_policies):
+    """Batched engine, thread executor: determinism-checked fan-out."""
+    origins = originate_one_prefix_per_as(bench_graph, AFI.IPV6)
+    engine = PropagationEngine(bench_graph, bench_policies)
+
+    def run():
+        return engine.run_many(origins, workers=4)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info.update({"prefixes": len(origins), "events": result.events})
+    assert set(result.reachable_counts) == set(origins)
+
+
+def test_propagation_scale_1000(benchmark):
+    """A ≥1000-AS scenario the seed implementation cannot finish quickly.
+
+    One round: this is the scale checkpoint, not a statistical sample.
+    """
+    topology = generate_topology(
+        TopologyConfig(seed=2026, tier1_count=10, tier2_count=150, tier3_count=900)
+    )
+    graph = topology.graph
+    policies = default_policies(graph.ases)
+    origins = originate_one_prefix_per_as(graph, AFI.IPV4)
+
+    def run():
+        return PropagationSimulator(graph, policies).run(origins)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "ases": len(graph),
+            "prefixes": len(origins),
+            "events": result.events,
+        }
+    )
+    print(
+        f"\n[Scale] {len(graph)} ASes, {len(origins)} prefixes, "
+        f"{result.events} events"
+    )
+    assert len(graph) >= 1000
+    assert result.events > 0

@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Propagation performance driver: writes ``BENCH_propagation.json``.
+
+Runs the end-to-end propagation benchmarks outside pytest and records
+machine-readable results (wall time, events/sec, peak RSS, speedup vs
+the frozen seed implementation) so the performance trajectory of the
+repository can be tracked PR over PR::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+
+Scenarios:
+
+* ``bench_snapshot`` — the 232-AS session bench topology, one prefix
+  per AS, both address families, optimized vs reference (speedup).
+* ``scale_1000``   — a 1060-AS topology, IPv4 plane, optimized only;
+  the seed implementation is too slow to run here routinely, which is
+  the point of the scenario.
+
+Measurements take the best of ``--repeats`` runs with the cyclic GC
+paused during the timed section (allocation-heavy baselines otherwise
+dominate the variance).  Peak RSS is the process high-water mark from
+``resource.getrusage`` — a per-process maximum, reported once per
+scenario in the order they ran.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import gc
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.core.relationships import AFI
+from repro.bgp.policy import default_policies
+from repro.bgp.propagation import PropagationSimulator, originate_one_prefix_per_as
+from repro.bgp.reference import ReferencePropagationSimulator
+from repro.topology.generator import TopologyConfig, generate_topology
+
+SCHEMA_VERSION = 2
+
+BENCH_TOPOLOGY = TopologyConfig(seed=2010, tier1_count=7, tier2_count=45, tier3_count=180)
+SCALE_TOPOLOGY = TopologyConfig(seed=2026, tier1_count=10, tier2_count=150, tier3_count=900)
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in kB (Linux ru_maxrss unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _time_once(factory: Callable[[], object], origins) -> tuple:
+    """One GC-quiesced wall-time sample of ``factory().run(origins)``."""
+    simulator = factory()
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = simulator.run(origins)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    return elapsed, result
+
+
+def _measure(factory: Callable[[], object], origins, repeats: int) -> Dict:
+    """Best-of-N wall time for ``factory().run(origins)``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        elapsed, result = _time_once(factory, origins)
+        best = min(best, elapsed)
+    return _stats(best, result, origins)
+
+
+def _stats(best: float, result, origins) -> Dict:
+    return {
+        "wall_seconds": round(best, 4),
+        "events": result.events,
+        "events_per_second": round(result.events / best) if best else None,
+        "prefixes": len(origins),
+        "reachable_total": sum(result.reachable_counts.values()),
+    }
+
+
+def bench_snapshot(repeats: int, with_reference: bool) -> Dict:
+    topology = generate_topology(BENCH_TOPOLOGY)
+    graph = topology.graph
+    policies = default_policies(graph.ases)
+    scenario: Dict = {"ases": len(graph), "planes": {}}
+    for afi in (AFI.IPV4, AFI.IPV6):
+        origins = originate_one_prefix_per_as(graph, afi)
+        if not with_reference:
+            plane: Dict = {
+                "optimized": _measure(
+                    lambda: PropagationSimulator(graph, policies), origins, repeats
+                )
+            }
+        else:
+            # Interleave the two implementations so load drift on the
+            # host (the dominant noise source on shared runners) hits
+            # both samples instead of biasing the ratio.
+            best_opt = best_ref = float("inf")
+            opt_result = ref_result = None
+            for _ in range(repeats):
+                elapsed, opt_result = _time_once(
+                    lambda: PropagationSimulator(graph, policies), origins
+                )
+                best_opt = min(best_opt, elapsed)
+                elapsed, ref_result = _time_once(
+                    lambda: ReferencePropagationSimulator(graph, policies), origins
+                )
+                best_ref = min(best_ref, elapsed)
+            plane = {
+                "optimized": _stats(best_opt, opt_result, origins),
+                "reference": _stats(best_ref, ref_result, origins),
+                "speedup": round(best_ref / best_opt, 2),
+            }
+        scenario["planes"][str(afi)] = plane
+    scenario["peak_rss_kb"] = _peak_rss_kb()
+    return scenario
+
+
+def bench_scale(repeats: int) -> Dict:
+    topology = generate_topology(SCALE_TOPOLOGY)
+    graph = topology.graph
+    policies = default_policies(graph.ases)
+    origins = originate_one_prefix_per_as(graph, AFI.IPV4)
+    optimized = _measure(
+        lambda: PropagationSimulator(graph, policies), origins, repeats
+    )
+    return {
+        "ases": len(graph),
+        "planes": {str(AFI.IPV4): {"optimized": optimized}},
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_propagation.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing")
+    parser.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="skip the slow seed-implementation baseline (no speedup field)",
+    )
+    parser.add_argument(
+        "--skip-scale",
+        action="store_true",
+        help="skip the 1000-AS scale scenario",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": {},
+    }
+    print(f"[bench] snapshot topology {BENCH_TOPOLOGY.total_ases} ASes ...")
+    report["results"]["bench_snapshot"] = bench_snapshot(
+        args.repeats, with_reference=not args.skip_reference
+    )
+    if not args.skip_scale:
+        print(f"[bench] scale topology {SCALE_TOPOLOGY.total_ases} ASes ...")
+        report["results"]["scale_1000"] = bench_scale(max(1, args.repeats - 1))
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {args.output}")
+    for name, scenario in report["results"].items():
+        for plane, data in scenario["planes"].items():
+            optimized = data["optimized"]
+            line = (
+                f"  {name}/{plane}: {optimized['wall_seconds']}s, "
+                f"{optimized['events_per_second']} events/s"
+            )
+            if "speedup" in data:
+                line += f", speedup {data['speedup']}x vs reference"
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ from repro.bgp.policy import (
     default_policies,
     gao_rexford_export_allowed,
 )
+from repro.bgp.engine import PropagationEngine
 from repro.bgp.prefixes import Prefix, PrefixAllocator, group_by_afi
 from repro.bgp.propagation import (
     ConvergenceError,
@@ -17,6 +18,7 @@ from repro.bgp.propagation import (
     PropagationSimulator,
     originate_one_prefix_per_as,
 )
+from repro.bgp.reference import ReferenceBGPSpeaker, ReferencePropagationSimulator
 from repro.bgp.rib import AdjRibIn, LocRib, RibSnapshot
 from repro.bgp.router import BGPSpeaker, Neighbor
 
@@ -37,8 +39,11 @@ __all__ = [
     "PrefixAllocator",
     "group_by_afi",
     "ConvergenceError",
+    "PropagationEngine",
     "PropagationResult",
     "PropagationSimulator",
+    "ReferenceBGPSpeaker",
+    "ReferencePropagationSimulator",
     "originate_one_prefix_per_as",
     "AdjRibIn",
     "LocRib",

@@ -117,7 +117,14 @@ class ASPath:
         """Return a new path with ``asn`` prepended ``times`` times."""
         if times < 1:
             raise ValueError("prepending count must be >= 1")
-        return ASPath((asn,) * times + self._hops)
+        asn = int(asn)
+        if asn < 0:
+            raise ValueError("AS numbers in a path must be non-negative")
+        # The existing hops are already validated; bypassing __init__
+        # avoids re-validating the whole path on every export event.
+        path = ASPath.__new__(ASPath)
+        path._hops = (asn,) * times + self._hops
+        return path
 
     def contains(self, asn: int) -> bool:
         """True if the AS appears anywhere in the path."""
@@ -157,9 +164,14 @@ class ASPath:
         return cls(cleaned)
 
 
-@dataclass
+@dataclass(slots=True)
 class PathAttributes:
-    """The attribute set attached to one route advertisement."""
+    """The attribute set attached to one route advertisement.
+
+    Slotted: one instance is allocated per import event in the
+    propagation simulator, so the per-instance dict would dominate the
+    route objects' memory footprint at scale.
+    """
 
     as_path: ASPath
     local_pref: Optional[int] = None

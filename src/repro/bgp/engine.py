@@ -1,0 +1,156 @@
+"""Batched propagation: run many independent prefixes, optionally in parallel.
+
+Every prefix propagates independently in this simulator — all speaker
+state (Adj-RIB-In entries, Loc-RIB entries, locally originated routes)
+is keyed by prefix and the decision process only ever compares routes
+for the same prefix.  :class:`PropagationEngine` exploits that: it
+splits an origin set into contiguous batches, propagates each batch on
+its own :class:`~repro.bgp.propagation.PropagationSimulator` (optionally
+on a :mod:`concurrent.futures` executor) and merges the per-prefix state
+back into one combined :class:`~repro.bgp.propagation.PropagationResult`.
+
+Because the batches are disjoint and each batch runs the same
+deterministic event loop a serial run would, the merged result is
+**bit-identical** to a serial :meth:`PropagationEngine.run` regardless
+of the worker count — the determinism test in the golden suite pins
+this.  The default (``workers=None`` or ``workers<=1``) does not touch
+an executor at all and is exactly today's serial simulator.
+
+Executor choice:
+
+* ``"thread"`` (default) — no pickling, shares the graph; CPython's GIL
+  limits the speedup for this pure-Python workload, but the API and the
+  batching are in place for free-threaded builds and for workloads that
+  release the GIL.
+* ``"process"`` — full process parallelism; the graph, policies and
+  per-batch results are pickled across the process boundary, so it pays
+  off for large batches on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.bgp.policy import RoutingPolicy
+from repro.bgp.prefixes import Prefix
+from repro.bgp.propagation import PropagationResult, PropagationSimulator
+from repro.topology.graph import ASGraph
+
+_EXECUTORS = ("thread", "process")
+
+
+class PropagationEngine:
+    """Propagate origin sets over one topology, serially or batched."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        policies: Optional[Mapping[int, RoutingPolicy]] = None,
+        max_events_per_prefix: int = 200_000,
+        keep_ribs_for: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.graph = graph
+        self.policies = dict(policies) if policies is not None else None
+        self.max_events_per_prefix = max_events_per_prefix
+        self.keep_ribs_for = (
+            sorted(keep_ribs_for) if keep_ribs_for is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_simulator(self) -> PropagationSimulator:
+        return PropagationSimulator(
+            self.graph,
+            self.policies,
+            max_events_per_prefix=self.max_events_per_prefix,
+            keep_ribs_for=self.keep_ribs_for,
+        )
+
+    def _run_batch(self, batch: List[Tuple[Prefix, int]]) -> PropagationResult:
+        """Propagate one batch of origins on a fresh simulator."""
+        return self._new_simulator().run(dict(batch))
+
+    @staticmethod
+    def _split(
+        origins: Mapping[Prefix, int], batches: int
+    ) -> List[List[Tuple[Prefix, int]]]:
+        """Deterministic contiguous split of the origin items."""
+        items = list(origins.items())
+        batches = max(1, min(batches, len(items)))
+        size, extra = divmod(len(items), batches)
+        result: List[List[Tuple[Prefix, int]]] = []
+        start = 0
+        for index in range(batches):
+            stop = start + size + (1 if index < extra else 0)
+            result.append(items[start:stop])
+            start = stop
+        return result
+
+    def _merge(
+        self,
+        origins: Mapping[Prefix, int],
+        partials: List[PropagationResult],
+    ) -> PropagationResult:
+        """Union the per-prefix state of disjoint batch results."""
+        merged = self._new_simulator()
+        events = 0
+        reachable_counts: Dict[Prefix, int] = {}
+        for partial in partials:
+            events += partial.events
+            reachable_counts.update(partial.reachable_counts)
+            for asn, speaker in partial.speakers.items():
+                merged.speakers[asn].absorb(speaker)
+        # Report counts in the caller's origin order, like a serial run.
+        # Every origin must appear in exactly one batch result; a
+        # KeyError here means the split/merge invariant broke.
+        ordered = {prefix: reachable_counts[prefix] for prefix in origins}
+        return PropagationResult(
+            speakers=merged.speakers,
+            origins=dict(origins),
+            events=events,
+            reachable_counts=ordered,
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, origins: Mapping[Prefix, int]) -> PropagationResult:
+        """Serial propagation — identical to ``PropagationSimulator.run``."""
+        return self._new_simulator().run(origins)
+
+    def run_many(
+        self,
+        origins: Mapping[Prefix, int],
+        workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> PropagationResult:
+        """Propagate ``origins``, batched over ``workers`` simulators.
+
+        ``workers=None``, ``0`` or ``1`` runs serially (no executor, no
+        merge — bit-identical to :meth:`run`).  Larger values split the
+        origins into ``workers`` contiguous batches and propagate them
+        concurrently on the chosen executor; results are merged into a
+        single :class:`PropagationResult` that is identical to the
+        serial one (prefix propagation is independent by construction).
+
+        ``executor`` selects ``"thread"`` (default; no pickling) or
+        ``"process"`` (true parallelism; everything crosses a pickle
+        boundary).
+        """
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if not workers or workers <= 1 or len(origins) <= 1:
+            return self.run(origins)
+        batches = self._split(origins, workers)
+        if len(batches) <= 1:
+            return self.run(origins)
+        executor_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if executor == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        with executor_cls(max_workers=len(batches)) as pool:
+            partials = list(pool.map(self._run_batch, batches))
+        return self._merge(origins, partials)

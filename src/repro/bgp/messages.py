@@ -8,7 +8,7 @@ extended AS path and freshly computed LOCAL_PREF / communities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Tuple
 
 from repro.core.relationships import AFI, Relationship
@@ -16,9 +16,14 @@ from repro.bgp.attributes import ASPath, Community, Origin, PathAttributes
 from repro.bgp.prefixes import Prefix
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """A route to ``prefix`` as held by AS ``holder``.
+
+    Routes are created once per import event, so the class is slotted to
+    keep the per-instance footprint small at simulation scale, and the
+    :meth:`full_path` tuple is memoized (analysis code calls it
+    repeatedly on converged routes).
 
     Attributes:
         prefix: The destination prefix.
@@ -39,6 +44,14 @@ class Route:
     attributes: PathAttributes
     learned_from: Optional[int] = None
     learned_relationship: Optional[Relationship] = None
+    _full_path: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # Memo slot for the BGP decision-process preference key; computed
+    # (once, routes are immutable) and read by BGPSpeaker._preference_key.
+    _pref_key: Optional[Tuple[int, int, int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def afi(self) -> AFI:
@@ -74,11 +87,16 @@ class Route:
         """The AS path including the holder, observer-side first.
 
         Locally originated routes already carry the holder as their only
-        hop, so it is not repeated.
+        hop, so it is not repeated.  The result is memoized.
         """
-        if self.is_local:
-            return self.attributes.as_path.hops
-        return (self.holder,) + self.attributes.as_path.hops
+        path = self._full_path
+        if path is None:
+            if self.is_local:
+                path = self.attributes.as_path.hops
+            else:
+                path = (self.holder,) + self.attributes.as_path.hops
+            object.__setattr__(self, "_full_path", path)
+        return path
 
     def with_attributes(self, attributes: PathAttributes) -> "Route":
         """Return a copy with different attributes."""
@@ -96,7 +114,7 @@ class Route:
         return cls(prefix=prefix, holder=origin_as, attributes=attributes)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Announcement:
     """A route advertisement in flight from ``sender`` to ``receiver``.
 

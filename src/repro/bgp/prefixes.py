@@ -37,6 +37,37 @@ class Prefix:
             else ipaddress.ip_network(network, strict=True)
         )
         object.__setattr__(self, "network", str(parsed))
+        # The address family is consulted on every import/export decision
+        # of the propagation simulator; computing it through ``parsed``
+        # would re-run the ipaddress parser each time (the seed profile
+        # showed ~40 % of propagation wall time there), so it is derived
+        # once at construction.  Not a dataclass field: equality,
+        # ordering and hashing stay keyed on ``network`` alone.
+        object.__setattr__(
+            self, "_afi", AFI.IPV4 if parsed.version == 4 else AFI.IPV6
+        )
+        # Prefixes key every RIB dict in the propagation simulator; the
+        # dataclass-generated hash builds a throwaway tuple per call, so
+        # the hash is precomputed alongside.
+        object.__setattr__(self, "_hash", hash((Prefix, str(parsed))))
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:  # instances restored from pickles
+            value = hash((Prefix, self.network))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self):
+        # The cached hash depends on the writing process's hash seed
+        # (str hash randomization), so it must never cross a pickle
+        # boundary; __hash__ recomputes it lazily on the reading side.
+        return {"network": self.network, "_afi": self._afi}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "network", state["network"])
+        object.__setattr__(self, "_afi", state["_afi"])
 
     @property
     def parsed(self) -> _IPNetwork:
@@ -46,7 +77,12 @@ class Prefix:
     @property
     def afi(self) -> AFI:
         """Address family of the prefix."""
-        return AFI.IPV4 if self.parsed.version == 4 else AFI.IPV6
+        try:
+            return self._afi
+        except AttributeError:  # instances restored from old pickles
+            afi = AFI.IPV4 if self.parsed.version == 4 else AFI.IPV6
+            object.__setattr__(self, "_afi", afi)
+            return afi
 
     @property
     def length(self) -> int:

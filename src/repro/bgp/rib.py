@@ -24,6 +24,8 @@ from repro.bgp.prefixes import Prefix
 class AdjRibIn:
     """Routes received from one neighbour, keyed by prefix."""
 
+    __slots__ = ("neighbor", "_routes")
+
     def __init__(self, neighbor: int) -> None:
         self.neighbor = neighbor
         self._routes: Dict[Prefix, Route] = {}
@@ -55,6 +57,8 @@ class AdjRibIn:
 
 class LocRib:
     """The best route per prefix, as selected by the decision process."""
+
+    __slots__ = ("_routes",)
 
     def __init__(self) -> None:
         self._routes: Dict[Prefix, Route] = {}

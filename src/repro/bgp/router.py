@@ -13,6 +13,18 @@ Each AS in the propagation simulator is represented by a
 The decision process implements the attribute comparisons that matter
 for the reproduction: highest LOCAL_PREF, then shortest AS path, then
 lowest neighbour ASN as the deterministic tie breaker.
+
+Performance notes
+-----------------
+
+The speaker keeps, next to the per-neighbour Adj-RIB-In tables, a
+**per-prefix candidate index** (``prefix -> {neighbour: route}``).  The
+decision process therefore only looks at the neighbours that actually
+hold a route for the prefix instead of scanning every Adj-RIB-In — on
+hub ASes (hundreds of sessions, the cost hot-spot predicted by the
+scale-free-network literature) this turns each decision from O(degree)
+into O(holders).  The sorted neighbour views used by the export side are
+cached per AFI and invalidated when sessions change.
 """
 
 from __future__ import annotations
@@ -21,14 +33,19 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.relationships import AFI, Relationship
-from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.attributes import PathAttributes
 from repro.bgp.messages import Announcement, Route
 from repro.bgp.policy import RoutingPolicy
 from repro.bgp.prefixes import Prefix
 from repro.bgp.rib import AdjRibIn, LocRib, RibSnapshot
 
 
-@dataclass(frozen=True)
+#: Sentinel import-defaults value: the policy customizes its import
+#: hooks, so local_pref_for/import_communities must run per route.
+_CONSULT_POLICY = object()
+
+
+@dataclass(frozen=True, slots=True)
 class Neighbor:
     """A BGP adjacency and the relationship the local AS has towards it.
 
@@ -44,6 +61,18 @@ class Neighbor:
 class BGPSpeaker:
     """One AS participating in the route propagation."""
 
+    __slots__ = (
+        "asn",
+        "policy",
+        "_neighbors",
+        "_adj_rib_in",
+        "loc_rib",
+        "_local_routes",
+        "_sorted_neighbors",
+        "_routes_by_prefix",
+        "_import_defaults",
+    )
+
     def __init__(self, asn: int, policy: Optional[RoutingPolicy] = None) -> None:
         self.asn = asn
         self.policy = policy or RoutingPolicy(asn=asn)
@@ -52,6 +81,18 @@ class BGPSpeaker:
         self._adj_rib_in: Dict[int, AdjRibIn] = {}
         self.loc_rib = LocRib()
         self._local_routes: Dict[Prefix, Route] = {}
+        # Cached sorted neighbour tuples per AFI (invalidated by
+        # add_neighbor) and the per-prefix candidate index.
+        self._sorted_neighbors: Dict[AFI, Optional[Tuple[Neighbor, ...]]] = {
+            AFI.IPV4: None,
+            AFI.IPV6: None,
+        }
+        self._routes_by_prefix: Dict[Prefix, Dict[int, Route]] = {}
+        # relationship -> (LOCAL_PREF, communities-to-add) for the
+        # no-TE-override case, or the _CONSULT_POLICY sentinel for
+        # policies with custom import hooks; rebuilt lazily (see
+        # reset_import_cache).
+        self._import_defaults = None
 
     # ------------------------------------------------------------------
     # session management
@@ -64,10 +105,21 @@ class BGPSpeaker:
             raise ValueError("neighbour relationship must be known")
         self._neighbors[afi][asn] = Neighbor(asn=asn, relationship=relationship)
         self._adj_rib_in.setdefault(asn, AdjRibIn(asn))
+        self._sorted_neighbors[afi] = None
 
     def neighbors(self, afi: AFI) -> List[Neighbor]:
-        """All neighbours for one address family."""
-        return sorted(self._neighbors[afi].values(), key=lambda n: n.asn)
+        """All neighbours for one address family (sorted by ASN)."""
+        return list(self.sorted_neighbors(afi))
+
+    def sorted_neighbors(self, afi: AFI) -> Tuple[Neighbor, ...]:
+        """Cached, ASN-sorted neighbour tuple for one address family."""
+        cached = self._sorted_neighbors[afi]
+        if cached is None:
+            cached = tuple(
+                sorted(self._neighbors[afi].values(), key=lambda n: n.asn)
+            )
+            self._sorted_neighbors[afi] = cached
+        return cached
 
     def relationship_to(self, asn: int, afi: AFI) -> Optional[Relationship]:
         """Relationship towards a neighbour (``None`` if not adjacent in ``afi``)."""
@@ -91,21 +143,86 @@ class BGPSpeaker:
         new best therefore needs to be re-exported).
         """
         sender = announcement.sender
-        relationship = self.relationship_to(sender, announcement.afi)
+        prefix = announcement.prefix
+        relationship = self.relationship_to(sender, prefix.afi)
         if relationship is None:
             raise ValueError(
                 f"AS{self.asn} received an announcement from non-neighbour AS{sender}"
             )
-        # Standard loop prevention: reject paths that already contain us.
-        if announcement.as_path.contains(self.asn):
-            return False
-        local_pref, override = self.policy.local_pref_for(
-            sender, relationship, announcement.prefix
+        return self.import_route(
+            prefix, sender, relationship, announcement.attributes
         )
-        added_communities = self.policy.import_communities(relationship, override)
-        attributes = announcement.attributes.add_communities(added_communities)
+
+    def reset_import_cache(self) -> None:
+        """Drop the cached per-relationship import defaults.
+
+        The cache snapshots the policy's LOCAL_PREF scheme and community
+        tagging; call this after mutating a policy of an already-used
+        speaker (the propagation simulator does so at the start of every
+        run).
+        """
+        self._import_defaults = None
+
+    def _build_import_defaults(self):
+        policy = self.policy
+        # Policies that override the import hooks (custom local_pref_for
+        # or import_communities) cannot be snapshotted into defaults —
+        # they must be consulted per route, like the seed did.
+        cls = type(policy)
+        if (
+            cls.local_pref_for is not RoutingPolicy.local_pref_for
+            or cls.import_communities is not RoutingPolicy.import_communities
+        ):
+            self._import_defaults = _CONSULT_POLICY
+            return _CONSULT_POLICY
+        defaults = {
+            relationship: (
+                policy.local_pref.for_relationship(relationship),
+                tuple(policy.import_communities(relationship, None)),
+            )
+            for relationship in (
+                Relationship.P2C,
+                Relationship.C2P,
+                Relationship.P2P,
+                Relationship.SIBLING,
+            )
+        }
+        self._import_defaults = defaults
+        return defaults
+
+    def import_route(
+        self,
+        prefix: Prefix,
+        sender: int,
+        relationship: Relationship,
+        attributes: PathAttributes,
+    ) -> bool:
+        """Import a route from ``sender`` (the announcement-free fast path).
+
+        ``relationship`` is this AS's relationship towards ``sender``;
+        the propagation hot loop derives it from its export plans instead
+        of re-resolving the neighbour table per announcement.  Returns
+        True when the best route for the prefix changed.
+        """
+        as_path = attributes.as_path
+        # Standard loop prevention: reject paths that already contain us.
+        if self.asn in as_path._hops:
+            return False
+        policy = self.policy
+        defaults = self._import_defaults
+        if defaults is None:
+            defaults = self._build_import_defaults()
+        if policy.te_overrides or defaults is _CONSULT_POLICY:
+            local_pref, override = policy.local_pref_for(sender, relationship, prefix)
+            added_communities: Tuple = tuple(
+                policy.import_communities(relationship, override)
+            )
+        else:
+            local_pref, added_communities = defaults[relationship]
+        if added_communities:
+            attributes = attributes.add_communities(added_communities)
         attributes = PathAttributes(
-            as_path=attributes.as_path,
+            as_path=as_path,
             local_pref=local_pref,
             med=attributes.med,
             origin=attributes.origin,
@@ -113,19 +230,51 @@ class BGPSpeaker:
             communities=attributes.communities,
         )
         route = Route(
-            prefix=announcement.prefix,
+            prefix=prefix,
             holder=self.asn,
             attributes=attributes,
             learned_from=sender,
             learned_relationship=relationship,
         )
-        self._adj_rib_in[sender].update(route)
-        return self._run_decision(announcement.prefix)
+        self._adj_rib_in[sender]._routes[prefix] = route
+        holders = self._routes_by_prefix.get(prefix)
+        if holders is None:
+            holders = self._routes_by_prefix[prefix] = {}
+        holders[sender] = route
+        # Incremental decision: a full candidate comparison is only
+        # needed when this neighbour previously supplied the best route
+        # (the replacement may be worse).  Otherwise the new route either
+        # strictly beats the installed best or changes nothing, and both
+        # verdicts come from _preference_key — the single definition of
+        # the decision ordering.
+        loc_routes = self.loc_rib._routes
+        best = loc_routes.get(prefix)
+        if best is None:
+            loc_routes[prefix] = route
+            return True
+        best_sender = best.learned_from
+        if best_sender is None:  # locally originated always wins
+            return False
+        if best_sender == sender:
+            return self._run_decision(prefix)
+        if self._preference_key(route) > self._preference_key(best):
+            loc_routes[prefix] = route
+            return True
+        return False
 
     def withdraw(self, prefix: Prefix, sender: int) -> bool:
         """Process a withdrawal from a neighbour; returns True if best changed."""
         rib = self._adj_rib_in.get(sender)
         if rib is None or rib.withdraw(prefix) is None:
+            return False
+        holders = self._routes_by_prefix.get(prefix)
+        if holders is not None:
+            holders.pop(sender, None)
+            if not holders:
+                del self._routes_by_prefix[prefix]
+        # Removing a route that was not the installed best changes nothing.
+        best = self.loc_rib.best(prefix)
+        if best is not None and best.learned_from != sender:
             return False
         return self._run_decision(prefix)
 
@@ -138,22 +287,37 @@ class BGPSpeaker:
 
         Locally originated routes always win; otherwise higher
         LOCAL_PREF, then shorter AS path, then lower neighbour ASN.
+        The key is memoized on the (immutable) route, so the decision
+        ordering stays defined in exactly one place without paying a
+        tuple construction per comparison.
         """
-        if route.is_local:
-            return (1, 0, 0, 0)
-        local_pref = route.local_pref if route.local_pref is not None else 100
-        # Negative values convert "smaller is better" into "larger is better".
-        return (0, local_pref, -len(route.as_path.hops), -route.learned_from)
+        key = route._pref_key
+        if key is None:
+            if route.learned_from is None:  # locally originated
+                key = (1, 0, 0, 0)
+            else:
+                local_pref = route.attributes.local_pref
+                if local_pref is None:
+                    local_pref = 100
+                # Negative values convert "smaller is better" into
+                # "larger is better".
+                key = (
+                    0,
+                    local_pref,
+                    -len(route.attributes.as_path._hops),
+                    -route.learned_from,
+                )
+            object.__setattr__(route, "_pref_key", key)
+        return key
 
     def _candidates(self, prefix: Prefix) -> List[Route]:
         candidates: List[Route] = []
         local = self._local_routes.get(prefix)
         if local is not None:
             candidates.append(local)
-        for rib in self._adj_rib_in.values():
-            route = rib.route_for(prefix)
-            if route is not None:
-                candidates.append(route)
+        holders = self._routes_by_prefix.get(prefix)
+        if holders:
+            candidates.extend(holders.values())
         return candidates
 
     def _run_decision(self, prefix: Prefix) -> bool:
@@ -190,20 +354,31 @@ class BGPSpeaker:
             best.learned_relationship, neighbor.relationship, neighbor_asn, afi
         ):
             return None
+        return Announcement(
+            prefix=prefix,
+            sender=self.asn,
+            receiver=neighbor_asn,
+            attributes=self.exported_attributes(best),
+        )
+
+    def exported_attributes(self, best: Route) -> PathAttributes:
+        """The attributes ``best`` is exported with (receiver-independent).
+
+        The exported attribute set does not depend on which neighbour the
+        announcement goes to, so the propagation hot loop computes it
+        once per best-route change and fans it out.
+        """
         # Locally originated routes already carry the origin AS as their
         # only hop; prepending again would duplicate it.
         exported_path = best.as_path if best.is_local else best.as_path.prepend(self.asn)
         communities = () if self.policy.strip_communities_on_export else best.communities
-        attributes = PathAttributes(
+        return PathAttributes(
             as_path=exported_path,
             local_pref=None,  # LOCAL_PREF is not propagated across EBGP sessions.
             med=0,
             origin=best.attributes.origin,
             next_hop="",
             communities=communities,
-        )
-        return Announcement(
-            prefix=prefix, sender=self.asn, receiver=neighbor_asn, attributes=attributes
         )
 
     def exportable_neighbors(self, prefix: Prefix) -> List[int]:
@@ -213,7 +388,7 @@ class BGPSpeaker:
             return []
         afi = prefix.afi
         result = []
-        for neighbor in self.neighbors(afi):
+        for neighbor in self.sorted_neighbors(afi):
             if neighbor.asn == best.learned_from:
                 continue
             if self.policy.export_allowed(
@@ -234,11 +409,39 @@ class BGPSpeaker:
         network-wide simulator uses this to keep memory proportional to
         the number of vantage points rather than to ASes x prefixes.
         """
-        for rib in self._adj_rib_in.values():
-            rib.withdraw(prefix)
+        holders = self._routes_by_prefix.pop(prefix, None)
+        if holders:
+            for sender in holders:
+                self._adj_rib_in[sender].withdraw(prefix)
         if not keep_best:
             self.loc_rib.remove(prefix)
             self._local_routes.pop(prefix, None)
+
+    # ------------------------------------------------------------------
+    # merging (parallel propagation)
+    # ------------------------------------------------------------------
+    def absorb(self, other: "BGPSpeaker") -> None:
+        """Merge per-prefix state from a speaker of the same AS.
+
+        Used by :class:`~repro.bgp.engine.PropagationEngine` to combine
+        the results of workers that propagated **disjoint** prefix sets;
+        per-prefix state never collides, so merging is a plain union.
+        """
+        if other.asn != self.asn:
+            raise ValueError(
+                f"cannot absorb AS{other.asn} state into AS{self.asn}"
+            )
+        self._local_routes.update(other._local_routes)
+        for route in other.loc_rib:
+            self.loc_rib.install(route)
+        for sender, rib in other._adj_rib_in.items():
+            mine = self._adj_rib_in.get(sender)
+            if mine is None:
+                mine = self._adj_rib_in[sender] = AdjRibIn(sender)
+            for route in rib:
+                mine.update(route)
+        for prefix, holders in other._routes_by_prefix.items():
+            self._routes_by_prefix.setdefault(prefix, {}).update(holders)
 
     # ------------------------------------------------------------------
     # snapshots

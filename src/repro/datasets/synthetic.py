@@ -233,9 +233,9 @@ def _apply_peering_disputes(
             bridge = shared[rng.randrange(len(shared))]
         if bridge is None:
             continue
-        # The two tier-1s stop interconnecting for IPv6.
-        record = graph.dual_stack_relationship(link.a, link.b)
-        record.ipv6 = Relationship.UNKNOWN
+        # The two tier-1s stop interconnecting for IPv6 (clearing the
+        # relationship through the graph API keeps the indexes in sync).
+        graph.set_relationship(link.a, link.b, AFI.IPV6, Relationship.UNKNOWN)
         disputes.append(link)
         # The bridge leaks between its providers (IPv6 only).
         for provider in (link.a, link.b):

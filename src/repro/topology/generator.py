@@ -214,7 +214,7 @@ def generate_topology(config: Optional[TopologyConfig] = None) -> GeneratedTopol
     for link in graph.links(AFI.IPV4):
         if link.a in ipv6_ases and link.b in ipv6_ases:
             record = graph.dual_stack_relationship(link.a, link.b)
-            record.ipv6 = record.ipv4
+            graph.set_relationship(link.a, link.b, AFI.IPV6, record.ipv4)
 
     # ------------------------------------------------------------------
     # Plant hybrid relationships on dual-stack links, biased to tier-1/2.
@@ -253,7 +253,8 @@ def generate_topology(config: Optional[TopologyConfig] = None) -> GeneratedTopol
             if counts[HybridType.PEER4_TRANSIT6] >= target_peer4_transit6:
                 continue
             # Peering for IPv4, transit for IPv6 (dominant type).
-            record.ipv6 = Relationship.P2C if rng.random() < 0.5 else Relationship.C2P
+            rel_v6 = Relationship.P2C if rng.random() < 0.5 else Relationship.C2P
+            graph.set_relationship(link.a, link.b, AFI.IPV6, rel_v6)
             hybrid_links[link] = HybridType.PEER4_TRANSIT6
             counts[HybridType.PEER4_TRANSIT6] += 1
         elif record.ipv4.is_transit:
@@ -263,14 +264,14 @@ def generate_topology(config: Optional[TopologyConfig] = None) -> GeneratedTopol
                 and target > 0
             ):
                 # The single p2c(IPv4)/c2p(IPv6) case the paper reports.
-                record.ipv6 = record.ipv4.inverse
+                graph.set_relationship(link.a, link.b, AFI.IPV6, record.ipv4.inverse)
                 hybrid_links[link] = HybridType.TRANSIT_REVERSED
                 counts[HybridType.TRANSIT_REVERSED] += 1
                 continue
             if counts[HybridType.PEER6_TRANSIT4] >= target_peer6_transit4:
                 continue
             # Transit for IPv4, peering for IPv6.
-            record.ipv6 = Relationship.P2P
+            graph.set_relationship(link.a, link.b, AFI.IPV6, Relationship.P2P)
             hybrid_links[link] = HybridType.PEER6_TRANSIT4
             counts[HybridType.PEER6_TRANSIT4] += 1
 

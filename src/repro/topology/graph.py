@@ -10,13 +10,37 @@ and the link is not reported as dual-stack.
 The graph is deliberately independent of any BGP machinery; the BGP
 propagation simulator (:mod:`repro.bgp.propagation`) and the inference
 pipeline (:mod:`repro.core`) both operate on it.
+
+Performance notes
+-----------------
+
+Relationship queries sit on the hot path of every downstream consumer
+(session building, customer-cone computation, the Gao/degree baselines),
+so the graph maintains **incrementally updated directed per-AFI
+indexes**:
+
+* ``_rel_from[afi][asn][neighbor]`` holds the relationship of the
+  ``asn -> neighbor`` edge *from asn's point of view* for every link
+  whose relationship is known in ``afi``.  ``relationship()`` is a pair
+  of dict lookups; ``providers_of()`` and friends are single O(deg)
+  scans of that dict (no :class:`Link` allocation, no re-orientation).
+* ``_sorted_cache`` memoizes the sorted tuples the query helpers return
+  (neighbor lists, link lists, the ``ases`` view).  The cache is cleared
+  wholesale by every mutation — mutations are construction-phase,
+  queries dominate afterwards, so coarse invalidation is the right
+  trade-off.
+
+Every mutation **must** go through the graph API (:meth:`add_link`,
+:meth:`set_relationship`, :meth:`remove_link`).  Code that mutates a
+:class:`~repro.core.relationships.DualStackRelationship` record obtained
+from :meth:`dual_stack_relationship` directly bypasses the indexes and
+must call :meth:`rebuild_indexes` afterwards.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -28,8 +52,11 @@ from repro.core.relationships import (
     orient_relationship,
 )
 
+#: Shared immutable fallback for index lookups of ASes with no links.
+_EMPTY: Dict[int, Relationship] = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class ASNode:
     """Metadata attached to an AS in the topology.
 
@@ -66,13 +93,58 @@ class ASGraph:
     Relationships are stored in the canonical orientation of each
     :class:`~repro.core.relationships.Link` (smaller ASN first).  All the
     query helpers (``providers_of``, ``customers_of`` ...) re-orient them
-    transparently.
+    transparently via the directed indexes.
     """
 
     def __init__(self) -> None:
         self._nodes: Dict[int, ASNode] = {}
-        self._adjacency: Dict[int, Set[int]] = defaultdict(set)
+        self._adjacency: Dict[int, Set[int]] = {}
         self._relationships: Dict[Link, DualStackRelationship] = {}
+        # Directed per-AFI relationship index: asn -> neighbor -> the
+        # relationship from asn's point of view.  Only known
+        # relationships are stored.
+        self._rel_from: Dict[AFI, Dict[int, Dict[int, Relationship]]] = {
+            AFI.IPV4: {},
+            AFI.IPV6: {},
+        }
+        # Lazily filled cache of sorted tuples handed out by the query
+        # helpers; cleared wholesale on every mutation.
+        self._sorted_cache: Dict[Tuple, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _index_set(self, link: Link, afi: AFI, canonical: Relationship) -> None:
+        """Record the (possibly UNKNOWN) canonical relationship of a link."""
+        index = self._rel_from[afi]
+        a, b = link.a, link.b
+        if canonical.is_known:
+            index.setdefault(a, {})[b] = canonical
+            index.setdefault(b, {})[a] = canonical.inverse
+        else:
+            row = index.get(a)
+            if row is not None:
+                row.pop(b, None)
+            row = index.get(b)
+            if row is not None:
+                row.pop(a, None)
+
+    def rebuild_indexes(self) -> None:
+        """Recompute the directed indexes from the relationship records.
+
+        Only needed after mutating a :class:`DualStackRelationship`
+        record obtained from :meth:`dual_stack_relationship` directly;
+        the graph's own mutators keep the indexes consistent.
+        """
+        self._rel_from = {AFI.IPV4: {}, AFI.IPV6: {}}
+        self._sorted_cache.clear()
+        for link, record in self._relationships.items():
+            self._index_set(link, AFI.IPV4, record.ipv4)
+            self._index_set(link, AFI.IPV6, record.ipv6)
+
+    def _require_as(self, asn: int) -> None:
+        if asn not in self._nodes:
+            raise KeyError(f"AS{asn} is not in the graph")
 
     # ------------------------------------------------------------------
     # construction
@@ -93,6 +165,7 @@ class ASGraph:
             node = ASNode(asn=asn, name=name, tier=tier, ipv4=ipv4, ipv6=ipv6)
             self._nodes[asn] = node
             self._adjacency.setdefault(asn, set())
+            self._sorted_cache.clear()
         else:
             if name:
                 node.name = name
@@ -134,12 +207,15 @@ class ASGraph:
             self._adjacency[b].add(a)
         if rel_v4 is not None:
             record.ipv4 = orient_relationship(a, b, rel_v4)
+            self._index_set(link, AFI.IPV4, record.ipv4)
             self._nodes[a].ipv4 = True
             self._nodes[b].ipv4 = True
         if rel_v6 is not None:
             record.ipv6 = orient_relationship(a, b, rel_v6)
+            self._index_set(link, AFI.IPV6, record.ipv6)
             self._nodes[a].ipv6 = True
             self._nodes[b].ipv6 = True
+        self._sorted_cache.clear()
         return link
 
     def set_relationship(
@@ -148,21 +224,50 @@ class ASGraph:
         """Set the relationship of an existing link for one plane.
 
         The relationship is expressed from ``a``'s point of view.
+        Setting :data:`Relationship.UNKNOWN` removes the link from the
+        given plane (this is how the synthetic peering disputes model two
+        ASes de-peering for IPv6 only).
         """
         link = Link(a, b)
         record = self._relationships.get(link)
         if record is None:
             raise KeyError(f"link {link} is not in the graph")
-        record.set_relationship(afi, orient_relationship(a, b, relationship))
+        canonical = orient_relationship(a, b, relationship)
+        record.set_relationship(afi, canonical)
+        self._index_set(link, afi, canonical)
+        self._sorted_cache.clear()
 
-    def remove_link(self, a: int, b: int) -> None:
-        """Remove a link entirely (both planes)."""
+    def remove_link(self, a: int, b: int, recompute_planes: bool = False) -> None:
+        """Remove a link entirely (both planes).
+
+        The endpoints' plane-participation flags (``ipv4`` / ``ipv6``)
+        are **not** touched by default, even when the removed link was
+        the AS's only link in a plane — participation may have been
+        declared explicitly through :meth:`add_as` and the graph cannot
+        tell the two apart.  Pass ``recompute_planes=True`` to re-derive
+        both endpoints' flags from their remaining link relationships
+        (any explicitly declared, link-less participation is lost).
+        """
         link = Link(a, b)
         if link not in self._relationships:
             raise KeyError(f"link {link} is not in the graph")
         del self._relationships[link]
-        self._adjacency[a].discard(b)
-        self._adjacency[b].discard(a)
+        adjacency = self._adjacency.get(a)
+        if adjacency is not None:
+            adjacency.discard(b)
+        adjacency = self._adjacency.get(b)
+        if adjacency is not None:
+            adjacency.discard(a)
+        self._index_set(link, AFI.IPV4, Relationship.UNKNOWN)
+        self._index_set(link, AFI.IPV6, Relationship.UNKNOWN)
+        self._sorted_cache.clear()
+        if recompute_planes:
+            for asn in (a, b):
+                node = self._nodes.get(asn)
+                if node is None:
+                    continue
+                node.ipv4 = bool(self._rel_from[AFI.IPV4].get(asn))
+                node.ipv6 = bool(self._rel_from[AFI.IPV6].get(asn))
 
     # ------------------------------------------------------------------
     # basic queries
@@ -176,7 +281,11 @@ class ASGraph:
     @property
     def ases(self) -> List[int]:
         """All AS numbers, sorted."""
-        return sorted(self._nodes)
+        cached = self._sorted_cache.get(("ases",))
+        if cached is None:
+            cached = tuple(sorted(self._nodes))
+            self._sorted_cache[("ases",)] = cached
+        return list(cached)
 
     def node(self, asn: int) -> ASNode:
         """Metadata for one AS."""
@@ -201,19 +310,34 @@ class ASGraph:
         practice the generator and the serializers always set known
         relationships, so "present" boils down to "relationship known".
         """
-        if afi is None:
-            return sorted(self._relationships)
-        return sorted(
-            link
-            for link, record in self._relationships.items()
-            if record.relationship(afi).is_known
-        )
+        cached = self._sorted_cache.get(("links", afi))
+        if cached is None:
+            if afi is None:
+                cached = tuple(sorted(self._relationships))
+            else:
+                cached = tuple(
+                    sorted(
+                        link
+                        for link, record in self._relationships.items()
+                        if record.relationship(afi).is_known
+                    )
+                )
+            self._sorted_cache[("links", afi)] = cached
+        return list(cached)
 
     def dual_stack_links(self) -> List[Link]:
         """Links whose relationship is known in both planes."""
-        return sorted(
-            link for link, record in self._relationships.items() if record.both_known
-        )
+        cached = self._sorted_cache.get(("dual_stack_links",))
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    link
+                    for link, record in self._relationships.items()
+                    if record.both_known
+                )
+            )
+            self._sorted_cache[("dual_stack_links",)] = cached
+        return list(cached)
 
     def relationship(self, a: int, b: int, afi: AFI) -> Relationship:
         """Relationship of the link ``a-b`` in ``afi`` from ``a``'s view.
@@ -221,70 +345,91 @@ class ASGraph:
         Returns ``UNKNOWN`` for absent links so that callers probing
         arbitrary pairs do not need to special-case missing edges.
         """
-        if a == b:
+        row = self._rel_from[afi].get(a)
+        if row is None:
             return Relationship.UNKNOWN
-        record = self._relationships.get(Link(a, b))
-        if record is None:
-            return Relationship.UNKNOWN
-        canonical = record.relationship(afi)
-        if not canonical.is_known:
-            return Relationship.UNKNOWN
-        return Link(a, b).relationship_from(a, canonical)
+        return row.get(b, Relationship.UNKNOWN)
 
     def dual_stack_relationship(self, a: int, b: int) -> Optional[DualStackRelationship]:
-        """The raw per-plane relationship record of a link (canonical view)."""
+        """The raw per-plane relationship record of a link (canonical view).
+
+        The returned record is **live**: mutating it directly bypasses
+        the graph's directed indexes.  Prefer :meth:`set_relationship`;
+        if you must mutate records in bulk, call :meth:`rebuild_indexes`
+        afterwards.
+        """
         return self._relationships.get(Link(a, b))
+
+    def oriented_neighbors(self, asn: int, afi: AFI) -> Tuple[Tuple[int, Relationship], ...]:
+        """``(neighbor, relationship-from-asn)`` pairs, sorted by neighbor.
+
+        Only neighbors whose relationship is known in ``afi`` are
+        returned.  This is the bulk accessor the propagation simulator
+        uses to build its per-AFI sessions in one O(deg) pass per AS.
+        """
+        self._require_as(asn)
+        key = ("oriented", afi, asn)
+        cached = self._sorted_cache.get(key)
+        if cached is None:
+            row = self._rel_from[afi].get(asn, _EMPTY)
+            cached = tuple(sorted(row.items()))
+            self._sorted_cache[key] = cached
+        return cached
 
     def neighbors(self, asn: int, afi: Optional[AFI] = None) -> List[int]:
         """Neighbors of an AS, optionally restricted to one plane."""
-        if asn not in self._nodes:
-            raise KeyError(f"AS{asn} is not in the graph")
-        if afi is None:
-            return sorted(self._adjacency[asn])
-        return sorted(
-            other
-            for other in self._adjacency[asn]
-            if self.relationship(asn, other, afi).is_known
-        )
+        self._require_as(asn)
+        key = ("neighbors", afi, asn)
+        cached = self._sorted_cache.get(key)
+        if cached is None:
+            if afi is None:
+                cached = tuple(sorted(self._adjacency.get(asn, ())))
+            else:
+                cached = tuple(sorted(self._rel_from[afi].get(asn, _EMPTY)))
+            self._sorted_cache[key] = cached
+        return list(cached)
 
     def degree(self, asn: int, afi: Optional[AFI] = None) -> int:
         """Number of neighbors of an AS (optionally per plane)."""
-        return len(self.neighbors(asn, afi))
+        self._require_as(asn)
+        if afi is None:
+            return len(self._adjacency.get(asn, ()))
+        return len(self._rel_from[afi].get(asn, _EMPTY))
 
     # ------------------------------------------------------------------
     # relationship-oriented queries
     # ------------------------------------------------------------------
+    def _directed_query(self, asn: int, afi: AFI, wanted: Relationship) -> List[int]:
+        """Neighbors whose relationship from ``asn``'s view is ``wanted``.
+
+        Raises ``KeyError`` for ASes that are not in the graph — probing
+        must never mutate the adjacency structures (the seed
+        implementation's ``defaultdict`` silently grew them).
+        """
+        self._require_as(asn)
+        key = (wanted, afi, asn)
+        cached = self._sorted_cache.get(key)
+        if cached is None:
+            row = self._rel_from[afi].get(asn, _EMPTY)
+            cached = tuple(sorted(n for n, rel in row.items() if rel is wanted))
+            self._sorted_cache[key] = cached
+        return list(cached)
+
     def providers_of(self, asn: int, afi: AFI) -> List[int]:
         """ASes that provide transit to ``asn`` in the given plane."""
-        return sorted(
-            other
-            for other in self._adjacency[asn]
-            if self.relationship(asn, other, afi) is Relationship.C2P
-        )
+        return self._directed_query(asn, afi, Relationship.C2P)
 
     def customers_of(self, asn: int, afi: AFI) -> List[int]:
         """ASes that buy transit from ``asn`` in the given plane."""
-        return sorted(
-            other
-            for other in self._adjacency[asn]
-            if self.relationship(asn, other, afi) is Relationship.P2C
-        )
+        return self._directed_query(asn, afi, Relationship.P2C)
 
     def peers_of(self, asn: int, afi: AFI) -> List[int]:
         """Settlement-free peers of ``asn`` in the given plane."""
-        return sorted(
-            other
-            for other in self._adjacency[asn]
-            if self.relationship(asn, other, afi) is Relationship.P2P
-        )
+        return self._directed_query(asn, afi, Relationship.P2P)
 
     def siblings_of(self, asn: int, afi: AFI) -> List[int]:
         """Sibling ASes of ``asn`` in the given plane."""
-        return sorted(
-            other
-            for other in self._adjacency[asn]
-            if self.relationship(asn, other, afi) is Relationship.SIBLING
-        )
+        return self._directed_query(asn, afi, Relationship.SIBLING)
 
     def transit_free(self, asn: int, afi: AFI) -> bool:
         """True when the AS has no providers in the given plane."""
@@ -296,14 +441,16 @@ class ASGraph:
         The root itself is included, matching the usual CAIDA definition
         of the customer cone.
         """
+        self._require_as(asn)
+        index = self._rel_from[afi]
         cone: Set[int] = {asn}
         frontier = [asn]
         while frontier:
             current = frontier.pop()
-            for customer in self.customers_of(current, afi):
-                if customer not in cone:
-                    cone.add(customer)
-                    frontier.append(customer)
+            for neighbor, rel in index.get(current, _EMPTY).items():
+                if rel is Relationship.P2C and neighbor not in cone:
+                    cone.add(neighbor)
+                    frontier.append(neighbor)
         return cone
 
     def transit_degree(self, asn: int, afi: AFI) -> int:
@@ -314,7 +461,11 @@ class ASGraph:
     # plane-level views
     # ------------------------------------------------------------------
     def ases_in(self, afi: AFI) -> List[int]:
-        """ASes that participate in the given plane."""
+        """ASes that participate in the given plane.
+
+        Not cached: plane flags live on the (mutable) :class:`ASNode`
+        records and are occasionally toggled directly by the generator.
+        """
         return sorted(asn for asn, node in self._nodes.items() if node.supports(afi))
 
     def dual_stack_ases(self) -> List[int]:
@@ -369,6 +520,7 @@ class ASGraph:
             )
             result._adjacency[link.a].add(link.b)
             result._adjacency[link.b].add(link.a)
+        result.rebuild_indexes()
         return result
 
     # ------------------------------------------------------------------
