@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Propagation performance driver: writes ``BENCH_propagation.json``.
+"""Performance driver: writes ``BENCH_propagation.json`` and
+``BENCH_extraction.json``.
 
-Runs the end-to-end propagation benchmarks outside pytest and records
+Runs the end-to-end benchmarks outside pytest and records
 machine-readable results (wall time, events/sec, peak RSS, speedup vs
 the frozen seed implementation) so the performance trajectory of the
 repository can be tracked PR over PR::
@@ -15,6 +16,11 @@ Scenarios:
 * ``scale_1000``   — a 1060-AS topology, IPv4 plane, optimized only;
   the seed implementation is too slow to run here routinely, which is
   the point of the scenario.
+* ``extraction_inference`` (``BENCH_extraction.json``) — the
+  collector→extraction→inference pipeline on ``paper_scale_config``:
+  the indexed :class:`~repro.core.store.ObservationStore` path versus
+  the frozen seed pipeline (:mod:`repro.analysis.reference`), with the
+  Section-3 reports asserted identical before the speedup is recorded.
 
 Measurements take the best of ``--repeats`` runs with the cyclic GC
 paused during the timed section (allocation-heavy baselines otherwise
@@ -29,8 +35,10 @@ import argparse
 import datetime
 import gc
 import json
+import os
 import platform
 import resource
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -125,6 +133,61 @@ def bench_snapshot(repeats: int, with_reference: bool) -> Dict:
     return scenario
 
 
+def bench_extraction(repeats: int) -> Dict:
+    """Extraction + inference: indexed store vs frozen seed pipeline."""
+    from repro.analysis.paths import store_from_records
+    from repro.analysis.reference import reference_pipeline
+    from repro.analysis.stats import compute_section3
+    from repro.datasets import build_snapshot, paper_scale_config
+
+    snapshot = build_snapshot(paper_scale_config())
+    archive, registry = snapshot.archive, snapshot.registry
+
+    def optimized():
+        extraction = store_from_records(archive.records(), deduplicate=True)
+        return compute_section3(extraction.store, registry)
+
+    def reference():
+        return reference_pipeline(archive, registry)
+
+    optimized_report = optimized().report.as_dict()
+    reference_report = reference().as_dict()
+    if optimized_report != reference_report:
+        raise AssertionError(
+            "store pipeline and reference pipeline disagree; refusing to "
+            "record a speedup over non-identical results"
+        )
+
+    best_opt = best_ref = float("inf")
+    for _ in range(repeats):
+        # Interleaved and GC-quiesced, like bench_snapshot: host load
+        # drift hits both samples and the allocation-heavy reference
+        # otherwise pays variable collector time.
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            optimized()
+            best_opt = min(best_opt, time.perf_counter() - started)
+            started = time.perf_counter()
+            reference()
+            best_ref = min(best_ref, time.perf_counter() - started)
+        finally:
+            gc.enable()
+
+    return {
+        "ases": snapshot.config.topology.total_ases,
+        "records": len(snapshot.archive),
+        "observations": len(snapshot.observations),
+        "optimized_wall_seconds": round(best_opt, 4),
+        "reference_wall_seconds": round(best_ref, 4),
+        "speedup": round(best_ref / best_opt, 2),
+        "bit_identical": True,
+        "section3": optimized_report,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 def bench_scale(repeats: int) -> Dict:
     topology = generate_topology(SCALE_TOPOLOGY)
     graph = topology.graph
@@ -159,9 +222,71 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="skip the 1000-AS scale scenario",
     )
+    parser.add_argument(
+        "--skip-extraction",
+        action="store_true",
+        help="skip the extraction+inference scenario (BENCH_extraction.json)",
+    )
+    parser.add_argument(
+        "--extraction-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_extraction.json",
+        help="where to write the extraction report (default: repo root)",
+    )
+    parser.add_argument(
+        "--extraction-only",
+        action="store_true",
+        help="run only the extraction scenario, in this process (used "
+        "internally: the main driver runs it in a subprocess so its "
+        "peak-RSS figure is not polluted by the propagation scenarios)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+
+    if args.extraction_only:
+        extraction_report = {
+            "schema_version": 1,
+            "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "results": {"extraction_inference": bench_extraction(args.repeats)},
+        }
+        args.extraction_output.write_text(
+            json.dumps(extraction_report, indent=2) + "\n"
+        )
+        return 0
+
+    if not args.skip_extraction:
+        print("[bench] extraction+inference on paper_scale_config ...")
+        # A fresh subprocess, launched *before* the propagation
+        # scenarios inflate this process: ru_maxrss is a process-level
+        # high-water mark that a forked child inherits through the
+        # copy-on-write window, so spawning from a 1.7 GB parent would
+        # tag the pipeline with the propagation footprint.
+        subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).resolve()),
+                "--extraction-only",
+                "--repeats",
+                str(args.repeats),
+                "--extraction-output",
+                str(args.extraction_output),
+            ],
+            check=True,
+            env=os.environ.copy(),
+        )
+        print(f"[bench] wrote {args.extraction_output}")
+        extraction_report = json.loads(args.extraction_output.read_text())
+        scenario = extraction_report["results"]["extraction_inference"]
+        print(
+            f"  extraction_inference: {scenario['optimized_wall_seconds']}s vs "
+            f"{scenario['reference_wall_seconds']}s reference, "
+            f"speedup {scenario['speedup']}x (bit-identical)"
+        )
 
     report = {
         "schema_version": SCHEMA_VERSION,

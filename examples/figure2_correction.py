@@ -36,7 +36,7 @@ def main() -> None:
     print(f"Building the synthetic snapshot ({config.topology.total_ases} ASes)...")
     snapshot = build_snapshot(config)
     print("Running the measurement pipeline...")
-    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    artifacts = compute_section3(snapshot.store, snapshot.registry)
 
     reference = artifacts.inference.annotation(AFI.IPV6)
     misinferred = plane_agnostic_annotation(

@@ -36,7 +36,7 @@ def main() -> None:
     )
 
     print("Running the Communities + LocPrf relationship inference...")
-    inference = CombinedInference(snapshot.registry).infer(snapshot.observations)
+    inference = CombinedInference(snapshot.registry).infer(snapshot.store)
     for afi in (AFI.IPV4, AFI.IPV6):
         coverage = inference.coverage[afi]
         print(

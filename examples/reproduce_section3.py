@@ -51,7 +51,7 @@ def main() -> None:
     print(f"  observations:     {len(snapshot.observations)}\n")
 
     print("Running the measurement pipeline (inference, hybrid, valley analysis)...")
-    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    artifacts = compute_section3(snapshot.store, snapshot.registry)
 
     rows = []
     for label, measured in artifacts.report.rows():

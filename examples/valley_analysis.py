@@ -28,7 +28,7 @@ from repro.datasets import build_snapshot, small_config
 def main() -> None:
     print("Building the synthetic snapshot...")
     snapshot = build_snapshot(small_config())
-    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    artifacts = compute_section3(snapshot.store, snapshot.registry)
 
     valley = artifacts.valley
     print()

@@ -20,6 +20,7 @@ from repro.analysis.paths import (
     extract_observations,
     observation_from_record,
     paths_by_origin,
+    store_from_records,
 )
 from repro.analysis.report import format_series, format_summary, format_table, to_json
 from repro.analysis.stats import Section3Artifacts, Section3Report, compute_section3
@@ -40,6 +41,7 @@ __all__ = [
     "extract_observations",
     "observation_from_record",
     "paths_by_origin",
+    "store_from_records",
     "format_series",
     "format_summary",
     "format_table",

@@ -61,7 +61,19 @@ class LinkInventory:
 
 
 def build_link_inventory(observations: Iterable[ObservedRoute]) -> LinkInventory:
-    """Build the per-plane link sets from a mixed set of observations."""
+    """Build the per-plane link sets from a mixed set of observations.
+
+    An :class:`~repro.core.store.ObservationStore` input copies the
+    store's precomputed per-plane link sets instead of re-walking every
+    path (the copies keep the inventory independently mutable).
+    """
+    from repro.core.store import ObservationStore
+
+    if isinstance(observations, ObservationStore):
+        return LinkInventory(
+            ipv4_links=set(observations.links(AFI.IPV4)),
+            ipv6_links=set(observations.links(AFI.IPV6)),
+        )
     inventory = LinkInventory()
     for observation in observations:
         target = (

@@ -18,6 +18,7 @@ from repro.core.combined_inference import CombinedInference, CombinedInferenceRe
 from repro.core.hybrid import HybridDetectionReport, HybridDetector
 from repro.core.observations import ObservedRoute, group_by_afi, unique_paths
 from repro.core.relationships import AFI, HybridType, Link
+from repro.core.store import ObservationStore
 from repro.core.valley import ValleyAnalysisReport, ValleyAnalyzer
 from repro.core.visibility import VisibilityIndex, build_visibility_index
 from repro.irr.registry import IRRRegistry
@@ -139,16 +140,28 @@ def compute_section3(
     registry: IRRRegistry,
     inference: Optional[CombinedInference] = None,
 ) -> Section3Artifacts:
-    """Compute every Section-3 statistic for a set of observations."""
-    observations = list(observations)
-    by_afi = group_by_afi(observations)
+    """Compute every Section-3 statistic for a set of observations.
+
+    ``observations`` may be a plain iterable (the legacy list path) or
+    an :class:`~repro.core.store.ObservationStore`; with a store every
+    stage queries the shared indexes instead of re-scanning the list,
+    producing identical statistics.
+    """
+    if isinstance(observations, ObservationStore):
+        ipv6_observations: Iterable[ObservedRoute] = observations
+        ipv6_path_count = observations.distinct_path_count(AFI.IPV6)
+    else:
+        observations = list(observations)
+        by_afi = group_by_afi(observations)
+        ipv6_observations = by_afi[AFI.IPV6]
+        ipv6_path_count = len(unique_paths(ipv6_observations))
     inventory = build_link_inventory(observations)
 
     engine = inference or CombinedInference(registry)
     result = engine.infer(observations)
 
     report = Section3Report()
-    report.ipv6_paths = len(unique_paths(by_afi[AFI.IPV6]))
+    report.ipv6_paths = ipv6_path_count
     report.ipv6_links = len(inventory.ipv6_links)
     report.ipv4_links = len(inventory.ipv4_links)
     report.dual_stack_links = len(inventory.dual_stack_links)
@@ -168,7 +181,10 @@ def compute_section3(
 
     # S3.5 / S3.6 — hybrid detection over the visible dual-stack links.
     detector = HybridDetector(result.annotation(AFI.IPV4), ipv6_annotation)
-    hybrid_report = detector.detect(inventory.dual_stack_links)
+    if isinstance(observations, ObservationStore):
+        hybrid_report = detector.detect_visible(observations)
+    else:
+        hybrid_report = detector.detect(inventory.dual_stack_links)
     report.hybrid_links = len(hybrid_report.hybrid_links)
     report.hybrid_fraction = hybrid_report.hybrid_fraction
     report.hybrid_share_peer4_transit6 = hybrid_report.type_share(HybridType.PEER4_TRANSIT6)
@@ -178,14 +194,14 @@ def compute_section3(
     )
 
     # S3.7 — visibility of hybrid links in IPv6 paths.
-    visibility = build_visibility_index(by_afi[AFI.IPV6], afi=AFI.IPV6)
+    visibility = build_visibility_index(ipv6_observations, afi=AFI.IPV6)
     hybrid_links = hybrid_report.hybrid_link_set()
     report.paths_crossing_hybrid = visibility.paths_crossing_any(hybrid_links)
     report.fraction_paths_crossing_hybrid = visibility.fraction_crossing_any(hybrid_links)
 
     # S3.8 / S3.9 — valley analysis of the IPv6 paths.
     analyzer = ValleyAnalyzer(ipv6_annotation)
-    valley_report = analyzer.analyze(by_afi[AFI.IPV6], afi=AFI.IPV6)
+    valley_report = analyzer.analyze(ipv6_observations, afi=AFI.IPV6)
     report.valley_paths = valley_report.valley_count
     report.valley_fraction = valley_report.valley_fraction
     report.reachability_valley_paths = len(valley_report.reachability_motivated)

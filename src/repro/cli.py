@@ -54,7 +54,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_section3(args: argparse.Namespace) -> int:
     snapshot = build_snapshot(_config_from_args(args))
-    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    artifacts = compute_section3(snapshot.store, snapshot.registry)
     print(format_table(artifacts.report.rows(), title="Section 3 statistics"))
     if args.json:
         payload = {
@@ -68,7 +68,7 @@ def _cmd_section3(args: argparse.Namespace) -> int:
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
     snapshot = build_snapshot(_config_from_args(args))
-    artifacts = compute_section3(snapshot.observations, snapshot.registry)
+    artifacts = compute_section3(snapshot.store, snapshot.registry)
     reference = artifacts.inference.annotation(AFI.IPV6)
     misinferred = plane_agnostic_annotation(
         reference, artifacts.inference.annotation(AFI.IPV4)

@@ -12,6 +12,7 @@ and date).
 from __future__ import annotations
 
 import datetime as _dt
+import json
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
@@ -112,12 +113,20 @@ class CollectorArchive:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
+    #: Sidecar file recording the collector -> project mapping, so that
+    #: ``records(project=...)`` keeps working after a save/load cycle.
+    PROJECTS_FILENAME = "projects.json"
+
     @staticmethod
     def _dump_filename(key: SnapshotKey) -> str:
         return f"{key.collector}.rib.{key.date.strftime('%Y%m%d')}.txt"
 
     def save(self, directory: Path) -> List[Path]:
-        """Write every snapshot to ``directory`` as a text dump file."""
+        """Write every snapshot to ``directory`` as a text dump file.
+
+        A ``projects.json`` sidecar preserves the collector -> project
+        mapping; :meth:`load` reads it back when present.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = []
@@ -125,18 +134,35 @@ class CollectorArchive:
             path = directory / self._dump_filename(key)
             path.write_text(write_table_dump(records), encoding="utf-8")
             written.append(path)
+        (directory / self.PROJECTS_FILENAME).write_text(
+            json.dumps(dict(sorted(self._projects.items())), indent=2) + "\n",
+            encoding="utf-8",
+        )
         return written
 
     @classmethod
     def load(cls, directory: Path) -> "CollectorArchive":
-        """Load an archive previously written by :meth:`save`."""
+        """Load an archive previously written by :meth:`save`.
+
+        Collector names may themselves contain dots (``route-views.sydney``),
+        so the filename is parsed from the right: everything before the
+        trailing ``.rib.YYYYMMDD.txt`` suffix is the collector name.
+        """
         directory = Path(directory)
         archive = cls()
+        projects: Dict[str, str] = {}
+        projects_path = directory / cls.PROJECTS_FILENAME
+        if projects_path.exists():
+            projects = json.loads(projects_path.read_text(encoding="utf-8"))
         for path in sorted(directory.glob("*.rib.*.txt")):
-            collector, _, datestr = path.name.split(".")[:3]
+            collector, ribtag, datestr = path.name[: -len(".txt")].rsplit(".", 2)
+            if ribtag != "rib" or not collector:
+                continue
             date = _dt.datetime.strptime(datestr, "%Y%m%d").date()
             records = parse_table_dump(path.read_text(encoding="utf-8"), collector=collector)
-            archive.add_snapshot(collector, date, records)
+            archive.add_snapshot(
+                collector, date, records, project=projects.get(collector, "")
+            )
         return archive
 
     def __len__(self) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.relationships import AFI
 from repro.bgp.propagation import PropagationResult
@@ -50,22 +50,76 @@ class VantagePoint:
         return afi in self.afis
 
 
-def _synthetic_peer_ip(collector_index: int, asn: int, afi: AFI) -> str:
-    """Deterministic, collision-free session addresses for vantage points."""
+#: Collector ids below this bound are reserved for explicitly indexed
+#: collectors (``Collector(index=...)``); interned fallback ids start
+#: here so the two spaces can never collide.
+_EXPLICIT_INDEX_LIMIT = 1024
+
+#: Registration-order identifiers for collector names without an
+#: explicit index.  Interning the *full* name guarantees two distinct
+#: collectors never share an id (the previous ``len(name) % 16``
+#: collided for same-length names such as
+#: ``route-views1``/``route-views2``), which in turn keeps the derived
+#: session addresses collision-free — but the id then depends on the
+#: order collectors were first seen in the process, so reproducible
+#: archives (the dataset builder) assign explicit indexes instead.
+_collector_ids: Dict[str, int] = {}
+
+
+def _collector_id(name: str) -> int:
+    """A unique, process-stable integer id for a collector name."""
+    return _EXPLICIT_INDEX_LIMIT + _collector_ids.setdefault(name, len(_collector_ids))
+
+
+def _synthetic_peer_ip(collector_index: int, asn: int, afi: AFI, position: int) -> str:
+    """Collision-free session addresses for vantage points.
+
+    Each collector id owns a disjoint block (a /16 for IPv4, a /64 for
+    IPv6).  Inside the block the offset is the session's registration
+    position for IPv4 (4-byte ASNs do not fit 16 bits) and the position
+    combined with the vantage ASN for IPv6 (keeping the ASN readable in
+    the address); no modulus is applied anywhere, so two distinct
+    sessions can never map to the same address — even two sessions of
+    the same AS on one collector.  Explicitly indexed collectors get
+    fully reproducible addresses; interned ids are deterministic given
+    the order collectors are first seen in the process.
+    """
     if afi is AFI.IPV4:
-        base = int(ipaddress.IPv4Address("198.51.100.0")) + collector_index * 256
-        return str(ipaddress.IPv4Address(base + (asn % 250) + 1))
+        if position >= 2 ** 16:
+            raise ValueError(
+                "too many vantage points for one synthetic IPv4 collector block"
+            )
+        base = int(ipaddress.IPv4Address("198.51.100.0")) + collector_index * 2 ** 16
+        if base + position >= 2 ** 32:
+            raise ValueError("too many collectors for the synthetic IPv4 address plan")
+        return str(ipaddress.IPv4Address(base + position))
+    if not 0 <= asn < 2 ** 32:
+        raise ValueError(f"AS{asn} is not a valid 4-byte AS number")
     base = int(ipaddress.IPv6Address("2001:db8:ffff::")) + (collector_index << 64)
-    return str(ipaddress.IPv6Address(base + asn))
+    return str(ipaddress.IPv6Address(base + (position << 32) + asn))
 
 
 @dataclass
 class Collector:
-    """A RouteViews / RIPE-RIS style route collector."""
+    """A RouteViews / RIPE-RIS style route collector.
+
+    ``index`` pins the collector's synthetic address block.  Collector
+    sets meant to produce *reproducible* archives (the dataset builder)
+    assign each collector a distinct index; without one, a unique id is
+    interned per name in registration order — collision-free within the
+    process, but dependent on what was created before.
+    """
 
     name: str
     project: str = "routeviews"
     vantage_points: List[VantagePoint] = field(default_factory=list)
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.index is not None and not 0 <= self.index < _EXPLICIT_INDEX_LIMIT:
+            raise ValueError(
+                f"collector index must be within [0, {_EXPLICIT_INDEX_LIMIT})"
+            )
 
     def add_vantage_point(
         self,
@@ -76,7 +130,12 @@ class Collector:
     ) -> VantagePoint:
         """Register a vantage point feeding this collector."""
         if peer_ip is None:
-            peer_ip = _synthetic_peer_ip(len(self.name) % 16, asn, afis[0])
+            collector_id = (
+                self.index if self.index is not None else _collector_id(self.name)
+            )
+            peer_ip = _synthetic_peer_ip(
+                collector_id, asn, afis[0], position=len(self.vantage_points)
+            )
         vantage = VantagePoint(
             asn=asn, peer_ip=peer_ip, exports_local_pref=exports_local_pref, afis=afis
         )
@@ -93,13 +152,14 @@ class Collector:
         result: PropagationResult,
         afi: Optional[AFI] = None,
         timestamp: int = DEFAULT_TIMESTAMP,
-    ) -> List[TableDumpRecord]:
+    ) -> Iterator[TableDumpRecord]:
         """Archive a RIB snapshot from every vantage point.
 
         Each vantage point contributes its best route for every prefix it
-        can reach, restricted to ``afi`` when given.
+        can reach, restricted to ``afi`` when given.  Records are yielded
+        lazily so the archive (or an extraction pass) can consume them in
+        a single stream without materializing a per-collector list.
         """
-        records: List[TableDumpRecord] = []
         for vantage in self.vantage_points:
             if vantage.asn not in result.speakers:
                 continue
@@ -107,16 +167,13 @@ class Collector:
             for route in snapshot.routes(afi):
                 if not vantage.carries(route.afi):
                     continue
-                records.append(
-                    TableDumpRecord.from_route(
-                        route,
-                        peer_ip=vantage.peer_ip,
-                        timestamp=timestamp,
-                        collector=self.name,
-                        include_local_pref=vantage.exports_local_pref,
-                    )
+                yield TableDumpRecord.from_route(
+                    route,
+                    peer_ip=vantage.peer_ip,
+                    timestamp=timestamp,
+                    collector=self.name,
+                    include_local_pref=vantage.exports_local_pref,
                 )
-        return records
 
 
 def default_collectors(
@@ -134,9 +191,16 @@ def default_collectors(
         raise ValueError("at least one vantage AS is required")
     names = [f"route-views{index or ''}" for index in range(collectors_per_project)]
     names += [f"rrc{index:02d}" for index in range(collectors_per_project)]
+    # Explicit indexes make the synthetic peer addresses (and therefore
+    # the archived dump files) a pure function of this collector set,
+    # independent of any collectors created earlier in the process.
     collectors = [
-        Collector(name=name, project="routeviews" if name.startswith("route-views") else "ris")
-        for name in names
+        Collector(
+            name=name,
+            project="routeviews" if name.startswith("route-views") else "ris",
+            index=position,
+        )
+        for position, name in enumerate(names)
     ]
     for position, asn in enumerate(vantage_asns):
         collector = collectors[position % len(collectors)]

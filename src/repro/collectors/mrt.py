@@ -12,6 +12,13 @@ it would be against real ``bgpdump`` output::
 Field order (matching ``bgpdump -m``):
 
 ``type|timestamp|flag|peer_ip|peer_as|prefix|as_path|origin|next_hop|local_pref|med|communities|atomic_aggregate|aggregator``
+
+The ``local_pref`` field is *empty* when the vantage feed does not
+export LOCAL_PREF (as ``bgpdump`` renders an absent attribute) and
+carries the numeric value otherwise — including a genuine ``0``.
+Earlier revisions serialized absent LOCAL_PREF as ``0``, which conflated
+non-exporting feeds with feeds that export LOCAL_PREF 0; the parser maps
+an empty field back to ``None``.
 """
 
 from __future__ import annotations
@@ -46,7 +53,8 @@ class TableDumpRecord:
         origin: BGP ORIGIN attribute.
         next_hop: Next hop address (cosmetic in this reproduction).
         local_pref: LOCAL_PREF as reported by the vantage point's feed;
-            0 when the feed does not export it.
+            ``None`` when the feed does not export it (``0`` is a valid
+            exported value and is kept distinct from "absent").
         med: Multi-exit discriminator.
         communities: Communities attached to the route.
         collector: Name of the collector that archived the record.
@@ -59,7 +67,7 @@ class TableDumpRecord:
     as_path: ASPath
     origin: Origin = Origin.IGP
     next_hop: str = ""
-    local_pref: int = 0
+    local_pref: Optional[int] = None
     med: int = 0
     communities: Tuple[Community, ...] = ()
     collector: str = ""
@@ -82,7 +90,7 @@ class TableDumpRecord:
             str(self.as_path),
             str(self.origin),
             self.next_hop,
-            str(self.local_pref),
+            "" if self.local_pref is None else str(self.local_pref),
             str(self.med),
             communities,
             "NAG",
@@ -104,7 +112,7 @@ class TableDumpRecord:
             prefix = Prefix(parts[5])
             as_path = ASPath.parse(parts[6])
             origin = Origin(parts[7]) if parts[7] else Origin.IGP
-            local_pref = int(parts[9]) if parts[9] else 0
+            local_pref = int(parts[9]) if parts[9] else None
             med = int(parts[10]) if parts[10] else 0
         except (ValueError, KeyError) as exc:
             raise MRTFormatError(f"malformed record: {line!r}") from exc
@@ -146,7 +154,8 @@ class TableDumpRecord:
         itself (the route is announced over the collector session with
         the vantage AS prepended); LOCAL_PREF is included only for feeds
         configured to export it, mirroring the mix of feeds found in the
-        real archives.
+        real archives.  Non-exporting feeds archive an absent (``None``)
+        LOCAL_PREF, never a ``0``.
         """
         return cls(
             timestamp=timestamp,
@@ -156,7 +165,7 @@ class TableDumpRecord:
             as_path=ASPath(route.full_path()),
             origin=route.attributes.origin,
             next_hop="",
-            local_pref=(route.local_pref or 0) if include_local_pref else 0,
+            local_pref=route.local_pref if include_local_pref else None,
             med=route.attributes.med,
             communities=route.communities,
             collector=collector,

@@ -64,6 +64,7 @@ from repro.core.relationships import (
     majority_relationship,
     orient_relationship,
 )
+from repro.core.store import ObservationStore
 from repro.core.valley import (
     PathValidation,
     PathValidity,
@@ -119,6 +120,7 @@ __all__ = [
     "classify_hybrid",
     "majority_relationship",
     "orient_relationship",
+    "ObservationStore",
     "PathValidation",
     "PathValidity",
     "ValleyAnalysisReport",

@@ -205,10 +205,31 @@ class ToRAnnotation:
         return annotation
 
 
+def directed_adjacency(
+    annotation: ToRAnnotation,
+) -> Dict[int, List[Tuple[int, Relationship]]]:
+    """Known (neighbour, relationship-from-asn) lists per AS.
+
+    One build replaces a sort plus a ``Link`` construction per edge
+    visit in the valley-free BFS; callers running the BFS from many
+    sources should build this once and pass it along.
+    """
+    directed: Dict[int, List[Tuple[int, Relationship]]] = {}
+    for link, relationship in annotation.items():
+        if not relationship.is_known:
+            continue
+        directed.setdefault(link.a, []).append((link.b, relationship))
+        directed.setdefault(link.b, []).append((link.a, relationship.inverse))
+    for edges in directed.values():
+        edges.sort(key=lambda edge: edge[0])
+    return directed
+
+
 def valley_free_distances(
     annotation: ToRAnnotation,
     source: int,
     targets: Optional[Set[int]] = None,
+    directed: Optional[Dict[int, List[Tuple[int, Relationship]]]] = None,
 ) -> Dict[int, int]:
     """Shortest valley-free path lengths (in AS hops) from ``source``.
 
@@ -225,6 +246,8 @@ def valley_free_distances(
     all the requested targets have been reached.
     """
     UP, DOWN = 0, 1
+    if directed is None:
+        directed = directed_adjacency(annotation)
     best: Dict[Tuple[int, int], int] = {(source, UP): 0}
     distances: Dict[int, int] = {source: 0}
     remaining = set(targets) - {source} if targets is not None else None
@@ -236,8 +259,7 @@ def valley_free_distances(
         depth += 1
         next_frontier: List[Tuple[int, int]] = []
         for asn, state in frontier:
-            for neighbor in annotation.neighbors(asn):
-                relationship = annotation.get(asn, neighbor)
+            for neighbor, relationship in directed.get(asn, ()):
                 if state == UP:
                     if relationship is Relationship.C2P:
                         new_state = UP

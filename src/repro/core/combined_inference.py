@@ -109,8 +109,17 @@ class CombinedInference:
         self.locpref = locpref or LocPrefInference(registry)
 
     def infer(self, observations: Iterable[ObservedRoute]) -> CombinedInferenceResult:
-        """Infer relationships for every link visible in the observations."""
-        observations = list(observations)
+        """Infer relationships for every link visible in the observations.
+
+        An :class:`~repro.core.store.ObservationStore` input is passed
+        through to both stages (which query its indexes) and supplies
+        the per-plane visible-link sets without another scan.
+        """
+        from repro.core.store import ObservationStore
+
+        store = observations if isinstance(observations, ObservationStore) else None
+        if store is None:
+            observations = list(observations)
         communities_result = self.communities.infer(observations)
         locpref_result = self.locpref.infer(observations)
 
@@ -122,10 +131,10 @@ class CombinedInference:
             merged.update(locpref_result.annotation(afi), overwrite=False)
             annotations[afi] = merged
 
-        by_afi = group_by_afi(observations)
+        by_afi = None if store is not None else group_by_afi(observations)
         coverage = {}
         for afi in (AFI.IPV4, AFI.IPV6):
-            visible = unique_links(by_afi[afi])
+            visible = store.links(afi) if store is not None else unique_links(by_afi[afi])
             annotated = set(annotations[afi].links()) & visible
             coverage[afi] = CoverageReport(
                 total_links=len(visible), annotated_links=len(annotated)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.core.annotation import ToRAnnotation
 from repro.core.observations import ObservedRoute
@@ -36,9 +36,14 @@ from repro.core.relationships import (
 from repro.irr.registry import IRRRegistry
 
 
-@dataclass(frozen=True)
-class RelationshipVote:
+class RelationshipVote(NamedTuple):
     """One piece of community-derived evidence about a link.
+
+    A ``NamedTuple`` rather than a dataclass: one vote is created per
+    usable community of every tagged observation (tens of thousands per
+    snapshot), and tuple construction is several times cheaper than the
+    frozen-dataclass ``__setattr__`` dance while keeping value equality
+    and named field access.
 
     Attributes:
         link: The link the vote is about.
@@ -159,12 +164,86 @@ class CommunitiesInference:
     def collect_votes(
         self, observations: Iterable[ObservedRoute]
     ) -> Dict[Tuple[Link, AFI], List[RelationshipVote]]:
-        """Extract and group votes from many observations."""
-        grouped: Dict[Tuple[Link, AFI], List[RelationshipVote]] = defaultdict(list)
-        for route in observations:
-            for vote in self.votes_for_route(route):
-                grouped[(vote.link, vote.afi)].append(vote)
-        return dict(grouped)
+        """Extract and group votes from many observations.
+
+        Equivalent to running :meth:`votes_for_route` over every
+        observation, but the hot quantities are memoized per distinct
+        value instead of being recomputed per occurrence: snapshots carry
+        only a few hundred distinct community values and a few thousand
+        distinct tagger links, so the registry translation and the
+        canonical ``Link`` construction are looked up, not re-derived.
+        An :class:`~repro.core.store.ObservationStore` input additionally
+        restricts the scan to the observations that carry communities
+        (the only ones that can vote).  The grouped votes are identical
+        to the naive scan.
+        """
+        from repro.core.store import ObservationStore
+
+        if isinstance(observations, ObservationStore):
+            routes: Iterable[ObservedRoute] = observations.with_communities
+        else:
+            routes = observations
+        # Grouping is keyed by plain int tuples (lo, hi, afi value) while
+        # collecting — hashing a Link (generated dataclass __hash__) and
+        # an AFI (enum __hash__) per vote is measurably slower than
+        # hashing three ints — and re-keyed to the public (Link, AFI)
+        # form at the end, preserving first-vote insertion order.
+        grouped: Dict[Tuple[int, int, int], List[RelationshipVote]] = defaultdict(list)
+        # (community, learned_from) -> everything a vote needs that does
+        # not vary per observation: the shared canonical Link, the
+        # canonical-orientation relationship and the two grouping keys.
+        # None marks communities that can never vote (undocumented or
+        # non-relationship values).
+        template_memo: Dict[
+            Tuple[object, int],
+            Optional[Tuple[Link, Relationship, Tuple[int, int, int], Tuple[int, int, int]]],
+        ] = {}
+        missing = object()
+        ipv6 = AFI.IPV6
+        relationship_for = self.registry.relationship_for
+        for route in routes:
+            path = route.path
+            last = len(path) - 1
+            afi = route.afi
+            is_v6 = afi is ipv6
+            vantage = path[0]
+            for community in route.communities:
+                tagger = community.asn
+                # Equivalent to route.next_hop_of(tagger): paths are
+                # loop-free, so the first (only) occurrence decides.
+                try:
+                    index = path.index(tagger)
+                except ValueError:
+                    continue
+                if index == last:
+                    continue
+                learned_from = path[index + 1]
+                template_key = (community, learned_from)
+                entry = template_memo.get(template_key, missing)
+                if entry is missing:
+                    relationship = relationship_for(community)
+                    if relationship is None or not relationship.is_known:
+                        entry = None
+                    else:
+                        link = Link(tagger, learned_from)
+                        canonical = (
+                            relationship if link.a == tagger else relationship.inverse
+                        )
+                        entry = (
+                            link,
+                            canonical,
+                            (link.a, link.b, AFI.IPV4.value),
+                            (link.a, link.b, AFI.IPV6.value),
+                        )
+                    template_memo[template_key] = entry
+                if entry is None:
+                    continue
+                grouped[entry[3] if is_v6 else entry[2]].append(
+                    RelationshipVote(entry[0], afi, entry[1], tagger, vantage)
+                )
+        return {
+            (votes[0].link, votes[0].afi): votes for votes in grouped.values()
+        }
 
     # ------------------------------------------------------------------
     # aggregation
@@ -179,7 +258,9 @@ class CommunitiesInference:
         conflicts: Dict[AFI, List[Link]] = {AFI.IPV4: [], AFI.IPV6: []}
         for (link, afi), link_votes in votes.items():
             winner = majority_relationship(
-                (vote.relationship for vote in link_votes),
+                # vote[2] is vote.relationship; index access skips the
+                # namedtuple descriptor on this per-vote hot path.
+                [vote[2] for vote in link_votes],
                 min_votes=self.min_votes,
                 min_agreement=self.min_agreement,
             )

@@ -150,6 +150,15 @@ class HybridDetector:
             hybrid_type=classify_hybrid(rel_v4, rel_v6),
         )
 
+    def detect_visible(self, store: "ObservationStore") -> HybridDetectionReport:
+        """Classify the dual-stack links actually visible in a store.
+
+        Convenience for the common measurement flow: restrict the
+        assessment to the links an
+        :class:`~repro.core.store.ObservationStore` saw in both planes.
+        """
+        return self.detect(store.dual_stack_links())
+
     def detect(self, links: Optional[Iterable[Link]] = None) -> HybridDetectionReport:
         """Classify all (or the given) dual-stack links.
 

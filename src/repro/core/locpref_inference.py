@@ -120,28 +120,83 @@ class LocPrefInference:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _has_traffic_engineering(self, route: ObservedRoute) -> bool:
-        return any(self.registry.is_traffic_engineering(c) for c in route.communities)
+    def _te_checker(self):
+        """A route -> "carries a traffic-engineering community" predicate.
 
-    def _first_hop_relationship_from_communities(
-        self, route: ObservedRoute
-    ) -> Optional[Relationship]:
-        """Relationship of the vantage towards its first hop, per the vantage's tags."""
-        first_hop = route.path[1] if len(route.path) > 1 else None
-        if first_hop is None:
-            return None
-        votes: List[Relationship] = []
-        for community in route.communities_of(route.vantage):
-            relationship = self.registry.relationship_for(community)
-            if relationship is not None and relationship.is_known:
-                votes.append(relationship)
-        return majority_relationship(votes, min_votes=1, min_agreement=1.0)
+        Memoized per distinct community value: snapshots carry few
+        distinct values but each appears on thousands of routes, so one
+        checker instance (one memo) should be shared across a whole
+        calibration/application pass.
+        """
+        memo: Dict[object, bool] = {}
+        is_te = self.registry.is_traffic_engineering
+
+        def has_te(route: ObservedRoute) -> bool:
+            for community in route.communities:
+                try:
+                    flag = memo[community]
+                except KeyError:
+                    flag = memo[community] = is_te(community)
+                if flag:
+                    return True
+            return False
+
+        return has_te
+
+    def _first_hop_checker(self):
+        """A route -> first-hop-relationship resolver, per the vantage's tags.
+
+        Memoized per distinct community value, like :meth:`_te_checker`.
+        """
+        memo: Dict[object, Optional[Relationship]] = {}
+        relationship_for = self.registry.relationship_for
+
+        def first_hop_relationship(route: ObservedRoute) -> Optional[Relationship]:
+            if len(route.path) < 2:
+                return None
+            vantage = route.vantage
+            votes: List[Relationship] = []
+            for community in route.communities:
+                if community.asn != vantage:
+                    continue
+                try:
+                    relationship = memo[community]
+                except KeyError:
+                    relationship = relationship_for(community)
+                    if relationship is not None and not relationship.is_known:
+                        relationship = None
+                    memo[community] = relationship
+                if relationship is not None:
+                    votes.append(relationship)
+            if len(votes) == 1:  # the common case; unanimity is trivial
+                return votes[0]
+            return majority_relationship(votes, min_votes=1, min_agreement=1.0)
+
+        return first_hop_relationship
+
+    def _te_flags(self, routes: List[ObservedRoute]) -> List[bool]:
+        """Whether each route is excluded by the traffic-engineering filter."""
+        if not self.filter_traffic_engineering:
+            return [False] * len(routes)
+        has_te = self._te_checker()
+        return [has_te(route) for route in routes]
 
     # ------------------------------------------------------------------
     # calibration (the Rosetta Stone)
     # ------------------------------------------------------------------
     def calibrate(self, observations: Iterable[ObservedRoute]) -> Dict[int, LocPrefMapping]:
-        """Build per-vantage LocPrf → relationship mappings."""
+        """Build per-vantage LocPrf → relationship mappings.
+
+        An :class:`~repro.core.store.ObservationStore` input calibrates
+        from the store's LOCAL_PREF-carrying subset instead of
+        re-grouping every observation; results are identical.
+        """
+        from repro.core.store import ObservationStore
+
+        if isinstance(observations, ObservationStore):
+            store = observations
+            routes = store.with_local_pref
+            return self._calibrate_store(store, routes, self._te_flags(routes))
         by_vantage = group_by_vantage(observations)
         mappings: Dict[int, LocPrefMapping] = {}
         for vantage, routes in by_vantage.items():
@@ -153,16 +208,60 @@ class LocPrefInference:
             mappings[vantage] = mapping
         return mappings
 
+    def _calibrate_store(
+        self,
+        store: "ObservationStore",
+        routes: List[ObservedRoute],
+        te_flags: List[bool],
+    ) -> Dict[int, LocPrefMapping]:
+        """Store-indexed calibration: same mappings, one grouping pass.
+
+        Every vantage of the store gets a mapping (possibly empty), in
+        the same first-seen order the legacy ``group_by_vantage`` pass
+        produced, so the result dict compares equal.
+        """
+        by_vantage: Dict[int, List[Tuple[ObservedRoute, bool]]] = {
+            vantage: [] for vantage in store.by_vantage
+        }
+        for route, excluded in zip(routes, te_flags):
+            by_vantage[route.vantage].append((route, excluded))
+        mappings: Dict[int, LocPrefMapping] = {}
+        first_hop_relationship = self._first_hop_checker()
+        for vantage, pairs in by_vantage.items():
+            mapping = LocPrefMapping(vantage=vantage)
+            if self.validate_with_communities:
+                self._calibrate_pairs(mapping, pairs, first_hop_relationship)
+            else:
+                self._calibrate_by_rank(mapping, [route for route, _ in pairs])
+            mappings[vantage] = mapping
+        return mappings
+
     def _calibrate_with_communities(
         self, mapping: LocPrefMapping, routes: List[ObservedRoute]
     ) -> None:
+        has_te = self._te_checker()
+        self._calibrate_pairs(
+            mapping,
+            (
+                (route, self.filter_traffic_engineering and has_te(route))
+                for route in routes
+                if route.local_pref is not None
+            ),
+            self._first_hop_checker(),
+        )
+
+    def _calibrate_pairs(
+        self,
+        mapping: LocPrefMapping,
+        pairs: Iterable[Tuple[ObservedRoute, bool]],
+        first_hop_relationship,
+    ) -> None:
+        """Calibrate from (LOCAL_PREF-carrying route, TE-excluded) pairs."""
         value_votes: Dict[int, Dict[Relationship, int]] = defaultdict(lambda: defaultdict(int))
-        for route in routes:
-            if route.local_pref is None or route.local_pref <= 0:
+        for route, excluded in pairs:
+            if excluded:
                 continue
-            if self.filter_traffic_engineering and self._has_traffic_engineering(route):
-                continue
-            relationship = self._first_hop_relationship_from_communities(route)
+            relationship = first_hop_relationship(route)
             if relationship is None:
                 continue
             value_votes[route.local_pref][relationship] += 1
@@ -188,7 +287,7 @@ class LocPrefInference:
         """
         values: Set[int] = set()
         for route in routes:
-            if route.local_pref is not None and route.local_pref > 0:
+            if route.local_pref is not None:
                 values.add(route.local_pref)
                 mapping.samples += 1
         if not values:
@@ -204,9 +303,31 @@ class LocPrefInference:
     # inference
     # ------------------------------------------------------------------
     def infer(self, observations: Iterable[ObservedRoute]) -> LocPrefInferenceResult:
-        """Run calibration then apply the mappings to all observations."""
-        observations = list(observations)
-        mappings = self.calibrate(observations)
+        """Run calibration then apply the mappings to all observations.
+
+        An :class:`~repro.core.store.ObservationStore` input walks only
+        the LOCAL_PREF-carrying subset and evaluates the
+        traffic-engineering filter once per route (the legacy path
+        evaluates it separately for calibration and application); the
+        result is identical.
+        """
+        from repro.core.store import ObservationStore
+
+        if isinstance(observations, ObservationStore):
+            store = observations
+            routes = store.with_local_pref
+            te_flags = self._te_flags(routes)
+            mappings = self._calibrate_store(store, routes, te_flags)
+            candidates = zip(routes, te_flags)
+        else:
+            observations = list(observations)
+            mappings = self.calibrate(observations)
+            has_te = self._te_checker()
+            candidates = (
+                (route, self.filter_traffic_engineering and has_te(route))
+                for route in observations
+                if route.local_pref is not None
+            )
         annotations = {
             AFI.IPV4: ToRAnnotation(AFI.IPV4, source=RelationshipSource.LOCPREF),
             AFI.IPV6: ToRAnnotation(AFI.IPV6, source=RelationshipSource.LOCPREF),
@@ -214,25 +335,43 @@ class LocPrefInference:
         votes: Dict[Tuple[Link, AFI], List[Relationship]] = defaultdict(list)
         filtered = 0
         unmapped = 0
-        for route in observations:
-            if route.local_pref is None or route.local_pref <= 0:
+        # The vote a route casts is a pure function of (vantage, first
+        # hop, LOCAL_PREF value, AFI) once the mappings are fixed, and a
+        # snapshot has only a few hundred distinct such keys for tens of
+        # thousands of routes — memoize the outcome per key.  The key
+        # carries the AFI as its integer value (enum hashing is a Python
+        # call; int hashing is not).
+        outcome_memo: Dict[Tuple[int, int, int, int], Tuple] = {}
+        for route, excluded in candidates:
+            path = route.path
+            if len(path) < 2:
                 continue
-            if len(route.path) < 2:
-                continue
-            if self.filter_traffic_engineering and self._has_traffic_engineering(route):
+            if excluded:
                 filtered += 1
                 continue
-            mapping = mappings.get(route.vantage)
-            if mapping is None:
-                continue
-            relationship = mapping.relationship_for(route.local_pref)
-            if relationship is None:
+            key = (route.vantage, path[1], route.local_pref, route.afi.value)
+            outcome = outcome_memo.get(key)
+            if outcome is None:
+                mapping = mappings.get(route.vantage)
+                relationship = (
+                    None if mapping is None else mapping.relationship_for(route.local_pref)
+                )
+                if mapping is None:
+                    outcome = ("uncalibrated",)
+                elif relationship is None:
+                    outcome = ("unmapped",)
+                else:
+                    link = Link(route.vantage, path[1])
+                    canonical = (
+                        relationship if link.a == route.vantage else relationship.inverse
+                    )
+                    outcome = ("vote", (link, route.afi), canonical)
+                outcome_memo[key] = outcome
+            tag = outcome[0]
+            if tag == "vote":
+                votes[outcome[1]].append(outcome[2])
+            elif tag == "unmapped":
                 unmapped += 1
-                continue
-            first_hop = route.path[1]
-            link = Link(route.vantage, first_hop)
-            canonical = relationship if link.a == route.vantage else relationship.inverse
-            votes[(link, route.afi)].append(canonical)
         for (link, afi), link_votes in votes.items():
             winner = majority_relationship(link_votes, min_votes=1, min_agreement=0.75)
             if winner is not None:

@@ -35,6 +35,10 @@ class ObservedRoute:
         local_pref: LOCAL_PREF reported by the vantage feed, ``None``
             when the feed does not export it.
         collector: Name of the collector the record came from.
+        afi: Address family of the observation (derived from the prefix
+            at construction; a plain attribute, not a dataclass field,
+            because every per-plane filter of every pipeline stage reads
+            it).
     """
 
     path: Tuple[int, ...]
@@ -51,11 +55,47 @@ class ObservedRoute:
             raise ValueError("the vantage AS must be the first hop of the path")
         if len(set(self.path)) != len(self.path):
             raise ValueError("observed paths must be loop-free and prepending-free")
+        # ``afi`` is read on every per-plane filter of every pipeline
+        # stage; a plain attribute beats a property chain through the
+        # prefix.  Not a dataclass field: equality and repr stay keyed on
+        # the declared fields.
+        object.__setattr__(self, "afi", self.prefix.afi)
 
-    @property
-    def afi(self) -> AFI:
-        """Address family of the observation."""
-        return self.prefix.afi
+    @classmethod
+    def trusted(
+        cls,
+        path: Tuple[int, ...],
+        prefix: Prefix,
+        vantage: int,
+        communities: Tuple[Community, ...] = (),
+        local_pref: Optional[int] = None,
+        collector: str = "",
+    ) -> "ObservedRoute":
+        """Build an observation whose invariants the caller guarantees.
+
+        The extraction pipeline cleans every path through
+        :func:`clean_raw_path` (which already proves it non-empty and
+        loop-free) and anchors the vantage AS itself, so re-validating in
+        ``__post_init__`` would redo that work once per archived record.
+        Hand-built observations should use the normal constructor.
+        """
+        observation = object.__new__(cls)
+        # One __dict__ swap instead of seven frozen-bypassing setattrs;
+        # extraction creates one instance per archived record.
+        object.__setattr__(
+            observation,
+            "__dict__",
+            {
+                "path": path,
+                "prefix": prefix,
+                "vantage": vantage,
+                "communities": communities,
+                "local_pref": local_pref,
+                "collector": collector,
+                "afi": prefix.afi,
+            },
+        )
+        return observation
 
     @property
     def origin_as(self) -> int:
@@ -99,13 +139,16 @@ def clean_raw_path(raw_hops: Sequence[int]) -> Optional[Tuple[int, ...]]:
     (non-prepending) loop and must be discarded, which is how both the
     paper and standard topology pipelines treat poisoned/looped paths.
     """
+    hops = tuple(map(int, raw_hops))
+    # Fast path: a path with no repeated AS at all has no prepending to
+    # collapse and no loop to reject — the overwhelmingly common case.
+    if len(set(hops)) == len(hops):
+        return hops if hops else None
     collapsed: List[int] = []
-    for hop in raw_hops:
+    for hop in hops:
         if not collapsed or collapsed[-1] != hop:
-            collapsed.append(int(hop))
+            collapsed.append(hop)
     if len(set(collapsed)) != len(collapsed):
-        return None
-    if not collapsed:
         return None
     return tuple(collapsed)
 

@@ -313,19 +313,35 @@ def majority_relationship(
     known votes).  Ties also return ``None``: a tie means the evidence is
     contradictory and the paper's methodology refuses to guess.
     """
-    counts: dict = {}
-    total = 0
+    # Counted with identity checks into plain ints: this function runs
+    # once per candidate link and once per calibration route, and dict
+    # counters keyed by enum members (whose __hash__ is a Python call)
+    # dominated its cost.
+    p2c = c2p = p2p = sibling = 0
     for rel in relationships:
-        if not rel.is_known:
-            continue
-        counts[rel] = counts.get(rel, 0) + 1
-        total += 1
-    if total < min_votes or not counts:
+        if rel is Relationship.P2C:
+            p2c += 1
+        elif rel is Relationship.C2P:
+            c2p += 1
+        elif rel is Relationship.P2P:
+            p2p += 1
+        elif rel is Relationship.SIBLING:
+            sibling += 1
+    total = p2c + c2p + p2p + sibling
+    if total < min_votes or total == 0:
         return None
-    best = max(counts.values())
-    winners = [rel for rel, count in counts.items() if count == best]
-    if len(winners) > 1:
-        return None
+    best = max(p2c, c2p, p2p, sibling)
+    winner: Optional[Relationship] = None
+    for rel, count in (
+        (Relationship.P2C, p2c),
+        (Relationship.C2P, c2p),
+        (Relationship.P2P, p2p),
+        (Relationship.SIBLING, sibling),
+    ):
+        if count == best:
+            if winner is not None:
+                return None  # tie: contradictory evidence
+            winner = rel
     if best / total < min_agreement:
         return None
-    return winners[0]
+    return winner

@@ -1,0 +1,308 @@
+"""An indexed, build-once store of route observations.
+
+Every inference stage of the measurement pipeline consumes the same flat
+list of :class:`~repro.core.observations.ObservedRoute` objects, and
+before this module existed each stage re-scanned that list from scratch:
+the communities inference walked every observation looking for tagged
+routes, the LocPrf inference grouped by vantage twice, the visibility
+index re-created ``Link`` objects per path, the valley analysis re-dedup
+-licated paths, and the link inventory re-walked every hop.  On a
+paper-scale snapshot those repeated passes dominate ``build_snapshot``.
+
+:class:`ObservationStore` applies the precompute-once methodology of the
+propagation fast path (PR 1) to the measurement side: one pass over the
+observations builds every shared index —
+
+* observations **by AFI** and **by vantage** (and, lazily, by origin AS
+  and by canonical link),
+* the **distinct-path tables** (global and per AFI, in first-seen
+  order, exactly the order the legacy scans produced),
+* the canonical **link tuple of every distinct path** (``Link`` objects
+  are created once per path instead of once per scan),
+* the subsets of observations **carrying LOCAL_PREF** and **carrying
+  communities** (the only observations the LocPrf and communities
+  inferences can use), and
+* lazily, per-AFI :class:`~repro.core.visibility.VisibilityIndex` tables
+  and per-path next-hop maps.
+
+The consumers (``repro.analysis`` and the inference modules in
+``repro.core``) accept either a plain iterable of observations — the
+legacy path, kept bit-identical — or an ``ObservationStore``, in which
+case they query the indexes instead of re-iterating.
+
+Index invariants
+----------------
+
+1. ``observations`` preserves extraction order; every other index
+   preserves the relative order of that list (``by_afi``/``by_vantage``
+   lists, ``with_local_pref``/``with_communities`` subsequences,
+   distinct-path tables in first-seen order).  This is what makes the
+   store path produce *identical* results to the legacy scans, down to
+   dict insertion order.
+2. ``path_links(path)`` is a pure function of the path; the cached tuple
+   is shared by every observation of that path in either plane.
+3. ``links(afi)`` equals the union of ``path_links(p)`` over the
+   distinct paths of that plane — links are plane-tagged only through
+   the prefixes observed over them.
+4. The store treats observations as immutable; do not mutate the lists
+   or sets it returns (they are the live indexes, not copies).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.observations import ObservedRoute
+from repro.core.relationships import AFI, Link
+from repro.core.visibility import VisibilityIndex
+
+#: A cleaned AS path, vantage first.
+PathTuple = Tuple[int, ...]
+
+
+class ObservationStore:
+    """Build-once indexes over a set of observations.
+
+    Args:
+        observations: The (already extracted and deduplicated)
+            observations, in extraction order.
+    """
+
+    def __init__(self, observations: Iterable[ObservedRoute]) -> None:
+        self.observations: List[ObservedRoute] = list(observations)
+        self.by_afi: Dict[AFI, List[ObservedRoute]] = {AFI.IPV4: [], AFI.IPV6: []}
+        self.by_vantage: Dict[int, List[ObservedRoute]] = {}
+        self.with_local_pref: List[ObservedRoute] = []
+        self.with_communities: List[ObservedRoute] = []
+        self._path_links: Dict[PathTuple, Tuple[Link, ...]] = {}
+        # The mixed-plane (afi=None) table is derived lazily: it is only
+        # consulted by whole-archive queries, not the per-plane pipeline.
+        self._distinct: Dict[Optional[AFI], Optional[List[PathTuple]]] = {
+            None: None,
+            AFI.IPV4: [],
+            AFI.IPV6: [],
+        }
+        self._links: Dict[AFI, Set[Link]] = {AFI.IPV4: set(), AFI.IPV6: set()}
+        # Canonical Link interning table: distinct links number in the
+        # low thousands while the paths reference them tens of thousands
+        # of times, so construct each once and share it.
+        self._link_memo: Dict[Tuple[int, int], Link] = {}
+        # Lazy caches.
+        self._all_links: Optional[Set[Link]] = None
+        self._dual_stack_links: Optional[Set[Link]] = None
+        self._visibility: Dict[Tuple[Optional[AFI], bool], VisibilityIndex] = {}
+        self._next_hops: Dict[PathTuple, Dict[int, int]] = {}
+        self._by_origin: Optional[Dict[int, List[ObservedRoute]]] = None
+        self._by_link: Optional[Dict[Link, List[ObservedRoute]]] = None
+        self._paths_by_origin: Dict[Optional[AFI], Dict[int, List[PathTuple]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        # NOTE: the streaming extraction in repro.analysis.paths._extract
+        # maintains these same indexes inline (one pass over the archive
+        # records); any index added here must be added there as well.
+        # tests/test_store.py compares the full eager index state of the
+        # two constructions, so a forgotten mirror fails loudly.
+        path_links = self._path_links
+        by_afi = self.by_afi
+        by_vantage = self.by_vantage
+        with_local_pref = self.with_local_pref
+        with_communities = self.with_communities
+        ipv4 = AFI.IPV4
+        # Per-plane structures bound to locals and selected with one
+        # identity check per observation: enum-keyed dict probes per
+        # observation were a measurable share of the build.
+        v4_obs, v6_obs = by_afi[ipv4], by_afi[AFI.IPV6]
+        v4_distinct, v6_distinct = self._distinct[ipv4], self._distinct[AFI.IPV6]
+        v4_links, v6_links = self._links[ipv4], self._links[AFI.IPV6]
+        v4_seen: Set[PathTuple] = set()
+        v6_seen: Set[PathTuple] = set()
+        for observation in self.observations:
+            path = observation.path
+            if observation.afi is ipv4:
+                obs_list, seen = v4_obs, v4_seen
+                distinct, plane_links = v4_distinct, v4_links
+            else:
+                obs_list, seen = v6_obs, v6_seen
+                distinct, plane_links = v6_distinct, v6_links
+            obs_list.append(observation)
+            vantage_list = by_vantage.get(observation.vantage)
+            if vantage_list is None:
+                by_vantage[observation.vantage] = [observation]
+            else:
+                vantage_list.append(observation)
+            links = path_links.get(path)
+            if links is None:
+                links = path_links[path] = self._links_of(path)
+            if path not in seen:
+                seen.add(path)
+                distinct.append(path)
+                plane_links.update(links)
+            if observation.local_pref is not None:
+                with_local_pref.append(observation)
+            if observation.communities:
+                with_communities.append(observation)
+
+    # ------------------------------------------------------------------
+    # basic container behaviour
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ObservedRoute]:
+        return iter(self.observations)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    # ------------------------------------------------------------------
+    # observation subsets
+    # ------------------------------------------------------------------
+    def observations_for(self, afi: Optional[AFI]) -> List[ObservedRoute]:
+        """Observations of one plane (``None`` = all), in extraction order."""
+        if afi is None:
+            return self.observations
+        return self.by_afi[afi]
+
+    @property
+    def vantages(self) -> List[int]:
+        """Vantage-point ASes, in first-seen order."""
+        return list(self.by_vantage)
+
+    @property
+    def by_origin(self) -> Dict[int, List[ObservedRoute]]:
+        """Observations grouped by origin AS (built on first access)."""
+        if self._by_origin is None:
+            grouped: Dict[int, List[ObservedRoute]] = {}
+            for observation in self.observations:
+                grouped.setdefault(observation.origin_as, []).append(observation)
+            self._by_origin = grouped
+        return self._by_origin
+
+    @property
+    def by_link(self) -> Dict[Link, List[ObservedRoute]]:
+        """Observations grouped by the canonical links their path crosses."""
+        if self._by_link is None:
+            grouped: Dict[Link, List[ObservedRoute]] = {}
+            for observation in self.observations:
+                for link in self._path_links[observation.path]:
+                    grouped.setdefault(link, []).append(observation)
+            self._by_link = grouped
+        return self._by_link
+
+    def observations_crossing(self, link: Link) -> List[ObservedRoute]:
+        """Observations whose path traverses ``link`` (any plane)."""
+        return self.by_link.get(link, [])
+
+    # ------------------------------------------------------------------
+    # path tables
+    # ------------------------------------------------------------------
+    def distinct_paths(self, afi: Optional[AFI] = None) -> List[PathTuple]:
+        """Distinct AS paths (of one plane), in first-seen order."""
+        paths = self._distinct[afi]
+        if paths is None:  # afi is None: derive the mixed table on demand
+            seen: Set[PathTuple] = set()
+            paths = []
+            for observation in self.observations:
+                path = observation.path
+                if path not in seen:
+                    seen.add(path)
+                    paths.append(path)
+            self._distinct[afi] = paths
+        return paths
+
+    def distinct_path_count(self, afi: Optional[AFI] = None) -> int:
+        """Number of distinct AS paths (of one plane)."""
+        return len(self.distinct_paths(afi))
+
+    def _links_of(self, path: PathTuple) -> Tuple[Link, ...]:
+        """Build a path's link tuple through the interning table."""
+        memo = self._link_memo
+        links = []
+        previous = path[0]
+        for hop in path[1:]:
+            pair = (previous, hop)
+            link = memo.get(pair)
+            if link is None:
+                link = memo[pair] = Link(previous, hop)
+            links.append(link)
+            previous = hop
+        return tuple(links)
+
+    def path_links(self, path: PathTuple) -> Tuple[Link, ...]:
+        """Canonical links of a path (cached; observer side first)."""
+        links = self._path_links.get(path)
+        if links is None:
+            links = self._path_links[path] = self._links_of(path)
+        return links
+
+    def next_hops(self, path: PathTuple) -> Mapping[int, int]:
+        """Map each non-origin hop of ``path`` to the hop it learned from.
+
+        Equivalent to :meth:`ObservedRoute.next_hop_of` for every AS on
+        the path at once (paths are loop-free, so the map is unambiguous).
+        """
+        cached = self._next_hops.get(path)
+        if cached is None:
+            cached = {path[i]: path[i + 1] for i in range(len(path) - 1)}
+            self._next_hops[path] = cached
+        return cached
+
+    def paths_by_origin(self, afi: Optional[AFI] = None) -> Dict[int, List[PathTuple]]:
+        """Distinct paths grouped by origin AS (sorted per origin)."""
+        cached = self._paths_by_origin.get(afi)
+        if cached is None:
+            grouped: Dict[int, Set[PathTuple]] = {}
+            for observation in self.observations_for(afi):
+                grouped.setdefault(observation.origin_as, set()).add(observation.path)
+            cached = {origin: sorted(paths) for origin, paths in grouped.items()}
+            self._paths_by_origin[afi] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # link tables
+    # ------------------------------------------------------------------
+    def links(self, afi: Optional[AFI] = None) -> Set[Link]:
+        """Links visible in the paths of one plane (``None`` = union)."""
+        if afi is not None:
+            return self._links[afi]
+        if self._all_links is None:
+            self._all_links = self._links[AFI.IPV4] | self._links[AFI.IPV6]
+        return self._all_links
+
+    def dual_stack_links(self) -> Set[Link]:
+        """Links visible in both planes."""
+        if self._dual_stack_links is None:
+            self._dual_stack_links = self._links[AFI.IPV4] & self._links[AFI.IPV6]
+        return self._dual_stack_links
+
+    def visibility_index(
+        self, afi: Optional[AFI] = None, distinct_paths_only: bool = True
+    ) -> VisibilityIndex:
+        """The per-link path-visibility table of one plane (cached).
+
+        Identical to running
+        :func:`repro.core.visibility.build_visibility_index` over the
+        plane's observations, but each path's link set is taken from the
+        shared cache instead of being rebuilt.
+        """
+        key = (afi, distinct_paths_only)
+        cached = self._visibility.get(key)
+        if cached is not None:
+            return cached
+        index = VisibilityIndex(afi=afi)
+        counter: Counter = Counter()
+        path_links: List[Set[Link]] = []
+        if distinct_paths_only:
+            for path in self.distinct_paths(afi):
+                links = set(self._path_links[path])
+                counter.update(links)
+                path_links.append(links)
+        else:
+            for observation in self.observations_for(afi):
+                links = set(self._path_links[observation.path])
+                counter.update(links)
+                path_links.append(links)
+        index.path_count = len(path_links)
+        index.link_paths = dict(counter)
+        index._path_links = path_links
+        self._visibility[key] = index
+        return index

@@ -23,7 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.annotation import ToRAnnotation, valley_free_distances
+from repro.core.annotation import ToRAnnotation, directed_adjacency, valley_free_distances
 from repro.core.observations import ObservedRoute
 from repro.core.relationships import AFI, Link, Relationship
 
@@ -200,6 +200,9 @@ class ValleyAnalyzer:
         # Cache of valley-free reachability: source -> set of ASes with a
         # valley-free path from source.  Computed lazily per source.
         self._reachable_cache: Dict[int, Set[int]] = {}
+        # Directed adjacency shared by every BFS source (built lazily;
+        # the annotation must not be mutated while an analyzer uses it).
+        self._directed = None
 
     # ------------------------------------------------------------------
     # classification helpers
@@ -207,7 +210,11 @@ class ValleyAnalyzer:
     def _valley_free_reachable(self, source: int) -> Set[int]:
         cached = self._reachable_cache.get(source)
         if cached is None:
-            cached = set(valley_free_distances(self.annotation, source))
+            if self._directed is None:
+                self._directed = directed_adjacency(self.annotation)
+            cached = set(
+                valley_free_distances(self.annotation, source, directed=self._directed)
+            )
             self._reachable_cache[source] = cached
         return cached
 
@@ -236,24 +243,91 @@ class ValleyAnalyzer:
     # ------------------------------------------------------------------
     # aggregate analysis
     # ------------------------------------------------------------------
+    def _directed_view(self) -> Dict[Tuple[int, int], Relationship]:
+        """Both directions of every known link, as a flat dict.
+
+        ``view[(a, b)]`` equals ``annotation.get(a, b)`` for known
+        relationships; absent pairs mean UNKNOWN.  Built once per
+        analysis so the per-hop lookup is a plain dict probe instead of
+        a ``Link`` construction.
+        """
+        view: Dict[Tuple[int, int], Relationship] = {}
+        for link, relationship in self.annotation.items():
+            if not relationship.is_known:
+                continue
+            view[(link.a, link.b)] = relationship
+            view[(link.b, link.a)] = relationship.inverse
+        return view
+
     def analyze_paths(self, paths: Iterable[Sequence[int]]) -> ValleyAnalysisReport:
-        """Validate and classify a collection of AS paths."""
+        """Validate and classify a collection of AS paths.
+
+        The verdict of each path is computed against a directed
+        relationship view (mirroring :func:`validate_path`'s state
+        machine); only the rare valley paths re-run the full
+        :func:`validate_path` to carry the violating-hop detail into the
+        report, so the result is identical to validating every path
+        individually.
+        """
         report = ValleyAnalysisReport()
+        view = self._directed_view()
+        get = view.get
+        unknown = Relationship.UNKNOWN
+        sibling = Relationship.SIBLING
+        c2p = Relationship.C2P
+        p2c = Relationship.P2C
         for path in paths:
-            validation = validate_path(path, self.annotation)
-            report.total_paths += 1
-            if validation.validity is PathValidity.VALLEY_FREE:
-                report.valley_free_paths += 1
-            elif validation.validity is PathValidity.UNKNOWN:
-                report.unknown_paths += 1
+            # Paths from the extraction pipeline are already int tuples;
+            # only normalize foreign input.
+            if type(path) is tuple and (not path or type(path[0]) is int):
+                hops = path
             else:
-                report.valley_paths.append(self.classify_valley(validation))
+                hops = tuple(int(asn) for asn in path)
+            report.total_paths += 1
+            if len(hops) < 2:
+                report.valley_free_paths += 1
+                continue
+            relationships = [
+                get((hops[index], hops[index + 1]), unknown)
+                for index in range(len(hops) - 1)
+            ]
+            if unknown in relationships:
+                report.unknown_paths += 1
+                continue
+            descending = False
+            valley = False
+            for relationship in relationships:
+                if relationship is sibling:
+                    continue
+                if not descending:
+                    if relationship is c2p:
+                        continue
+                    descending = True
+                    continue
+                if relationship is p2c:
+                    continue
+                valley = True
+                break
+            if not valley:
+                report.valley_free_paths += 1
+                continue
+            validation = validate_path(hops, self.annotation)
+            report.valley_paths.append(self.classify_valley(validation))
         return report
 
     def analyze(
         self, observations: Iterable[ObservedRoute], afi: Optional[AFI] = None
     ) -> ValleyAnalysisReport:
-        """Analyse the distinct paths of a set of observations."""
+        """Analyse the distinct paths of a set of observations.
+
+        An :class:`~repro.core.store.ObservationStore` input supplies its
+        precomputed distinct-path table (same paths, same first-seen
+        order) instead of being re-scanned.
+        """
+        from repro.core.store import ObservationStore
+
+        if isinstance(observations, ObservationStore):
+            return self.analyze_paths(observations.distinct_paths(afi))
         seen: Set[Tuple[int, ...]] = set()
         paths: List[Tuple[int, ...]] = []
         for observation in observations:

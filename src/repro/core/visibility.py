@@ -93,7 +93,15 @@ def build_visibility_index(
     ``distinct_paths_only`` counts each distinct AS path once, which is
     how the paper counts "IPv6 AS paths"; setting it to False counts
     every observation (one per vantage point, prefix and collector).
+
+    When ``observations`` is an
+    :class:`~repro.core.store.ObservationStore` the store's cached index
+    is returned instead of re-scanning (identical contents).
     """
+    from repro.core.store import ObservationStore  # circular at module level
+
+    if isinstance(observations, ObservationStore):
+        return observations.visibility_index(afi, distinct_paths_only)
     index = VisibilityIndex(afi=afi)
     seen_paths: Set[Tuple[int, ...]] = set()
     counter: Counter = Counter()

@@ -37,6 +37,7 @@ from repro.collectors.collector import Collector, default_collectors
 from repro.core.annotation import ToRAnnotation
 from repro.core.observations import ObservedRoute
 from repro.core.relationships import AFI, HybridType, Link, Relationship
+from repro.core.store import ObservationStore
 from repro.irr.registry import IRRRegistry, build_registry
 from repro.topology.generator import GeneratedTopology, TopologyConfig, generate_topology
 
@@ -106,6 +107,8 @@ class SyntheticSnapshot:
         collectors: The collectors that archived the snapshot.
         archive: The archived table dumps.
         observations: Cleaned observations extracted from the archive.
+        store: The indexed :class:`ObservationStore` over those
+            observations — what the inference stages query.
         extraction: Extraction counters (records read, loops dropped ...).
         ground_truth: Per-AFI ground-truth annotations.
         true_hybrid_links: The hybrid links planted by the generator.
@@ -123,6 +126,7 @@ class SyntheticSnapshot:
     collectors: List[Collector]
     archive: CollectorArchive
     observations: List[ObservedRoute]
+    store: ObservationStore
     extraction: ExtractionResult
     ground_truth: Dict[AFI, ToRAnnotation]
     true_hybrid_links: Dict[Link, HybridType]
@@ -137,7 +141,7 @@ class SyntheticSnapshot:
 
     def observations_for(self, afi: AFI) -> List[ObservedRoute]:
         """Observations restricted to one address family."""
-        return [o for o in self.observations if o.afi is afi]
+        return list(self.store.by_afi[afi])
 
     def ground_truth_annotation(self, afi: AFI) -> ToRAnnotation:
         """Ground-truth relationship annotation for one plane."""
@@ -348,7 +352,7 @@ def build_snapshot(config: Optional[DatasetConfig] = None) -> SyntheticSnapshot:
             records = collector.collect(result, afi=afi)
             archive.add_collection(collector, config.snapshot_date, records)
 
-    extraction = extract_from_archive(archive)
+    extraction = extract_from_archive(archive)  # builds the indexed store
     ground_truth = {
         AFI.IPV4: ToRAnnotation.from_graph(graph, AFI.IPV4),
         AFI.IPV6: ToRAnnotation.from_graph(graph, AFI.IPV6),
@@ -370,6 +374,7 @@ def build_snapshot(config: Optional[DatasetConfig] = None) -> SyntheticSnapshot:
         collectors=collectors,
         archive=archive,
         observations=list(extraction.observations),
+        store=extraction.store,
         extraction=extraction,
         ground_truth=ground_truth,
         true_hybrid_links=true_hybrid,

@@ -53,8 +53,12 @@ class TestPathExtraction:
     def test_looped_path_dropped(self):
         assert observation_from_record(record([10, 20, 10, 30])) is None
 
-    def test_zero_local_pref_becomes_none(self):
+    def test_local_pref_values_survive_extraction(self):
+        # A genuinely exported LOCAL_PREF 0 is kept distinct from a feed
+        # that does not export the attribute at all.
         observation = observation_from_record(record([10, 20], local_pref=0))
+        assert observation.local_pref == 0
+        observation = observation_from_record(record([10, 20], local_pref=None))
         assert observation.local_pref is None
 
     def test_missing_vantage_hop_reanchored(self):
@@ -75,6 +79,35 @@ class TestPathExtraction:
         assert result.stats.observations == 2
         assert result.stats.distinct_paths == 2
         assert len(result) == 2
+
+    def test_dedup_merges_duplicate_attributes(self):
+        """A stripped copy must not shadow one carrying LOCAL_PREF/communities."""
+        base = dict(
+            timestamp=1282262400,
+            peer_ip="2001:db8::1",
+            peer_as=10,
+            prefix=Prefix("3fff:77::/32"),
+            as_path=ASPath([10, 20]),
+        )
+        poor = TableDumpRecord(**base, local_pref=None, communities=())
+        rich = TableDumpRecord(
+            **base, local_pref=200, communities=(Community(10, 100),)
+        )
+        for ordering in ([poor, rich], [rich, poor]):
+            result = extract_observations(ordering, deduplicate=True)
+            assert result.stats.observations == 1
+            assert result.observations[0].local_pref == 200
+            assert result.observations[0].communities == (Community(10, 100),)
+        # Complementary duplicates: each copy carries an attribute the
+        # other lacks; the merge must preserve both.
+        lp_only = TableDumpRecord(**base, local_pref=120, communities=())
+        comm_only = TableDumpRecord(
+            **base, local_pref=None, communities=(Community(20, 300),)
+        )
+        result = extract_observations([lp_only, comm_only], deduplicate=True)
+        assert result.stats.observations == 1
+        assert result.observations[0].local_pref == 120
+        assert result.observations[0].communities == (Community(20, 300),)
 
     def test_extract_with_afi_filter(self):
         records = [record([10, 20, 30]), record([11, 20], prefix="10.3.0.0/20")]

@@ -84,7 +84,18 @@ class TestTableDumpRecord:
         without_pref = TableDumpRecord.from_route(
             route, peer_ip="::1", timestamp=1, include_local_pref=False
         )
-        assert without_pref.local_pref == 0
+        assert without_pref.local_pref is None
+
+    def test_local_pref_zero_and_absent_round_trip(self):
+        """A feed exporting LOCAL_PREF 0 is distinct from a non-exporting one."""
+        exported_zero = make_record(local_pref=0)
+        line = exported_zero.to_line()
+        assert line.split("|")[9] == "0"
+        assert TableDumpRecord.from_line(line).local_pref == 0
+        absent = make_record(local_pref=None)
+        line = absent.to_line()
+        assert line.split("|")[9] == ""
+        assert TableDumpRecord.from_line(line).local_pref is None
 
     def test_write_and_parse_table_dump(self):
         records = [make_record(), make_record(prefix="10.2.0.0/20")]
@@ -122,6 +133,45 @@ class TestCollector:
     def test_default_collectors_require_vantages(self):
         with pytest.raises(ValueError):
             default_collectors([])
+
+    def test_same_length_collector_names_get_distinct_peer_ips(self):
+        # len("route-views1") == len("route-views2"): the seed derived the
+        # address block from the name length and collided here.
+        first = Collector(name="route-views1").add_vantage_point(64500)
+        second = Collector(name="route-views2").add_vantage_point(64500)
+        assert first.peer_ip != second.peer_ip
+
+    def test_asns_250_apart_get_distinct_peer_ips(self):
+        # The seed applied `asn % 250` to the IPv4 offset.
+        collector = Collector(name="collision-regression")
+        first = collector.add_vantage_point(100, afis=(AFI.IPV4,))
+        second = collector.add_vantage_point(350, afis=(AFI.IPV4,))
+        assert first.peer_ip != second.peer_ip
+
+    def test_peer_ips_unique_at_paper_scale(self):
+        # Both families, many collectors, a thousand vantage ASes: every
+        # (collector, vantage) session must get its own address.
+        vantages = list(range(1, 1201))
+        collectors = default_collectors(vantages, collectors_per_project=3)
+        ips = [v.peer_ip for c in collectors for v in c.vantage_points]
+        assert len(ips) == len(vantages)
+        assert len(set(ips)) == len(ips)
+
+    def test_default_collectors_peer_ips_independent_of_process_history(self):
+        """Archives from identical configs must be byte-reproducible."""
+        first = default_collectors([1, 2, 3])
+        # Creating unrelated collectors in between must not shift the
+        # address blocks of a later identical collector set.
+        Collector(name="unrelated-pollution").add_vantage_point(9)
+        second = default_collectors([1, 2, 3])
+        assert [v.peer_ip for c in first for v in c.vantage_points] == [
+            v.peer_ip for c in second for v in c.vantage_points
+        ]
+
+    def test_collect_yields_lazily(self):
+        import inspect
+
+        assert inspect.isgeneratorfunction(Collector.collect)
 
 
 class TestArchive:
@@ -163,6 +213,34 @@ class TestArchive:
         assert len(loaded) == len(archive)
         assert loaded.collectors == archive.collectors
         assert loaded.record_count(afi=AFI.IPV6) == 1
+
+    def test_save_and_load_round_trips_projects(self, tmp_path):
+        """The project mapping must survive a save/load cycle."""
+        archive = self.make_archive()
+        archive.save(tmp_path)
+        loaded = CollectorArchive.load(tmp_path)
+        assert loaded.project_of("route-views6") == "routeviews"
+        assert loaded.project_of("rrc00") == "ris"
+        # The seed dropped projects on save, so these filters silently
+        # yielded nothing after a reload.
+        assert len(list(loaded.records(project="ris"))) == 1
+        assert len(list(loaded.records(project="routeviews"))) == 1
+
+    def test_save_and_load_dotted_collector_names(self, tmp_path):
+        """Real collectors like route-views.sydney contain dots."""
+        archive = CollectorArchive()
+        date = dt.date(2010, 8, 20)
+        archive.add_snapshot(
+            "route-views.sydney", date, [make_record()], project="routeviews"
+        )
+        archive.save(tmp_path)
+        loaded = CollectorArchive.load(tmp_path)
+        assert loaded.collectors == ["route-views.sydney"]
+        assert loaded.dates == [date]
+        assert loaded.project_of("route-views.sydney") == "routeviews"
+        records = list(loaded.records(collector="route-views.sydney"))
+        assert len(records) == 1
+        assert records[0].collector == "route-views.sydney"
 
     def test_collect_from_propagation(self, snapshot):
         """The snapshot fixture's archive must contain both planes."""
