@@ -1,6 +1,6 @@
 #!/usr/bin/env python
-"""Performance driver: writes ``BENCH_propagation.json`` and
-``BENCH_extraction.json``.
+"""Performance driver: writes ``BENCH_propagation.json``,
+``BENCH_extraction.json`` and ``BENCH_pipeline.json``.
 
 Runs the end-to-end benchmarks outside pytest and records
 machine-readable results (wall time, events/sec, peak RSS, speedup vs
@@ -21,6 +21,15 @@ Scenarios:
   the indexed :class:`~repro.core.store.ObservationStore` path versus
   the frozen seed pipeline (:mod:`repro.analysis.reference`), with the
   Section-3 reports asserted identical before the speedup is recorded.
+* ``pipeline_cache`` (``BENCH_pipeline.json``) — the staged artifact
+  pipeline (:mod:`repro.pipeline`) on ``paper_scale_config``: a cold
+  ``section3`` + ``figure2`` run against an empty cache versus the same
+  pair warm, with the warm run asserted to recompute nothing and to
+  produce identical reports before the speedup is recorded.
+
+``--smoke`` runs every scenario at a tiny scale with one repeat and
+writes the reports under ``benchmarks/smoke/`` — a CI guard that the
+harness itself keeps working, not a performance measurement.
 
 Measurements take the best of ``--repeats`` runs with the cyclic GC
 paused during the timed section (allocation-heavy baselines otherwise
@@ -54,6 +63,7 @@ SCHEMA_VERSION = 2
 
 BENCH_TOPOLOGY = TopologyConfig(seed=2010, tier1_count=7, tier2_count=45, tier3_count=180)
 SCALE_TOPOLOGY = TopologyConfig(seed=2026, tier1_count=10, tier2_count=150, tier3_count=900)
+SMOKE_TOPOLOGY = TopologyConfig(seed=2010, tier1_count=4, tier2_count=12, tier3_count=40)
 
 
 def _peak_rss_kb() -> int:
@@ -95,8 +105,10 @@ def _stats(best: float, result, origins) -> Dict:
     }
 
 
-def bench_snapshot(repeats: int, with_reference: bool) -> Dict:
-    topology = generate_topology(BENCH_TOPOLOGY)
+def bench_snapshot(
+    repeats: int, with_reference: bool, topology: TopologyConfig = BENCH_TOPOLOGY
+) -> Dict:
+    topology = generate_topology(topology)
     graph = topology.graph
     policies = default_policies(graph.ases)
     scenario: Dict = {"ases": len(graph), "planes": {}}
@@ -133,14 +145,14 @@ def bench_snapshot(repeats: int, with_reference: bool) -> Dict:
     return scenario
 
 
-def bench_extraction(repeats: int) -> Dict:
+def bench_extraction(repeats: int, small: bool = False) -> Dict:
     """Extraction + inference: indexed store vs frozen seed pipeline."""
     from repro.analysis.paths import store_from_records
     from repro.analysis.reference import reference_pipeline
     from repro.analysis.stats import compute_section3
-    from repro.datasets import build_snapshot, paper_scale_config
+    from repro.datasets import build_snapshot, paper_scale_config, small_config
 
-    snapshot = build_snapshot(paper_scale_config())
+    snapshot = build_snapshot(small_config() if small else paper_scale_config())
     archive, registry = snapshot.archive, snapshot.registry
 
     def optimized():
@@ -188,6 +200,97 @@ def bench_extraction(repeats: int) -> Dict:
     }
 
 
+def bench_pipeline(repeats: int, small: bool = False) -> Dict:
+    """Staged pipeline: cold vs warm ``section3`` + ``figure2``.
+
+    Cold: an empty artifact cache, so every stage computes (the cold
+    ``figure2`` already reuses the stages its ``section3`` just cached —
+    that reuse is part of what the scenario demonstrates and is recorded
+    in ``cold_figure2_reused_stages``).  Warm: the same two commands
+    against the populated cache — the run must recompute *nothing* and
+    produce identical outputs, which is asserted before the speedup is
+    recorded.
+    """
+    import shutil
+    import tempfile
+
+    from repro.datasets import paper_scale_config, small_config
+    from repro.pipeline import PipelineConfig, run_pipeline
+
+    dataset = small_config() if small else paper_scale_config()
+    config = PipelineConfig(dataset=dataset)
+
+    best_cold = best_warm = float("inf")
+    section3_report: Dict = {}
+    warm_cached: list = []
+    cold_figure2_reused: list = []
+    for _ in range(repeats):
+        cache_root = tempfile.mkdtemp(prefix="bench_pipeline_")
+        try:
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                cold_s3 = run_pipeline(config, cache_dir=cache_root, targets=("section3",))
+                cold_report = cold_s3.value("section3").as_dict()
+                cold_f2 = run_pipeline(
+                    config, cache_dir=cache_root, targets=("correction",)
+                )
+                cold_series = cold_f2.value("correction")
+                cold_elapsed = time.perf_counter() - started
+
+                started = time.perf_counter()
+                warm_s3 = run_pipeline(config, cache_dir=cache_root, targets=("section3",))
+                warm_report = warm_s3.value("section3").as_dict()
+                warm_f2 = run_pipeline(
+                    config, cache_dir=cache_root, targets=("correction",)
+                )
+                warm_series = warm_f2.value("correction")
+                warm_elapsed = time.perf_counter() - started
+            finally:
+                gc.enable()
+            recomputed = warm_s3.computed_stages() + warm_f2.computed_stages()
+            if recomputed:
+                raise AssertionError(
+                    f"warm pipeline run recomputed stages {recomputed}; refusing "
+                    "to record a cache speedup over a partially cold run"
+                )
+            def _series_key(series):
+                return [
+                    (step.corrected_links, step.link, step.average_path_length,
+                     step.diameter)
+                    for step in series.steps
+                ]
+
+            if warm_report != cold_report or _series_key(warm_series) != _series_key(
+                cold_series
+            ):
+                raise AssertionError(
+                    "warm pipeline outputs differ from cold; refusing to record "
+                    "a speedup over non-identical results"
+                )
+            best_cold = min(best_cold, cold_elapsed)
+            best_warm = min(best_warm, warm_elapsed)
+            section3_report = cold_report
+            warm_cached = warm_f2.cached_stages()
+            cold_figure2_reused = cold_f2.cached_stages()
+        finally:
+            shutil.rmtree(cache_root, ignore_errors=True)
+
+    return {
+        "ases": dataset.topology.total_ases,
+        "cold_wall_seconds": round(best_cold, 4),
+        "warm_wall_seconds": round(best_warm, 4),
+        "speedup": round(best_cold / best_warm, 2),
+        "cold_figure2_reused_stages": cold_figure2_reused,
+        "warm_cached_stages": warm_cached,
+        "warm_recomputed_stages": [],
+        "bit_identical": True,
+        "section3": section3_report,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 def bench_scale(repeats: int) -> Dict:
     topology = generate_topology(SCALE_TOPOLOGY)
     graph = topology.graph
@@ -203,15 +306,58 @@ def bench_scale(repeats: int) -> Dict:
     }
 
 
+def _report_envelope(results: Dict, schema_version: int = 1) -> Dict:
+    return {
+        "schema_version": schema_version,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def _run_isolated(args, only_flag: str, output_flag: str, output: Path) -> Dict:
+    """Run one scenario in a fresh subprocess and read its report back.
+
+    Launched *before* the propagation scenarios inflate this process:
+    ru_maxrss is a process-level high-water mark that a forked child
+    inherits through the copy-on-write window, so spawning from a
+    1.7 GB parent would tag the scenario with the propagation footprint.
+    """
+    command = [
+        sys.executable,
+        str(Path(__file__).resolve()),
+        only_flag,
+        "--repeats",
+        str(args.repeats),
+        output_flag,
+        str(output),
+    ]
+    if args.smoke:
+        command.append("--smoke")
+    subprocess.run(command, check=True, env=os.environ.copy())
+    print(f"[bench] wrote {output}")
+    return json.loads(output.read_text())
+
+
 def main(argv: Optional[list] = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_propagation.json",
+        default=None,
         help="where to write the JSON report (default: repo root)",
     )
     parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny-scale, one-repeat run of every scenario writing under "
+        "benchmarks/smoke/ — a CI guard, not a measurement",
+    )
     parser.add_argument(
         "--skip-reference",
         action="store_true",
@@ -230,7 +376,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--extraction-output",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_extraction.json",
+        default=None,
         help="where to write the extraction report (default: repo root)",
     )
     parser.add_argument(
@@ -240,47 +386,70 @@ def main(argv: Optional[list] = None) -> int:
         "internally: the main driver runs it in a subprocess so its "
         "peak-RSS figure is not polluted by the propagation scenarios)",
     )
+    parser.add_argument(
+        "--skip-pipeline",
+        action="store_true",
+        help="skip the staged-pipeline cache scenario (BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--pipeline-output",
+        type=Path,
+        default=None,
+        help="where to write the pipeline report (default: repo root)",
+    )
+    parser.add_argument(
+        "--pipeline-only",
+        action="store_true",
+        help="run only the pipeline-cache scenario, in this process "
+        "(used internally, like --extraction-only)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.smoke:
+        args.repeats = 1
+        args.skip_scale = True
+        output_root = repo_root / "benchmarks" / "smoke"
+        output_root.mkdir(parents=True, exist_ok=True)
+    else:
+        output_root = repo_root
+    if args.output is None:
+        args.output = output_root / "BENCH_propagation.json"
+    if args.extraction_output is None:
+        args.extraction_output = output_root / "BENCH_extraction.json"
+    if args.pipeline_output is None:
+        args.pipeline_output = output_root / "BENCH_pipeline.json"
 
     if args.extraction_only:
-        extraction_report = {
-            "schema_version": 1,
-            "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
-                timespec="seconds"
-            ),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "results": {"extraction_inference": bench_extraction(args.repeats)},
-        }
         args.extraction_output.write_text(
-            json.dumps(extraction_report, indent=2) + "\n"
+            json.dumps(
+                _report_envelope(
+                    {"extraction_inference": bench_extraction(args.repeats, args.smoke)}
+                ),
+                indent=2,
+            )
+            + "\n"
         )
         return 0
 
-    if not args.skip_extraction:
-        print("[bench] extraction+inference on paper_scale_config ...")
-        # A fresh subprocess, launched *before* the propagation
-        # scenarios inflate this process: ru_maxrss is a process-level
-        # high-water mark that a forked child inherits through the
-        # copy-on-write window, so spawning from a 1.7 GB parent would
-        # tag the pipeline with the propagation footprint.
-        subprocess.run(
-            [
-                sys.executable,
-                str(Path(__file__).resolve()),
-                "--extraction-only",
-                "--repeats",
-                str(args.repeats),
-                "--extraction-output",
-                str(args.extraction_output),
-            ],
-            check=True,
-            env=os.environ.copy(),
+    if args.pipeline_only:
+        args.pipeline_output.write_text(
+            json.dumps(
+                _report_envelope(
+                    {"pipeline_cache": bench_pipeline(args.repeats, args.smoke)}
+                ),
+                indent=2,
+            )
+            + "\n"
         )
-        print(f"[bench] wrote {args.extraction_output}")
-        extraction_report = json.loads(args.extraction_output.read_text())
+        return 0
+
+    scale_name = "small_config" if args.smoke else "paper_scale_config"
+    if not args.skip_extraction:
+        print(f"[bench] extraction+inference on {scale_name} ...")
+        extraction_report = _run_isolated(
+            args, "--extraction-only", "--extraction-output", args.extraction_output
+        )
         scenario = extraction_report["results"]["extraction_inference"]
         print(
             f"  extraction_inference: {scenario['optimized_wall_seconds']}s vs "
@@ -288,18 +457,23 @@ def main(argv: Optional[list] = None) -> int:
             f"speedup {scenario['speedup']}x (bit-identical)"
         )
 
-    report = {
-        "schema_version": SCHEMA_VERSION,
-        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
-            timespec="seconds"
-        ),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "results": {},
-    }
-    print(f"[bench] snapshot topology {BENCH_TOPOLOGY.total_ases} ASes ...")
+    if not args.skip_pipeline:
+        print(f"[bench] staged-pipeline cache on {scale_name} ...")
+        pipeline_report = _run_isolated(
+            args, "--pipeline-only", "--pipeline-output", args.pipeline_output
+        )
+        scenario = pipeline_report["results"]["pipeline_cache"]
+        print(
+            f"  pipeline_cache: cold {scenario['cold_wall_seconds']}s vs warm "
+            f"{scenario['warm_wall_seconds']}s, speedup {scenario['speedup']}x "
+            f"({len(scenario['warm_cached_stages'])} stages cached)"
+        )
+
+    report = _report_envelope({}, schema_version=SCHEMA_VERSION)
+    topology = SMOKE_TOPOLOGY if args.smoke else BENCH_TOPOLOGY
+    print(f"[bench] snapshot topology {topology.total_ases} ASes ...")
     report["results"]["bench_snapshot"] = bench_snapshot(
-        args.repeats, with_reference=not args.skip_reference
+        args.repeats, with_reference=not args.skip_reference, topology=topology
     )
     if not args.skip_scale:
         print(f"[bench] scale topology {SCALE_TOPOLOGY.total_ases} ASes ...")

@@ -23,7 +23,15 @@ from repro.analysis.paths import (
     store_from_records,
 )
 from repro.analysis.report import format_series, format_summary, format_table, to_json
-from repro.analysis.stats import Section3Artifacts, Section3Report, compute_section3
+from repro.analysis.stats import (
+    Section3Artifacts,
+    Section3Report,
+    Section3Views,
+    assemble_report,
+    build_views,
+    compute_section3,
+    run_inference,
+)
 
 __all__ = [
     "LinkInventory",
@@ -48,5 +56,9 @@ __all__ = [
     "to_json",
     "Section3Artifacts",
     "Section3Report",
+    "Section3Views",
+    "assemble_report",
+    "build_views",
     "compute_section3",
+    "run_inference",
 ]

@@ -6,6 +6,18 @@ detection, hybrid path visibility, valley-path analysis — and packages
 the results as a :class:`Section3Report` whose fields map one-to-one to
 the statistics of Section 3 of the paper (see the experiment table in
 DESIGN.md).
+
+The computation is decomposed into three stage functions the staged
+pipeline (:mod:`repro.pipeline.stages`) caches individually:
+
+* :func:`run_inference` — the Communities/LocPrf combined inference,
+* :func:`build_views` — link inventory, hybrid detection, visibility
+  index and valley analysis (:class:`Section3Views`),
+* :func:`assemble_report` — the cheap final report assembly.
+
+:func:`compute_section3` is their thin, cache-free composition and
+produces results bit-identical to the pre-decomposition monolith (the
+golden tests pin this against the frozen references).
 """
 
 from __future__ import annotations
@@ -135,17 +147,43 @@ class Section3Artifacts:
     valley: ValleyAnalysisReport
 
 
-def compute_section3(
+@dataclass
+class Section3Views:
+    """The derived per-snapshot views the report is assembled from.
+
+    One cacheable unit in the staged pipeline: everything downstream of
+    the inference that re-reads the observations (inventory, hybrid
+    detection, visibility index, valley analysis), plus the distinct
+    IPv6 path count.
+    """
+
+    ipv6_path_count: int
+    inventory: LinkInventory
+    hybrid: HybridDetectionReport
+    visibility: VisibilityIndex
+    valley: ValleyAnalysisReport
+
+
+def run_inference(
     observations: Iterable[ObservedRoute],
     registry: IRRRegistry,
-    inference: Optional[CombinedInference] = None,
-) -> Section3Artifacts:
-    """Compute every Section-3 statistic for a set of observations.
+    engine: Optional[CombinedInference] = None,
+) -> CombinedInferenceResult:
+    """Stage: run the Communities/LocPrf combined inference."""
+    engine = engine or CombinedInference(registry)
+    return engine.infer(observations)
 
-    ``observations`` may be a plain iterable (the legacy list path) or
-    an :class:`~repro.core.store.ObservationStore`; with a store every
-    stage queries the shared indexes instead of re-scanning the list,
-    producing identical statistics.
+
+def build_views(
+    observations: Iterable[ObservedRoute],
+    result: CombinedInferenceResult,
+) -> Section3Views:
+    """Stage: build every observation-derived view the report needs.
+
+    ``observations`` may be a plain list (the legacy path) or an
+    :class:`~repro.core.store.ObservationStore`; with a store every view
+    queries the shared indexes instead of re-scanning, producing
+    identical results.
     """
     if isinstance(observations, ObservationStore):
         ipv6_observations: Iterable[ObservedRoute] = observations
@@ -157,11 +195,38 @@ def compute_section3(
         ipv6_path_count = len(unique_paths(ipv6_observations))
     inventory = build_link_inventory(observations)
 
-    engine = inference or CombinedInference(registry)
-    result = engine.infer(observations)
+    # S3.5 / S3.6 — hybrid detection over the visible dual-stack links.
+    detector = HybridDetector(
+        result.annotation(AFI.IPV4), result.annotation(AFI.IPV6)
+    )
+    if isinstance(observations, ObservationStore):
+        hybrid_report = detector.detect_visible(observations)
+    else:
+        hybrid_report = detector.detect(inventory.dual_stack_links)
 
+    # S3.7 — visibility of links in the IPv6 paths.
+    visibility = build_visibility_index(ipv6_observations, afi=AFI.IPV6)
+
+    # S3.8 / S3.9 — valley analysis of the IPv6 paths.
+    analyzer = ValleyAnalyzer(result.annotation(AFI.IPV6))
+    valley_report = analyzer.analyze(ipv6_observations, afi=AFI.IPV6)
+
+    return Section3Views(
+        ipv6_path_count=ipv6_path_count,
+        inventory=inventory,
+        hybrid=hybrid_report,
+        visibility=visibility,
+        valley=valley_report,
+    )
+
+
+def assemble_report(
+    views: Section3Views, result: CombinedInferenceResult
+) -> Section3Report:
+    """Stage: assemble the flat Section-3 report from the views."""
+    inventory = views.inventory
     report = Section3Report()
-    report.ipv6_paths = ipv6_path_count
+    report.ipv6_paths = views.ipv6_path_count
     report.ipv6_links = len(inventory.ipv6_links)
     report.ipv4_links = len(inventory.ipv4_links)
     report.dual_stack_links = len(inventory.dual_stack_links)
@@ -179,12 +244,7 @@ def compute_section3(
     report.dual_stack_links_with_relationship = dual_coverage.annotated_links
     report.dual_stack_coverage = dual_coverage.fraction
 
-    # S3.5 / S3.6 — hybrid detection over the visible dual-stack links.
-    detector = HybridDetector(result.annotation(AFI.IPV4), ipv6_annotation)
-    if isinstance(observations, ObservationStore):
-        hybrid_report = detector.detect_visible(observations)
-    else:
-        hybrid_report = detector.detect(inventory.dual_stack_links)
+    hybrid_report = views.hybrid
     report.hybrid_links = len(hybrid_report.hybrid_links)
     report.hybrid_fraction = hybrid_report.hybrid_fraction
     report.hybrid_share_peer4_transit6 = hybrid_report.type_share(HybridType.PEER4_TRANSIT6)
@@ -193,25 +253,45 @@ def compute_section3(
         HybridType.TRANSIT_REVERSED
     )
 
-    # S3.7 — visibility of hybrid links in IPv6 paths.
-    visibility = build_visibility_index(ipv6_observations, afi=AFI.IPV6)
     hybrid_links = hybrid_report.hybrid_link_set()
-    report.paths_crossing_hybrid = visibility.paths_crossing_any(hybrid_links)
-    report.fraction_paths_crossing_hybrid = visibility.fraction_crossing_any(hybrid_links)
+    report.paths_crossing_hybrid = views.visibility.paths_crossing_any(hybrid_links)
+    report.fraction_paths_crossing_hybrid = views.visibility.fraction_crossing_any(
+        hybrid_links
+    )
 
-    # S3.8 / S3.9 — valley analysis of the IPv6 paths.
-    analyzer = ValleyAnalyzer(ipv6_annotation)
-    valley_report = analyzer.analyze(ipv6_observations, afi=AFI.IPV6)
-    report.valley_paths = valley_report.valley_count
-    report.valley_fraction = valley_report.valley_fraction
-    report.reachability_valley_paths = len(valley_report.reachability_motivated)
-    report.reachability_valley_fraction = valley_report.reachability_fraction
+    report.valley_paths = views.valley.valley_count
+    report.valley_fraction = views.valley.valley_fraction
+    report.reachability_valley_paths = len(views.valley.reachability_motivated)
+    report.reachability_valley_fraction = views.valley.reachability_fraction
+    return report
 
+
+def compute_section3(
+    observations: Iterable[ObservedRoute],
+    registry: IRRRegistry,
+    inference: Optional[CombinedInference] = None,
+) -> Section3Artifacts:
+    """Compute every Section-3 statistic for a set of observations.
+
+    ``observations`` may be a plain iterable (the legacy list path) or
+    an :class:`~repro.core.store.ObservationStore`; with a store every
+    stage queries the shared indexes instead of re-scanning the list,
+    producing identical statistics.
+
+    This is the thin, cache-free composition of the three stage
+    functions; the staged pipeline (:mod:`repro.pipeline`) runs the same
+    functions with per-stage artifact caching.
+    """
+    if not isinstance(observations, ObservationStore):
+        observations = list(observations)
+    result = run_inference(observations, registry, inference)
+    views = build_views(observations, result)
+    report = assemble_report(views, result)
     return Section3Artifacts(
         report=report,
-        inventory=inventory,
+        inventory=views.inventory,
         inference=result,
-        hybrid=hybrid_report,
-        visibility=visibility,
-        valley=valley_report,
+        hybrid=views.hybrid,
+        visibility=views.visibility,
+        valley=views.valley,
     )

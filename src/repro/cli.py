@@ -3,7 +3,9 @@
 Three subcommands cover the common workflows without writing any code::
 
     python -m repro section3  [--small | --paper-scale] [--json PATH]
-    python -m repro figure2   [--small | --paper-scale] [--top N]
+                              [--cache-dir DIR | --from-snapshot DIR]
+    python -m repro figure2   [--small | --paper-scale] [--top N] [--json PATH]
+                              [--cache-dir DIR | --from-snapshot DIR]
     python -m repro snapshot  --output DIR [--small | --paper-scale]
 
 ``section3`` prints the Section-3 statistics table, ``figure2`` prints
@@ -11,6 +13,17 @@ the correction-sweep series, and ``snapshot`` builds a synthetic snapshot
 and writes its collector archive (bgpdump-style text files), the
 dual-stack relationship ground truth and the IRR documentation corpus to
 a directory, so the pipeline can also be exercised from files on disk.
+
+Two flags connect the commands into a staged workflow:
+
+* ``--cache-dir DIR`` backs the run with the on-disk artifact cache of
+  :mod:`repro.pipeline` — running ``figure2`` right after ``section3``
+  with the same cache dir reuses the snapshot, extraction and inference
+  artifacts and only computes the correction sweep.
+* ``--from-snapshot DIR`` skips the synthetic builder entirely and runs
+  the measurement pipeline on a snapshot directory previously written by
+  ``repro snapshot`` (the archive, ground truth and IRR corpus are read
+  back from disk).
 """
 
 from __future__ import annotations
@@ -21,16 +34,18 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.analysis import compute_section3, format_series, format_summary, format_table
-from repro.core.correction import CorrectionExperiment, plane_agnostic_annotation
+from repro.analysis import format_series, format_summary, format_table
+from repro.analysis.stats import Section3Artifacts, compute_section3
+from repro.core.correction import CorrectionSeries, run_correction_sweep
 from repro.core.relationships import AFI
 from repro.datasets import (
     DatasetConfig,
-    build_snapshot,
+    load_snapshot,
     paper_scale_config,
+    save_snapshot,
     small_config,
 )
-from repro.topology.serialization import write_dual_stack
+from repro.pipeline import PipelineConfig, run_pipeline, section3_artifacts
 
 
 def _config_from_args(args: argparse.Namespace) -> DatasetConfig:
@@ -52,13 +67,63 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="snapshot seed")
 
 
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--cache-dir",
+        help="artifact-cache directory: warm re-runs skip unchanged stages",
+    )
+    source.add_argument(
+        "--from-snapshot",
+        metavar="DIR",
+        help="run from a snapshot directory written by 'repro snapshot' "
+        "instead of building one (the --small/--paper-scale/--seed "
+        "sizing flags do not apply and are rejected)",
+    )
+
+
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(
+        dataset=_config_from_args(args),
+        top=getattr(args, "top", 20),
+        max_sources=getattr(args, "max_sources", 60),
+    )
+
+
+def _print_stage_summary(run) -> None:
+    cached = run.cached_stages()
+    if cached:
+        print(f"[pipeline] reused cached stages: {', '.join(cached)}")
+
+
+def _artifacts_from_disk(directory: str) -> Section3Artifacts:
+    """The measurement pipeline over a snapshot directory on disk."""
+    loaded = load_snapshot(Path(directory))
+    from repro.analysis.paths import extract_from_archive
+
+    extraction = extract_from_archive(loaded.archive)
+    return compute_section3(extraction.store, loaded.registry)
+
+
 def _cmd_section3(args: argparse.Namespace) -> int:
-    snapshot = build_snapshot(_config_from_args(args))
-    artifacts = compute_section3(snapshot.store, snapshot.registry)
+    if args.from_snapshot:
+        artifacts = _artifacts_from_disk(args.from_snapshot)
+        config_payload = {"snapshot_dir": args.from_snapshot}
+    else:
+        config = _pipeline_config(args)
+        run = run_pipeline(
+            config, cache_dir=args.cache_dir, targets=("section3",)
+        )
+        _print_stage_summary(run)
+        artifacts = section3_artifacts(run)
+        config_payload = {
+            "ases": config.dataset.topology.total_ases,
+            "seed": args.seed,
+        }
     print(format_table(artifacts.report.rows(), title="Section 3 statistics"))
     if args.json:
         payload = {
-            "config": {"ases": snapshot.config.topology.total_ases, "seed": args.seed},
+            "config": config_payload,
             "section3": artifacts.report.as_dict(),
         }
         Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
@@ -66,17 +131,38 @@ def _cmd_section3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure2_series(
+    artifacts: Section3Artifacts, top: int, max_sources: Optional[int]
+) -> CorrectionSeries:
+    """The Figure-2 sweep from precomputed Section-3 artifacts (the
+    same shared implementation the pipeline's ``correction`` stage
+    runs)."""
+    return run_correction_sweep(
+        artifacts.inference.annotation(AFI.IPV4),
+        artifacts.inference.annotation(AFI.IPV6),
+        artifacts.hybrid.hybrid_link_set(),
+        artifacts.visibility,
+        top=top,
+        max_sources=max_sources,
+    )
+
+
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    snapshot = build_snapshot(_config_from_args(args))
-    artifacts = compute_section3(snapshot.store, snapshot.registry)
-    reference = artifacts.inference.annotation(AFI.IPV6)
-    misinferred = plane_agnostic_annotation(
-        reference, artifacts.inference.annotation(AFI.IPV4)
-    )
-    experiment = CorrectionExperiment(misinferred, reference, max_sources=args.max_sources)
-    series = experiment.run_with_visibility(
-        artifacts.hybrid.hybrid_link_set(), artifacts.visibility, top=args.top
-    )
+    if args.from_snapshot:
+        artifacts = _artifacts_from_disk(args.from_snapshot)
+        series = _figure2_series(artifacts, args.top, args.max_sources)
+        config_payload = {"snapshot_dir": args.from_snapshot}
+    else:
+        config = _pipeline_config(args)
+        run = run_pipeline(
+            config, cache_dir=args.cache_dir, targets=("correction",)
+        )
+        _print_stage_summary(run)
+        series = run.value("correction")
+        config_payload = {
+            "ases": config.dataset.topology.total_ases,
+            "seed": args.seed,
+        }
     print(
         format_series(
             "corrected links",
@@ -86,23 +172,37 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     )
     print()
     print(format_summary(series.improvement(), title="Start vs end"))
+    if args.json:
+        payload = {
+            "config": config_payload,
+            "figure2": {
+                "top": args.top,
+                "max_sources": args.max_sources,
+                "corrected_links": [step.corrected_links for step in series.steps],
+                "averages": series.averages,
+                "diameters": series.diameters,
+                "improvement": series.improvement(),
+            },
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"\nwrote JSON report to {args.json}")
     return 0
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
-    snapshot = build_snapshot(_config_from_args(args))
+    from repro.datasets import build_snapshot
+
+    snapshot = build_snapshot(_config_from_args(args), cache_dir=args.cache_dir)
     output = Path(args.output)
-    output.mkdir(parents=True, exist_ok=True)
-    dumps = snapshot.archive.save(output / "rib-dumps")
-    write_dual_stack(snapshot.graph, output / "ground-truth-asrel.txt")
-    irr_dir = output / "irr"
-    irr_dir.mkdir(exist_ok=True)
-    for asn, lines in snapshot.registry.documentation_corpus().items():
-        (irr_dir / f"AS{asn}.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    summary = save_snapshot(snapshot, output)
+    manifest = summary["manifest"]
     print(f"snapshot written to {output}")
-    print(f"  {len(dumps)} collector dump files")
+    print(f"  {len(summary['dump_files'])} collector dump files")
     print(f"  ground truth: {output / 'ground-truth-asrel.txt'}")
-    print(f"  IRR documentation for {len(snapshot.registry)} ASes in {irr_dir}")
+    print(
+        f"  IRR documentation for {manifest['documented_ases']} ASes in "
+        f"{output / 'irr'}"
+    )
     return 0
 
 
@@ -119,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         "section3", help="compute the Section-3 statistics on a synthetic snapshot"
     )
     _add_common_options(section3)
+    _add_pipeline_options(section3)
     section3.add_argument("--json", help="also write the report as JSON to this path")
     section3.set_defaults(handler=_cmd_section3)
 
@@ -126,10 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         "figure2", help="run the Figure-2 correction sweep"
     )
     _add_common_options(figure2)
+    _add_pipeline_options(figure2)
     figure2.add_argument("--top", type=int, default=20, help="links to correct")
     figure2.add_argument(
         "--max-sources", type=int, default=60,
         help="valley-free BFS sources sampled per step (0 = exact)",
+    )
+    figure2.add_argument(
+        "--json", help="also write the sweep series and summary as JSON to this path"
     )
     figure2.set_defaults(handler=_cmd_figure2)
 
@@ -138,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(snapshot)
     snapshot.add_argument("--output", required=True, help="output directory")
+    snapshot.add_argument(
+        "--cache-dir",
+        help="artifact-cache directory: reuse cached build stages",
+    )
     snapshot.set_defaults(handler=_cmd_snapshot)
     return parser
 
@@ -148,6 +257,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "max_sources", None) == 0:
         args.max_sources = None
+    if getattr(args, "from_snapshot", None) and (args.small or args.paper_scale):
+        # The snapshot on disk fixes the scale; a sizing flag alongside
+        # it would be silently ignored, which reads like it worked.
+        parser.error("--small/--paper-scale cannot be combined with --from-snapshot")
     return args.handler(args)
 
 

@@ -144,6 +144,31 @@ def plane_agnostic_annotation(
     return result
 
 
+def run_correction_sweep(
+    ipv4_annotation: ToRAnnotation,
+    ipv6_annotation: ToRAnnotation,
+    hybrid_links: Iterable[Link],
+    visibility: VisibilityIndex,
+    top: int = 20,
+    max_sources: Optional[int] = None,
+) -> CorrectionSeries:
+    """The canonical Figure-2 sweep from a pair of inferred annotations.
+
+    Builds the paper's starting point — the plane-agnostic (misinferred)
+    IPv6 annotation — corrects the ``top`` most visible hybrid links
+    towards ``ipv6_annotation`` and measures after each step.  The one
+    shared implementation behind the pipeline's ``correction`` stage
+    and the CLI's ``figure2`` command (both in-memory and
+    ``--from-snapshot``), so the sweep cannot drift between entry
+    points.
+    """
+    misinferred = plane_agnostic_annotation(ipv6_annotation, ipv4_annotation)
+    experiment = CorrectionExperiment(
+        misinferred, ipv6_annotation, max_sources=max_sources
+    )
+    return experiment.run_with_visibility(hybrid_links, visibility, top=top)
+
+
 class CorrectionExperiment:
     """Gradually correct misinferred relationships and track the metrics.
 

@@ -10,6 +10,7 @@ from repro.datasets.scenarios import (
     rosetta_scenario,
     valley_scenario,
 )
+from repro.datasets.snapshot_io import LoadedSnapshot, load_snapshot, save_snapshot
 from repro.datasets.synthetic import (
     DatasetConfig,
     SyntheticSnapshot,
@@ -19,6 +20,9 @@ from repro.datasets.synthetic import (
 )
 
 __all__ = [
+    "LoadedSnapshot",
+    "load_snapshot",
+    "save_snapshot",
     "Figure1Scenario",
     "HybridScenario",
     "RosettaScenario",

@@ -1,0 +1,143 @@
+"""Writing and re-loading snapshot directories.
+
+``repro snapshot --output DIR`` persists a synthetic snapshot as the
+kind of file tree the paper's pipeline starts from::
+
+    DIR/
+      rib-dumps/                 # bgpdump-style text dumps, one per
+        <collector>.rib.<date>.txt   # collector snapshot
+        projects.json            # collector -> project sidecar
+      ground-truth-asrel.txt     # extended dual-stack as-rel format
+      irr/
+        AS<asn>.txt              # community documentation per AS
+      snapshot.json              # manifest (config summary, counts)
+
+:func:`save_snapshot` writes that tree; :func:`load_snapshot` closes
+the round trip — the archive, the IRR registry and the ground-truth
+graph are reconstructed from the files alone, so ``section3`` and
+``figure2`` can run from disk with results identical to the in-memory
+snapshot that produced the directory (pinned by
+``tests/test_snapshot_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.collectors.archive import CollectorArchive
+from repro.core.annotation import ToRAnnotation
+from repro.core.relationships import AFI
+from repro.datasets.synthetic import SyntheticSnapshot
+from repro.irr.registry import IRRRegistry
+from repro.topology.graph import ASGraph
+from repro.topology.serialization import read_dual_stack, write_dual_stack
+
+MANIFEST_FILENAME = "snapshot.json"
+GROUND_TRUTH_FILENAME = "ground-truth-asrel.txt"
+RIB_DIRNAME = "rib-dumps"
+IRR_DIRNAME = "irr"
+
+_IRR_FILE = re.compile(r"^AS(\d+)\.txt$")
+
+
+def save_snapshot(snapshot: SyntheticSnapshot, directory: Path) -> Dict[str, object]:
+    """Write a snapshot directory; returns a summary for reporting."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dumps = snapshot.archive.save(directory / RIB_DIRNAME)
+    write_dual_stack(snapshot.graph, directory / GROUND_TRUTH_FILENAME)
+    irr_dir = directory / IRR_DIRNAME
+    irr_dir.mkdir(exist_ok=True)
+    for asn, lines in snapshot.registry.documentation_corpus().items():
+        (irr_dir / f"AS{asn}.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    manifest = {
+        "format_version": 1,
+        "snapshot_date": snapshot.config.snapshot_date.isoformat(),
+        "seed": snapshot.config.seed,
+        "total_ases": snapshot.config.topology.total_ases,
+        "vantage_points": snapshot.config.vantage_points,
+        "collectors": snapshot.archive.collectors,
+        "records": len(snapshot.archive),
+        "documented_ases": len(snapshot.registry),
+    }
+    (directory / MANIFEST_FILENAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return {"dump_files": dumps, "manifest": manifest}
+
+
+@dataclass
+class LoadedSnapshot:
+    """A snapshot reconstructed from a directory on disk.
+
+    Carries exactly what the measurement side needs: the collector
+    archive (extraction input), the IRR registry (inference input) and
+    the ground-truth graph (validation input).  The manifest is kept
+    for reporting; it is ``{}`` for directories written before the
+    manifest existed.
+    """
+
+    directory: Path
+    archive: CollectorArchive
+    registry: IRRRegistry
+    ground_truth_graph: Optional[ASGraph] = None
+    manifest: Dict[str, object] = field(default_factory=dict)
+
+    def ground_truth_annotation(self, afi: AFI) -> ToRAnnotation:
+        """Ground-truth relationship annotation for one plane."""
+        if self.ground_truth_graph is None:
+            raise ValueError(
+                f"{self.directory} has no {GROUND_TRUTH_FILENAME}; "
+                "ground truth is unavailable for this snapshot"
+            )
+        return ToRAnnotation.from_graph(self.ground_truth_graph, afi)
+
+
+def load_snapshot(directory: Path) -> LoadedSnapshot:
+    """Load a snapshot directory written by :func:`save_snapshot`.
+
+    The RIB dump directory is required; the ground truth and the IRR
+    corpus are optional (a registry-free load still supports extraction,
+    but the Communities inference will find no documentation).
+    """
+    directory = Path(directory)
+    rib_dir = directory / RIB_DIRNAME
+    if not rib_dir.is_dir():
+        raise FileNotFoundError(
+            f"{directory} is not a snapshot directory (missing {RIB_DIRNAME}/)"
+        )
+    archive = CollectorArchive.load(rib_dir)
+    if not len(archive):
+        raise ValueError(f"{rib_dir} contains no parseable RIB dump files")
+
+    registry = IRRRegistry()
+    irr_dir = directory / IRR_DIRNAME
+    if irr_dir.is_dir():
+        for path in sorted(irr_dir.iterdir()):
+            match = _IRR_FILE.match(path.name)
+            if match is None:
+                continue
+            lines = path.read_text(encoding="utf-8").splitlines()
+            registry.register_documentation(int(match.group(1)), lines)
+
+    ground_truth = None
+    ground_truth_path = directory / GROUND_TRUTH_FILENAME
+    if ground_truth_path.exists():
+        ground_truth = read_dual_stack(ground_truth_path)
+
+    manifest: Dict[str, object] = {}
+    manifest_path = directory / MANIFEST_FILENAME
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+
+    return LoadedSnapshot(
+        directory=directory,
+        archive=archive,
+        registry=registry,
+        ground_truth_graph=ground_truth,
+        manifest=manifest,
+    )

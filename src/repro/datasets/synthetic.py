@@ -28,18 +28,18 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.paths import ExtractionResult, extract_from_archive
+from repro.analysis.paths import ExtractionResult
 from repro.bgp.policy import LocalPrefScheme, RoutingPolicy, TrafficEngineeringOverride
 from repro.bgp.prefixes import Prefix, PrefixAllocator
-from repro.bgp.propagation import PropagationResult, PropagationSimulator
+from repro.bgp.propagation import PropagationResult
 from repro.collectors.archive import CollectorArchive
-from repro.collectors.collector import Collector, default_collectors
+from repro.collectors.collector import Collector
 from repro.core.annotation import ToRAnnotation
 from repro.core.observations import ObservedRoute
 from repro.core.relationships import AFI, HybridType, Link, Relationship
 from repro.core.store import ObservationStore
-from repro.irr.registry import IRRRegistry, build_registry
-from repro.topology.generator import GeneratedTopology, TopologyConfig, generate_topology
+from repro.irr.registry import IRRRegistry
+from repro.topology.generator import GeneratedTopology, TopologyConfig
 
 #: LOCAL_PREF numbering conventions assigned round-robin-ish to ASes.
 _LOCPREF_STYLES: Tuple[Tuple[int, int, int], ...] = (
@@ -314,74 +314,26 @@ def _select_origins(
 # ----------------------------------------------------------------------
 # the builder
 # ----------------------------------------------------------------------
-def build_snapshot(config: Optional[DatasetConfig] = None) -> SyntheticSnapshot:
-    """Build a complete synthetic measurement snapshot."""
-    config = config or DatasetConfig()
-    rng = random.Random(config.seed)
-    allocator = PrefixAllocator()
+def build_snapshot(
+    config: Optional[DatasetConfig] = None, cache_dir=None
+) -> SyntheticSnapshot:
+    """Build a complete synthetic measurement snapshot.
 
-    topology = generate_topology(config.topology)
-    graph = topology.graph
-    registry = build_registry(
-        graph.ases, documented_fraction=config.documented_fraction, seed=config.seed
-    )
-    policies = _build_policies(topology, registry, config, rng, allocator)
-    dispute_links, dispute_relaxed = _apply_peering_disputes(
-        topology, policies, config, rng
-    )
-    leak_relaxed = _apply_gratuitous_leaks(topology, policies, config, rng)
-    relaxed = dispute_relaxed + leak_relaxed
+    A thin composition of the staged pipeline
+    (:mod:`repro.pipeline.stages`): the stages run in exactly the order
+    the historical monolithic builder ran (frozen as
+    :func:`repro.datasets.reference.reference_build_snapshot`, pinned by
+    golden tests), so the result is bit-identical.  ``cache_dir``
+    enables the on-disk artifact cache — a warm call skips every stage
+    whose fingerprint is unchanged.
+    """
+    # Imported here: repro.pipeline.stages imports this module's
+    # private stage helpers, so a module-level import would be circular.
+    from repro.pipeline.stages import PipelineConfig, run_pipeline
 
-    vantage_asns = _select_vantage_points(topology, config, rng)
-    collectors = default_collectors(
-        vantage_asns,
-        collectors_per_project=config.collectors_per_project,
-        exports_local_pref_fraction=config.exports_local_pref_fraction,
-    )
-
-    propagation: Dict[AFI, PropagationResult] = {}
-    archive = CollectorArchive()
-    for afi in (AFI.IPV4, AFI.IPV6):
-        simulator = PropagationSimulator(
-            graph, policies, keep_ribs_for=vantage_asns
-        )
-        origins = _select_origins(topology, config, allocator, rng, afi)
-        result = simulator.run(origins)
-        propagation[afi] = result
-        for collector in collectors:
-            records = collector.collect(result, afi=afi)
-            archive.add_collection(collector, config.snapshot_date, records)
-
-    extraction = extract_from_archive(archive)  # builds the indexed store
-    ground_truth = {
-        AFI.IPV4: ToRAnnotation.from_graph(graph, AFI.IPV4),
-        AFI.IPV6: ToRAnnotation.from_graph(graph, AFI.IPV6),
-    }
-    # The peering disputes removed some planted hybrid links' IPv6 side;
-    # drop them from the ground-truth hybrid set if that happened.
-    true_hybrid = {
-        link: hybrid_type
-        for link, hybrid_type in topology.hybrid_links.items()
-        if ground_truth[AFI.IPV6].get_canonical(link).is_known
-        and ground_truth[AFI.IPV4].get_canonical(link).is_known
-    }
-
-    return SyntheticSnapshot(
-        config=config,
-        topology=topology,
-        registry=registry,
-        policies=policies,
-        collectors=collectors,
-        archive=archive,
-        observations=list(extraction.observations),
-        store=extraction.store,
-        extraction=extraction,
-        ground_truth=ground_truth,
-        true_hybrid_links=true_hybrid,
-        relaxed_adjacencies=relaxed,
-        dispute_links=dispute_links,
-        propagation=propagation,
-    )
+    pipeline_config = PipelineConfig(dataset=config or DatasetConfig())
+    run = run_pipeline(pipeline_config, cache_dir=cache_dir, targets=("snapshot",))
+    return run.value("snapshot")
 
 
 def small_config(seed: int = 7) -> DatasetConfig:

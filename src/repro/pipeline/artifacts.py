@@ -1,0 +1,278 @@
+"""Durable, fingerprinted artifacts for the staged pipeline.
+
+Every pipeline stage produces one *artifact*: a Python object whose
+identity is fully determined by a **fingerprint** — a SHA-256 digest of
+
+* the stage name,
+* the stage's declared *code version* (bumped when the stage's
+  implementation changes in a result-affecting way),
+* a canonical token of the configuration slice the stage consumes, and
+* the fingerprints of its upstream artifacts (so invalidation cascades
+  through the DAG without ever loading a payload).
+
+:class:`ArtifactCache` stores artifacts on disk under
+``<root>/<stage>/<fingerprint>.pkl`` with a ``.json`` metadata sidecar
+recording the SHA-256 of the pickled payload.  A load verifies the
+payload hash against the sidecar, so a truncated or bit-flipped artifact
+is detected and reported as a miss (the runner then recomputes and
+overwrites it) instead of being deserialized into silent corruption.
+
+Pickle is the payload format on purpose: artifacts are internal
+intermediate state exchanged between stages of one code base, not an
+interchange format — the stage *code version* participates in the
+fingerprint precisely so that incompatible pickles are never looked up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the cache layout / metadata schema changes incompatibly.
+CACHE_LAYOUT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# canonical configuration tokens
+# ----------------------------------------------------------------------
+def config_token(value: object) -> str:
+    """A canonical, deterministic string token for a config value.
+
+    Handles the vocabulary configurations are made of — dataclasses,
+    mappings, sequences, enums, dates and primitives — and refuses
+    anything else loudly (a silently unstable ``repr`` would make two
+    different configurations collide or one configuration drift between
+    processes).
+    """
+    return "".join(_tokenize(value))
+
+
+def _tokenize(value: object) -> List[str]:
+    if value is None or isinstance(value, (bool, int, str)):
+        return [repr(value)]
+    if isinstance(value, float):
+        # repr() of a float is exact in Python 3; keep it explicit.
+        return [repr(value)]
+    if isinstance(value, enum.Enum):
+        return [f"{type(value).__name__}.{value.name}"]
+    if isinstance(value, (_dt.datetime, _dt.date)):
+        return [value.isoformat()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts = [f"{type(value).__name__}("]
+        for field in dataclasses.fields(value):
+            parts.append(f"{field.name}=")
+            parts.extend(_tokenize(getattr(value, field.name)))
+            parts.append(",")
+        parts.append(")")
+        return parts
+    if isinstance(value, dict):
+        parts = ["{"]
+        for key in sorted(value, key=repr):
+            parts.extend(_tokenize(key))
+            parts.append(":")
+            parts.extend(_tokenize(value[key]))
+            parts.append(",")
+        parts.append("}")
+        return parts
+    if isinstance(value, (list, tuple)):
+        parts = ["[" if isinstance(value, list) else "("]
+        for item in value:
+            parts.extend(_tokenize(item))
+            parts.append(",")
+        parts.append("]" if isinstance(value, list) else ")")
+        return parts
+    if isinstance(value, (set, frozenset)):
+        parts = ["{s:"]
+        for item in sorted(value, key=repr):
+            parts.extend(_tokenize(item))
+            parts.append(",")
+        parts.append("}")
+        return parts
+    raise TypeError(
+        f"cannot build a stable config token for {type(value).__name__!r}; "
+        "add explicit support or pass a primitive projection instead"
+    )
+
+
+def fingerprint(
+    stage: str,
+    version: str,
+    token: str,
+    upstream: Sequence[str] = (),
+) -> str:
+    """The SHA-256 fingerprint of one stage invocation."""
+    digest = hashlib.sha256()
+    for part in (f"layout:{CACHE_LAYOUT_VERSION}", stage, version, token, *upstream):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the on-disk cache
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ArtifactRecord:
+    """Metadata of one stored artifact (the ``.json`` sidecar)."""
+
+    stage: str
+    fingerprint: str
+    payload_sha256: str
+    size_bytes: int
+    code_version: str
+    created_at: str
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArtifactRecord":
+        data = json.loads(text)
+        return cls(**{field.name: data[field.name] for field in dataclasses.fields(cls)})
+
+
+class ArtifactCache:
+    """Content-addressed on-disk store of stage artifacts.
+
+    Layout::
+
+        <root>/
+          <stage-name>/
+            <fingerprint>.pkl    # pickled payload
+            <fingerprint>.json   # ArtifactRecord sidecar (payload hash)
+
+    Writes are atomic (temp file + rename) so a crashed run never leaves
+    a half-written payload that a later run would trust; loads verify
+    the payload hash against the sidecar before unpickling.
+    """
+
+    PAYLOAD_SUFFIX = ".pkl"
+    META_SUFFIX = ".json"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def payload_path(self, stage: str, fingerprint: str) -> Path:
+        return self.root / stage / f"{fingerprint}{self.PAYLOAD_SUFFIX}"
+
+    def meta_path(self, stage: str, fingerprint: str) -> Path:
+        return self.root / stage / f"{fingerprint}{self.META_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def contains(self, stage: str, fingerprint: str) -> bool:
+        """True when a *verifiable* artifact exists (hash checked)."""
+        return self.verify(stage, fingerprint) is not None
+
+    def _verified_bytes(
+        self, stage: str, fingerprint: str
+    ) -> Optional[Tuple[bytes, ArtifactRecord]]:
+        """One read + one hash: the payload bytes iff they verify."""
+        payload_path = self.payload_path(stage, fingerprint)
+        meta_path = self.meta_path(stage, fingerprint)
+        if not payload_path.exists() or not meta_path.exists():
+            return None
+        try:
+            record = ArtifactRecord.from_json(meta_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None
+        payload = payload_path.read_bytes()
+        if hashlib.sha256(payload).hexdigest() != record.payload_sha256:
+            return None
+        return payload, record
+
+    def verify(self, stage: str, fingerprint: str) -> Optional[ArtifactRecord]:
+        """Validate the stored artifact; ``None`` when missing/corrupt.
+
+        Reads and hashes the payload — corruption is detected here, not
+        at unpickle time.  The runner calls this once per warm stage, so
+        a warm run pays one sequential read of each cached artifact in
+        its closure (the deliberate price of eager corruption
+        detection) but no deserialization.
+        """
+        verified = self._verified_bytes(stage, fingerprint)
+        return verified[1] if verified is not None else None
+
+    def load(self, stage: str, fingerprint: str) -> Optional[Tuple[object, ArtifactRecord]]:
+        """Load and hash-verify an artifact; ``None`` on any defect.
+
+        A hash mismatch, an unreadable sidecar or a failing unpickle all
+        report a miss — the runner recomputes and the defective entry is
+        overwritten by the subsequent :meth:`store`.  The payload is
+        read and hashed once (re-verified here even if :meth:`verify`
+        passed earlier, because the file may have changed in between).
+        """
+        verified = self._verified_bytes(stage, fingerprint)
+        if verified is None:
+            return None
+        payload, record = verified
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            return None
+        return value, record
+
+    def store(
+        self, stage: str, fingerprint: str, value: object, code_version: str
+    ) -> ArtifactRecord:
+        """Persist one artifact atomically; returns its metadata record."""
+        directory = self.root / stage
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        record = ArtifactRecord(
+            stage=stage,
+            fingerprint=fingerprint,
+            payload_sha256=hashlib.sha256(payload).hexdigest(),
+            size_bytes=len(payload),
+            code_version=code_version,
+            created_at=_dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+        )
+        self._write_atomic(self.payload_path(stage, fingerprint), payload)
+        self._write_atomic(
+            self.meta_path(stage, fingerprint), record.to_json().encode("utf-8")
+        )
+        return record
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def entries(self) -> Dict[str, List[str]]:
+        """Stage name -> stored fingerprints (for reports and tests)."""
+        result: Dict[str, List[str]] = {}
+        for stage_dir in sorted(self.root.iterdir()):
+            if not stage_dir.is_dir():
+                continue
+            fingerprints = sorted(
+                path.name[: -len(self.PAYLOAD_SUFFIX)]
+                for path in stage_dir.glob(f"*{self.PAYLOAD_SUFFIX}")
+            )
+            if fingerprints:
+                result[stage_dir.name] = fingerprints
+        return result

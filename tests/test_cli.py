@@ -55,6 +55,80 @@ class TestCommands:
         assert exit_code == 0
         output_dir = tmp_path / "snap"
         assert (output_dir / "ground-truth-asrel.txt").exists()
+        assert (output_dir / "snapshot.json").exists()
         assert list((output_dir / "rib-dumps").glob("*.txt"))
         assert list((output_dir / "irr").glob("AS*.txt"))
         assert "snapshot written" in capsys.readouterr().out
+
+    def test_figure2_writes_json(self, tmp_path, capsys):
+        json_path = tmp_path / "figure2.json"
+        exit_code = main(
+            [
+                "figure2", "--small", "--seed", "3", "--top", "3",
+                "--max-sources", "20", "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        figure2 = payload["figure2"]
+        assert figure2["top"] == 3
+        assert len(figure2["averages"]) == len(figure2["corrected_links"])
+        assert figure2["corrected_links"][0] == 0
+        assert "average_reduction" in figure2["improvement"]
+
+
+class TestPipelineOptions:
+    def test_cache_dir_mutually_exclusive_with_from_snapshot(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["section3", "--cache-dir", "/tmp/x", "--from-snapshot", "/tmp/y"]
+            )
+
+    def test_figure2_reuses_section3_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["section3", "--small", "--seed", "3", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "figure2", "--small", "--seed", "3", "--top", "3",
+                "--max-sources", "20", "--cache-dir", cache_dir,
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "reused cached stages" in output
+        assert "inference" in output
+
+    def test_section3_from_snapshot_matches_in_memory(self, tmp_path, capsys):
+        snap_dir = str(tmp_path / "snap")
+        in_memory_json = tmp_path / "memory.json"
+        from_disk_json = tmp_path / "disk.json"
+        assert main(["snapshot", "--small", "--seed", "3", "--output", snap_dir]) == 0
+        assert main(
+            ["section3", "--small", "--seed", "3", "--json", str(in_memory_json)]
+        ) == 0
+        assert main(
+            ["section3", "--from-snapshot", snap_dir, "--json", str(from_disk_json)]
+        ) == 0
+        in_memory = json.loads(in_memory_json.read_text())["section3"]
+        from_disk = json.loads(from_disk_json.read_text())["section3"]
+        assert from_disk == in_memory
+        assert json.loads(from_disk_json.read_text())["config"] == {
+            "snapshot_dir": snap_dir
+        }
+
+    def test_figure2_from_snapshot_runs(self, tmp_path, capsys):
+        snap_dir = str(tmp_path / "snap")
+        assert main(["snapshot", "--small", "--seed", "3", "--output", snap_dir]) == 0
+        assert main(
+            [
+                "figure2", "--top", "2", "--max-sources", "10",
+                "--from-snapshot", snap_dir,
+            ]
+        ) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_sizing_flags_rejected_with_from_snapshot(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["section3", "--small", "--from-snapshot", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["figure2", "--paper-scale", "--from-snapshot", str(tmp_path)])

@@ -1,0 +1,289 @@
+"""Cache-correctness suite: fingerprints, invalidation and corruption.
+
+Pins the contract of :mod:`repro.pipeline.artifacts` and the stage
+fingerprinting rules: a changed seed / config field / stage code
+version invalidates exactly the stages downstream of the change, and a
+corrupted or truncated artifact is detected by its payload hash and
+recomputed rather than loaded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.datasets import DatasetConfig
+from repro.pipeline import (
+    ArtifactCache,
+    PipelineConfig,
+    PipelineRunner,
+    config_token,
+    full_stages,
+    make_runner,
+    run_pipeline,
+)
+from repro.topology.generator import TopologyConfig
+
+ALL_ANALYSIS_TARGETS = ("section3", "correction")
+#: Every cacheable stage in the closure of the analysis targets.
+ANALYSIS_CLOSURE = [
+    "topology",
+    "irr",
+    "scenario",
+    "propagation_v4",
+    "propagation_v6",
+    "archive",
+    "store",
+    "inference",
+    "views",
+    "section3",
+    "correction",
+]
+
+
+def tiny_config(seed: int = 5, **overrides) -> PipelineConfig:
+    dataset = DatasetConfig(
+        topology=TopologyConfig(
+            seed=seed, tier1_count=3, tier2_count=8, tier3_count=20
+        ),
+        seed=seed,
+        vantage_points=4,
+        **overrides,
+    )
+    return PipelineConfig(dataset=dataset, top=3, max_sources=10)
+
+
+@pytest.fixture()
+def warm_cache(tmp_path):
+    """A cache populated by one cold run of the tiny configuration."""
+    config = tiny_config()
+    run_pipeline(config, cache_dir=tmp_path, targets=ALL_ANALYSIS_TARGETS)
+    return tmp_path, config
+
+
+class TestWarmRuns:
+    def test_second_run_is_fully_cached(self, warm_cache):
+        cache_dir, config = warm_cache
+        warm = run_pipeline(config, cache_dir=cache_dir, targets=ALL_ANALYSIS_TARGETS)
+        assert warm.computed_stages() == []
+        assert warm.cached_stages() == ANALYSIS_CLOSURE
+
+    def test_figure2_after_section3_reuses_all_shared_stages(self, tmp_path):
+        config = tiny_config()
+        run_pipeline(config, cache_dir=tmp_path, targets=("section3",))
+        figure2 = run_pipeline(config, cache_dir=tmp_path, targets=("correction",))
+        assert figure2.computed_stages() == ["correction"]
+
+    def test_uncached_runner_always_computes(self):
+        config = tiny_config()
+        run = run_pipeline(config, targets=("section3",))
+        assert run.cached_stages() == []
+        assert "section3" in run.computed_stages()
+
+    def test_topology_artifact_pristine_cold_and_warm(self, warm_cache):
+        """The scenario stage mutates a deep copy: the `topology`
+        artifact must be identical whether computed or unpickled."""
+        from repro.core.relationships import AFI
+
+        cache_dir, config = warm_cache
+        cold = run_pipeline(config, targets=("scenario",))
+        warm = run_pipeline(config, cache_dir=cache_dir, targets=("scenario",))
+        cold_links = {
+            link: cold.value("topology").graph.relationship(link.a, link.b, AFI.IPV6)
+            for link in cold.value("topology").graph.links()
+        }
+        warm_links = {
+            link: warm.value("topology").graph.relationship(link.a, link.b, AFI.IPV6)
+            for link in warm.value("topology").graph.links()
+        }
+        assert cold_links == warm_links
+        # And the scenario's own copy differs where disputes removed links.
+        scenario = cold.value("scenario")
+        for link in scenario.dispute_links:
+            assert not scenario.topology.graph.relationship(
+                link.a, link.b, AFI.IPV6
+            ).is_known
+            assert cold_links[link].is_known
+
+
+class TestInvalidation:
+    def _statuses(self, cache_dir, config):
+        run = run_pipeline(config, cache_dir=cache_dir, targets=ALL_ANALYSIS_TARGETS)
+        return {outcome.stage: outcome.status for outcome in run.outcomes}
+
+    def test_changed_dataset_seed_keeps_topology(self, warm_cache):
+        """dataset.seed feeds irr+scenario but not the topology stage
+        (the topology has its own seed), so exactly topology stays warm."""
+        cache_dir, config = warm_cache
+        changed = PipelineConfig(
+            dataset=dataclasses.replace(config.dataset, seed=config.dataset.seed + 1),
+            top=config.top,
+            max_sources=config.max_sources,
+        )
+        statuses = self._statuses(cache_dir, changed)
+        assert statuses["topology"] == "cached"
+        for stage in ANALYSIS_CLOSURE[1:]:
+            assert statuses[stage] == "computed", stage
+
+    def test_changed_topology_seed_invalidates_everything(self, warm_cache):
+        cache_dir, config = warm_cache
+        changed_topology = dataclasses.replace(
+            config.dataset.topology, seed=config.dataset.topology.seed + 1
+        )
+        changed = PipelineConfig(
+            dataset=dataclasses.replace(config.dataset, topology=changed_topology),
+            top=config.top,
+            max_sources=config.max_sources,
+        )
+        statuses = self._statuses(cache_dir, changed)
+        assert all(status == "computed" for status in statuses.values())
+
+    def test_changed_correction_budget_invalidates_only_correction(self, warm_cache):
+        cache_dir, config = warm_cache
+        changed = PipelineConfig(
+            dataset=config.dataset, top=config.top + 1, max_sources=config.max_sources
+        )
+        statuses = self._statuses(cache_dir, changed)
+        assert statuses["correction"] == "computed"
+        for stage in ANALYSIS_CLOSURE[:-1]:
+            assert statuses[stage] == "cached", stage
+
+    def test_changed_snapshot_date_invalidates_archive_and_downstream(self, warm_cache):
+        import datetime
+
+        cache_dir, config = warm_cache
+        changed = PipelineConfig(
+            dataset=dataclasses.replace(
+                config.dataset, snapshot_date=datetime.date(2010, 8, 21)
+            ),
+            top=config.top,
+            max_sources=config.max_sources,
+        )
+        statuses = self._statuses(cache_dir, changed)
+        upstream = ["topology", "irr", "scenario", "propagation_v4", "propagation_v6"]
+        for stage in upstream:
+            assert statuses[stage] == "cached", stage
+        for stage in ANALYSIS_CLOSURE[len(upstream):]:
+            assert statuses[stage] == "computed", stage
+
+    def test_bumped_stage_version_invalidates_stage_and_descendants(self, warm_cache):
+        cache_dir, config = warm_cache
+        stages = [
+            dataclasses.replace(spec, version=spec.version + ".bumped")
+            if spec.name == "store"
+            else spec
+            for spec in full_stages()
+        ]
+        runner = PipelineRunner(stages, ArtifactCache(cache_dir))
+        run = runner.run(config, targets=ALL_ANALYSIS_TARGETS)
+        statuses = {outcome.stage: outcome.status for outcome in run.outcomes}
+        before_store = ANALYSIS_CLOSURE[: ANALYSIS_CLOSURE.index("store")]
+        from_store = ANALYSIS_CLOSURE[ANALYSIS_CLOSURE.index("store"):]
+        for stage in before_store:
+            assert statuses[stage] == "cached", stage
+        for stage in from_store:
+            assert statuses[stage] == "computed", stage
+
+
+class TestCorruptionDetection:
+    def _payload_path(self, cache_dir, config, stage):
+        runner = make_runner(cache_dir)
+        run = runner.run(config, targets=ALL_ANALYSIS_TARGETS)
+        return runner.cache.payload_path(stage, run.fingerprints[stage])
+
+    def test_truncated_payload_is_recomputed(self, warm_cache):
+        cache_dir, config = warm_cache
+        payload = self._payload_path(cache_dir, config, "store")
+        payload.write_bytes(payload.read_bytes()[: len(payload.read_bytes()) // 2])
+        run = run_pipeline(config, cache_dir=cache_dir, targets=("section3",))
+        assert "store" in run.computed_stages()
+        # Downstream stages still verify: their artifacts were not touched.
+        assert run.status_of("section3") == "cached"
+        # The recompute repaired the cache in place.
+        repaired = run_pipeline(config, cache_dir=cache_dir, targets=("section3",))
+        assert repaired.computed_stages() == []
+
+    def test_bitflipped_payload_is_recomputed(self, warm_cache):
+        cache_dir, config = warm_cache
+        payload = self._payload_path(cache_dir, config, "inference")
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        run = run_pipeline(config, cache_dir=cache_dir, targets=("section3",))
+        assert "inference" in run.computed_stages()
+
+    def test_unreadable_metadata_is_a_miss(self, warm_cache):
+        cache_dir, config = warm_cache
+        runner = make_runner(cache_dir)
+        run = runner.run(config, targets=("section3",))
+        meta = runner.cache.meta_path("views", run.fingerprints["views"])
+        meta.write_text("{not json", encoding="utf-8")
+        rerun = run_pipeline(config, cache_dir=cache_dir, targets=("section3",))
+        assert "views" in rerun.computed_stages()
+
+    def test_corrupted_and_recomputed_results_match_clean_run(self, warm_cache):
+        cache_dir, config = warm_cache
+        clean = run_pipeline(config, targets=("section3",)).value("section3")
+        payload = self._payload_path(cache_dir, config, "views")
+        payload.write_bytes(b"garbage")
+        recovered = run_pipeline(
+            config, cache_dir=cache_dir, targets=("section3",)
+        ).value("section3")
+        assert recovered.as_dict() == clean.as_dict()
+
+
+class TestArtifactCacheUnit:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        record = cache.store("stage", "f" * 64, {"value": [1, 2, 3]}, code_version="1")
+        loaded = cache.load("stage", "f" * 64)
+        assert loaded is not None
+        value, meta = loaded
+        assert value == {"value": [1, 2, 3]}
+        assert meta.payload_sha256 == record.payload_sha256
+        assert cache.entries() == {"stage": ["f" * 64]}
+
+    def test_missing_artifact_is_none(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load("stage", "0" * 64) is None
+        assert not cache.contains("stage", "0" * 64)
+
+    def test_unpicklable_but_hash_valid_payload_is_a_miss(self, tmp_path):
+        import hashlib
+
+        cache = ArtifactCache(tmp_path)
+        cache.store("stage", "a" * 64, 123, code_version="1")
+        # Replace the payload with bytes whose hash matches the sidecar
+        # but which do not unpickle.
+        bogus = b"not a pickle"
+        payload_path = cache.payload_path("stage", "a" * 64)
+        meta_path = cache.meta_path("stage", "a" * 64)
+        meta = json.loads(meta_path.read_text())
+        meta["payload_sha256"] = hashlib.sha256(bogus).hexdigest()
+        payload_path.write_bytes(bogus)
+        meta_path.write_text(json.dumps(meta))
+        assert cache.contains("stage", "a" * 64)  # hash verifies ...
+        assert cache.load("stage", "a" * 64) is None  # ... but the load refuses
+
+
+class TestConfigToken:
+    def test_token_is_stable_and_discriminating(self):
+        a = tiny_config(seed=5)
+        b = tiny_config(seed=5)
+        assert config_token(a) == config_token(b)
+        assert config_token(a) != config_token(tiny_config(seed=6))
+
+    def test_token_covers_nested_fields(self):
+        base = tiny_config()
+        changed = PipelineConfig(
+            dataset=dataclasses.replace(base.dataset, documented_fraction=0.5),
+            top=base.top,
+            max_sources=base.max_sources,
+        )
+        assert config_token(base) != config_token(changed)
+
+    def test_unsupported_type_is_loud(self):
+        with pytest.raises(TypeError):
+            config_token(object())

@@ -213,7 +213,28 @@ class TestRunManyDeterminism:
                 assert parallel.best_path(asn, prefix) == serial.best_path(asn, prefix)
 
     def test_process_parallel_identical_to_serial(self, setup):
+        """Fork path: graph+policies shared via the inherited module global."""
         graph, origins, engine, serial = setup
+        parallel = engine.run_many(origins, workers=2, executor="process")
+        assert parallel.events == serial.events
+        assert parallel.reachable_counts == serial.reachable_counts
+        for asn in graph.ases:
+            assert parallel.snapshot(asn).best_routes == serial.snapshot(asn).best_routes
+
+    def test_process_parallel_shared_registry_is_cleaned_up(self, setup):
+        from repro.bgp import engine as engine_module
+
+        _, origins, engine, _ = setup
+        engine.run_many(origins, workers=2, executor="process")
+        assert not engine_module._SHARED_ENGINES
+
+    def test_process_spawn_fallback_identical_to_serial(self, setup, monkeypatch):
+        """Spawn-platform fallback: engine pickled once per worker via the
+        pool initializer instead of inherited — results must not change."""
+        from repro.bgp import engine as engine_module
+
+        graph, origins, engine, serial = setup
+        monkeypatch.setattr(engine_module, "_start_method", lambda: "spawn")
         parallel = engine.run_many(origins, workers=2, executor="process")
         assert parallel.events == serial.events
         assert parallel.reachable_counts == serial.reachable_counts
