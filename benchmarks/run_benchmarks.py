@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Performance driver: writes ``BENCH_propagation.json``,
-``BENCH_extraction.json`` and ``BENCH_pipeline.json``.
+``BENCH_extraction.json``, ``BENCH_pipeline.json`` and
+``BENCH_sweep.json``.
 
 Runs the end-to-end benchmarks outside pytest and records
 machine-readable results (wall time, events/sec, peak RSS, speedup vs
@@ -26,6 +27,14 @@ Scenarios:
   ``section3`` + ``figure2`` run against an empty cache versus the same
   pair warm, with the warm run asserted to recompute nothing and to
   produce identical reports before the speedup is recorded.
+* ``sweep_grid`` (``BENCH_sweep.json``) — the sweep subsystem
+  (:mod:`repro.sweep`) on a 2 seeds x 2 correction-depths grid over
+  ``paper_scale_config``: one serial run per cell without any cache
+  (the standalone baseline), the same grid cold over one shared
+  artifact cache (shared upstream stages computed exactly once), and a
+  warm rerun of that grid (fully cached).  Every cell is asserted
+  bit-identical across all three modes before the speedups are
+  recorded.
 
 ``--smoke`` runs every scenario at a tiny scale with one repeat and
 writes the reports under ``benchmarks/smoke/`` — a CI guard that the
@@ -291,6 +300,119 @@ def bench_pipeline(repeats: int, small: bool = False) -> Dict:
     }
 
 
+def bench_sweep(repeats: int, small: bool = False) -> Dict:
+    """Sweep grid: no-cache serial vs cold shared-cache vs warm rerun.
+
+    The scenario quantifies what the fingerprint-deduplicated sweep
+    buys: the no-cache serial mode is exactly four standalone
+    ``section3`` + ``figure2`` runs (the pre-sweep workflow and the
+    independent baseline the cells are compared against), the cold grid
+    computes each shared upstream slice once, and the warm grid reruns
+    the same grid against the populated cache.  All three modes must
+    produce bit-identical cells and the warm run must recompute nothing
+    — asserted before any speedup is recorded.
+    """
+    import shutil
+    import tempfile
+
+    from repro.datasets import DatasetConfig, paper_scale_config
+    from repro.pipeline import PipelineConfig
+    from repro.sweep import GridAxis, SweepGrid, run_sweep
+
+    if small:
+        dataset = DatasetConfig(
+            topology=SMOKE_TOPOLOGY,
+            seed=2010,
+            vantage_points=6,
+        )
+    else:
+        dataset = paper_scale_config()
+    base = PipelineConfig(dataset=dataset)
+    grid = SweepGrid(
+        base,
+        [
+            GridAxis("dataset.seed", (dataset.seed, dataset.seed + 1)),
+            GridAxis("top", (10, 20)),
+        ],
+    )
+
+    def _cells(result):
+        return {
+            r.scenario_id: (r.section3, r.correction) for r in result.results
+        }
+
+    best_nocache = best_cold = best_warm = float("inf")
+    plan_counts: Dict = {}
+    for _ in range(repeats):
+        cache_root = tempfile.mkdtemp(prefix="bench_sweep_")
+        try:
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                nocache = run_sweep(grid, cache_dir=None, executor="serial")
+                nocache_elapsed = time.perf_counter() - started
+
+                started = time.perf_counter()
+                cold = run_sweep(grid, cache_dir=cache_root, executor="serial")
+                cold_elapsed = time.perf_counter() - started
+
+                started = time.perf_counter()
+                warm = run_sweep(grid, cache_dir=cache_root, executor="serial")
+                warm_elapsed = time.perf_counter() - started
+            finally:
+                gc.enable()
+            for result, mode in ((nocache, "no-cache"), (cold, "cold"), (warm, "warm")):
+                if result.failed():
+                    raise AssertionError(f"{mode} sweep had failing scenarios")
+            if cold.duplicate_computes():
+                raise AssertionError(
+                    "cold sweep computed a shared fingerprint twice; refusing "
+                    "to record a dedup speedup"
+                )
+            expected = cold.plan.distinct_stage_invocations()
+            computed = cold.cache_counters()["computed"]
+            if computed != expected:
+                raise AssertionError(
+                    f"cold sweep computed {computed} stage invocations, "
+                    f"planner expected {expected}"
+                )
+            if not warm.fully_cached():
+                raise AssertionError(
+                    "warm sweep recomputed stages; refusing to record a "
+                    "cache speedup over a partially cold run"
+                )
+            if not (_cells(nocache) == _cells(cold) == _cells(warm)):
+                raise AssertionError(
+                    "sweep cells differ between no-cache/cold/warm modes; "
+                    "refusing to record speedups over non-identical results"
+                )
+            best_nocache = min(best_nocache, nocache_elapsed)
+            best_cold = min(best_cold, cold_elapsed)
+            best_warm = min(best_warm, warm_elapsed)
+            plan_counts = {
+                "total_stage_invocations": cold.plan.total_stage_invocations(),
+                "distinct_stage_invocations": expected,
+            }
+        finally:
+            shutil.rmtree(cache_root, ignore_errors=True)
+
+    return {
+        "ases": dataset.topology.total_ases,
+        "cells": len(grid),
+        "axes": grid.spec_dict()["axes"],
+        "no_cache_serial_wall_seconds": round(best_nocache, 4),
+        "cold_grid_wall_seconds": round(best_cold, 4),
+        "warm_grid_wall_seconds": round(best_warm, 4),
+        "speedup_cold_vs_no_cache": round(best_nocache / best_cold, 2),
+        "speedup_warm_vs_cold": round(best_cold / best_warm, 2),
+        **plan_counts,
+        "warm_fully_cached": True,
+        "bit_identical": True,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 def bench_scale(repeats: int) -> Dict:
     topology = generate_topology(SCALE_TOPOLOGY)
     graph = topology.graph
@@ -403,6 +525,23 @@ def main(argv: Optional[list] = None) -> int:
         help="run only the pipeline-cache scenario, in this process "
         "(used internally, like --extraction-only)",
     )
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="skip the sweep-grid scenario (BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--sweep-output",
+        type=Path,
+        default=None,
+        help="where to write the sweep report (default: repo root)",
+    )
+    parser.add_argument(
+        "--sweep-only",
+        action="store_true",
+        help="run only the sweep-grid scenario, in this process "
+        "(used internally, like --extraction-only)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -419,6 +558,8 @@ def main(argv: Optional[list] = None) -> int:
         args.extraction_output = output_root / "BENCH_extraction.json"
     if args.pipeline_output is None:
         args.pipeline_output = output_root / "BENCH_pipeline.json"
+    if args.sweep_output is None:
+        args.sweep_output = output_root / "BENCH_sweep.json"
 
     if args.extraction_only:
         args.extraction_output.write_text(
@@ -437,6 +578,18 @@ def main(argv: Optional[list] = None) -> int:
             json.dumps(
                 _report_envelope(
                     {"pipeline_cache": bench_pipeline(args.repeats, args.smoke)}
+                ),
+                indent=2,
+            )
+            + "\n"
+        )
+        return 0
+
+    if args.sweep_only:
+        args.sweep_output.write_text(
+            json.dumps(
+                _report_envelope(
+                    {"sweep_grid": bench_sweep(args.repeats, args.smoke)}
                 ),
                 indent=2,
             )
@@ -467,6 +620,22 @@ def main(argv: Optional[list] = None) -> int:
             f"  pipeline_cache: cold {scenario['cold_wall_seconds']}s vs warm "
             f"{scenario['warm_wall_seconds']}s, speedup {scenario['speedup']}x "
             f"({len(scenario['warm_cached_stages'])} stages cached)"
+        )
+
+    if not args.skip_sweep:
+        print(f"[bench] sweep grid (2 seeds x 2 tops) on {scale_name} ...")
+        sweep_report = _run_isolated(
+            args, "--sweep-only", "--sweep-output", args.sweep_output
+        )
+        scenario = sweep_report["results"]["sweep_grid"]
+        print(
+            f"  sweep_grid: no-cache {scenario['no_cache_serial_wall_seconds']}s "
+            f"vs cold {scenario['cold_grid_wall_seconds']}s "
+            f"({scenario['speedup_cold_vs_no_cache']}x) vs warm "
+            f"{scenario['warm_grid_wall_seconds']}s "
+            f"({scenario['speedup_warm_vs_cold']}x over cold; "
+            f"{scenario['distinct_stage_invocations']} distinct of "
+            f"{scenario['total_stage_invocations']} stage invocations)"
         )
 
     report = _report_envelope({}, schema_version=SCHEMA_VERSION)

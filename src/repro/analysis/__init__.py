@@ -22,7 +22,13 @@ from repro.analysis.paths import (
     paths_by_origin,
     store_from_records,
 )
-from repro.analysis.report import format_series, format_summary, format_table, to_json
+from repro.analysis.report import (
+    format_series,
+    format_summary,
+    format_table,
+    to_json,
+    write_json_report,
+)
 from repro.analysis.stats import (
     Section3Artifacts,
     Section3Report,
@@ -54,6 +60,7 @@ __all__ = [
     "format_summary",
     "format_table",
     "to_json",
+    "write_json_report",
     "Section3Artifacts",
     "Section3Report",
     "Section3Views",

@@ -9,6 +9,7 @@ output) and JSON documents (for EXPERIMENTS.md bookkeeping).
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
@@ -103,6 +104,23 @@ def format_series(
 def to_json(data: Mapping, indent: int = 2) -> str:
     """Serialize a (possibly nested) report mapping to JSON text."""
     return json.dumps(data, indent=indent, sort_keys=True, default=_json_default)
+
+
+def write_json_report(
+    payload: Mapping, path, schema_version: Optional[int] = None
+) -> None:
+    """Write a JSON report with the repository's one stable
+    serialization: sorted keys, a ``schema_version`` field, a trailing
+    newline.  Every ``--json`` writer (``section3``, ``figure2``,
+    ``repro sweep``) goes through here so the format cannot drift
+    between reports.
+
+    ``schema_version`` is injected when the payload does not already
+    carry one (sweep reports embed their own).
+    """
+    if schema_version is not None and "schema_version" not in payload:
+        payload = {"schema_version": schema_version, **payload}
+    Path(path).write_text(to_json(payload) + "\n", encoding="utf-8")
 
 
 def _json_default(value):

@@ -1,12 +1,16 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows without writing any code::
+Five subcommands cover the common workflows without writing any code::
 
     python -m repro section3  [--small | --paper-scale] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
     python -m repro figure2   [--small | --paper-scale] [--top N] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
     python -m repro snapshot  --output DIR [--small | --paper-scale]
+    python -m repro sweep     --grid grid.json [--cache-dir DIR]
+                              [--executor serial|thread|process]
+                              [--json PATH] [--markdown PATH]
+    python -m repro cache     stats | prune  --cache-dir DIR
 
 ``section3`` prints the Section-3 statistics table, ``figure2`` prints
 the correction-sweep series, and ``snapshot`` builds a synthetic snapshot
@@ -14,7 +18,13 @@ and writes its collector archive (bgpdump-style text files), the
 dual-stack relationship ground truth and the IRR documentation corpus to
 a directory, so the pipeline can also be exercised from files on disk.
 
-Two flags connect the commands into a staged workflow:
+``sweep`` expands a JSON parameter grid (see :mod:`repro.sweep.grid`)
+into scenarios and runs them all over one shared artifact cache —
+upstream stages two scenarios have in common are computed once and
+reused — then prints/writes a cross-scenario report.  ``cache stats``
+and ``cache prune`` keep those caches from growing unbounded.
+
+Two flags connect the single-run commands into a staged workflow:
 
 * ``--cache-dir DIR`` backs the run with the on-disk artifact cache of
   :mod:`repro.pipeline` — running ``figure2`` right after ``section3``
@@ -24,6 +34,10 @@ Two flags connect the commands into a staged workflow:
   the measurement pipeline on a snapshot directory previously written by
   ``repro snapshot`` (the archive, ground truth and IRR corpus are read
   back from disk).
+
+Every ``--json`` report is written with sorted keys and carries a
+``schema_version`` field, so golden files and cross-run diffs stay
+stable.
 """
 
 from __future__ import annotations
@@ -35,8 +49,13 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis import format_series, format_summary, format_table
+from repro.analysis.report import write_json_report
 from repro.analysis.stats import Section3Artifacts, compute_section3
-from repro.core.correction import CorrectionSeries, run_correction_sweep
+from repro.core.correction import (
+    CorrectionSeries,
+    correction_payload,
+    run_correction_sweep,
+)
 from repro.core.relationships import AFI
 from repro.datasets import (
     DatasetConfig,
@@ -45,7 +64,17 @@ from repro.datasets import (
     save_snapshot,
     small_config,
 )
-from repro.pipeline import PipelineConfig, run_pipeline, section3_artifacts
+from repro.pipeline import ArtifactCache, PipelineConfig, run_pipeline, section3_artifacts
+
+#: Schema version of the ``section3``/``figure2`` ``--json`` reports.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _write_json_report(path: str, payload: dict) -> None:
+    """CLI reports go through the shared stable writer
+    (:func:`repro.analysis.report.write_json_report`) with this
+    module's schema version."""
+    write_json_report(payload, path, schema_version=REPORT_SCHEMA_VERSION)
 
 
 def _config_from_args(args: argparse.Namespace) -> DatasetConfig:
@@ -122,11 +151,10 @@ def _cmd_section3(args: argparse.Namespace) -> int:
         }
     print(format_table(artifacts.report.rows(), title="Section 3 statistics"))
     if args.json:
-        payload = {
-            "config": config_payload,
-            "section3": artifacts.report.as_dict(),
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        _write_json_report(
+            args.json,
+            {"config": config_payload, "section3": artifacts.report.as_dict()},
+        )
         print(f"\nwrote JSON report to {args.json}")
     return 0
 
@@ -173,18 +201,13 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     print()
     print(format_summary(series.improvement(), title="Start vs end"))
     if args.json:
-        payload = {
-            "config": config_payload,
-            "figure2": {
-                "top": args.top,
-                "max_sources": args.max_sources,
-                "corrected_links": [step.corrected_links for step in series.steps],
-                "averages": series.averages,
-                "diameters": series.diameters,
-                "improvement": series.improvement(),
+        _write_json_report(
+            args.json,
+            {
+                "config": config_payload,
+                "figure2": correction_payload(series, args.top, args.max_sources),
             },
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        )
         print(f"\nwrote JSON report to {args.json}")
     return 0
 
@@ -203,6 +226,144 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         f"  IRR documentation for {manifest['documented_ases']} ASes in "
         f"{output / 'irr'}"
     )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        GridError,
+        SweepGrid,
+        build_report,
+        plan_sweep,
+        render_markdown,
+        run_sweep,
+        write_json_report,
+    )
+
+    try:
+        grid = SweepGrid.from_json_file(args.grid)
+        scenarios = grid.expand()
+        targets = tuple(args.targets.split(","))
+        plan = plan_sweep(scenarios, targets=targets)
+    except (GridError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in plan.summary_lines():
+        print(f"[sweep] {line}")
+    if args.cache_dir is None:
+        print(
+            "[sweep] no --cache-dir: scenarios cannot share stages "
+            "(every cell computes its full closure)"
+        )
+
+    try:
+        result = run_sweep(
+            plan,  # the announced plan IS the executed plan
+            cache_dir=args.cache_dir,
+            executor=args.executor,
+            workers=args.workers,
+            propagation_workers=args.propagation_workers,
+        )
+    except ValueError as exc:
+        # Invalid option combinations (e.g. process executor with
+        # propagation workers) — scenario failures never raise here.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for scenario in result.results:
+        if scenario.ok:
+            print(
+                f"[sweep] {scenario.scenario_id:<40} ok      "
+                f"{len(scenario.computed_stages()):>2} computed "
+                f"{len(scenario.stage_statuses) - len(scenario.computed_stages()):>2} cached "
+                f"{scenario.seconds:7.2f}s"
+            )
+        else:
+            print(f"[sweep] {scenario.scenario_id:<40} FAILED  {scenario.error}")
+    counters = result.cache_counters()
+    print(
+        f"[sweep] {len(result.results)} scenarios in {result.seconds:.2f}s: "
+        f"{counters['computed']} stage invocations computed, "
+        f"{counters['cached']} served from cache"
+    )
+    duplicates = result.duplicate_computes()
+    if duplicates and args.cache_dir is not None:
+        # Without a cache, shared fingerprints recompute per cell by
+        # design — only a cached sweep promises exactly-once.
+        print(
+            f"[sweep] warning: {len(duplicates)} fingerprints computed more "
+            "than once (a failure broke the exactly-once schedule)"
+        )
+    if result.fully_cached():
+        print("[sweep] fully cached: nothing was recomputed")
+
+    report = build_report(result, grid)
+    variance = report["seed_variance"]["varying_metrics"]
+    if variance:
+        print(
+            "[sweep] metrics varying across seeds at fixed config: "
+            + ", ".join(variance)
+        )
+    if args.json:
+        write_json_report(report, args.json)
+        print(f"[sweep] wrote JSON report to {args.json}")
+    if args.markdown:
+        Path(args.markdown).write_text(render_markdown(report), encoding="utf-8")
+        print(f"[sweep] wrote markdown report to {args.markdown}")
+    return 1 if result.failed() else 0
+
+
+def _open_cache(args: argparse.Namespace) -> Optional[ArtifactCache]:
+    root = Path(args.cache_dir)
+    if not root.is_dir():
+        print(f"error: cache directory {root} does not exist", file=sys.stderr)
+        return None
+    return ArtifactCache(root)
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    if cache is None:
+        return 2
+    stats = cache.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {"schema_version": REPORT_SCHEMA_VERSION, **stats.to_dict()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"artifact cache at {stats.root}")
+    print(f"  {stats.entries} artifacts, {stats.total_bytes:,} bytes")
+    for stage, bucket in sorted(stats.per_stage.items()):
+        print(f"  {stage:<16} {bucket['entries']:>4} artifacts {bucket['bytes']:>12,} bytes")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    if args.max_bytes is None and args.max_age is None:
+        print("error: cache prune needs --max-bytes and/or --max-age", file=sys.stderr)
+        return 2
+    cache = _open_cache(args)
+    if cache is None:
+        return 2
+    report = cache.prune(
+        max_bytes=args.max_bytes,
+        max_age_seconds=args.max_age * 86400.0 if args.max_age is not None else None,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {len(report.removed)} artifacts ({report.freed_bytes:,} bytes); "
+        f"{report.remaining_entries} artifacts "
+        f"({report.remaining_bytes:,} bytes) remain"
+    )
+    listed = report.removed[:20]
+    for entry in listed:
+        print(f"  {entry.stage}/{entry.fingerprint[:12]}  {entry.size_bytes:,} bytes")
+    if len(report.removed) > len(listed):
+        print(f"  ... and {len(report.removed) - len(listed)} more")
     return 0
 
 
@@ -248,6 +409,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact-cache directory: reuse cached build stages",
     )
     snapshot.set_defaults(handler=_cmd_snapshot)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a parameter grid of scenarios over one shared artifact cache",
+    )
+    sweep.add_argument(
+        "--grid", required=True, help="JSON sweep grid (see repro.sweep.grid)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help="shared artifact cache: stages common to several scenarios "
+        "are computed once and reused (strongly recommended)",
+    )
+    sweep.add_argument(
+        "--targets",
+        default="section3,correction",
+        help="comma-separated pipeline targets per scenario "
+        "(default: section3,correction)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="how scenarios of one wave run (default: thread)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="scenario-level worker bound"
+    )
+    sweep.add_argument(
+        "--propagation-workers",
+        type=int,
+        default=None,
+        help="parallelize the propagation stages inside each scenario via "
+        "PropagationEngine.run_many (combine with --executor serial)",
+    )
+    sweep.add_argument(
+        "--json", help="write the cross-scenario report as JSON to this path"
+    )
+    sweep.add_argument(
+        "--markdown", help="write the cross-scenario report as markdown to this path"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune an artifact-cache directory"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="per-stage entry counts and byte totals"
+    )
+    cache_stats.add_argument("--cache-dir", required=True)
+    cache_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
+    cache_prune = cache_commands.add_parser(
+        "prune", help="evict artifacts by age and/or LRU down to a byte budget"
+    )
+    cache_prune.add_argument("--cache-dir", required=True)
+    cache_prune.add_argument(
+        "--max-bytes", type=int, help="evict least-recently-used artifacts "
+        "until the cache fits this many bytes"
+    )
+    cache_prune.add_argument(
+        "--max-age", type=float, metavar="DAYS",
+        help="evict artifacts not used for this many days",
+    )
+    cache_prune.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    cache_prune.set_defaults(handler=_cmd_cache_prune)
     return parser
 
 

@@ -113,6 +113,29 @@ class CorrectionSeries:
         }
 
 
+def correction_payload(
+    series: "CorrectionSeries", top: int, max_sources: Optional[int]
+) -> Dict[str, object]:
+    """The one JSON-shaped rendering of a Figure-2 series.
+
+    Shared by ``repro figure2 --json`` and every sweep cell, so the two
+    reports stay comparable field-for-field (the sweep benchmark
+    asserts cells bit-identical to standalone runs).
+    """
+    return {
+        "top": top,
+        "max_sources": max_sources,
+        "corrected_links": [step.corrected_links for step in series.steps],
+        "links": [
+            None if step.link is None else [step.link.a, step.link.b]
+            for step in series.steps
+        ],
+        "averages": [step.average_path_length for step in series.steps],
+        "diameters": [step.diameter for step in series.steps],
+        "improvement": series.improvement(),
+    }
+
+
 def plane_agnostic_annotation(
     ipv6_reference: ToRAnnotation,
     ipv4_annotation: ToRAnnotation,

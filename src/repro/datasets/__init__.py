@@ -10,7 +10,12 @@ from repro.datasets.scenarios import (
     rosetta_scenario,
     valley_scenario,
 )
-from repro.datasets.snapshot_io import LoadedSnapshot, load_snapshot, save_snapshot
+from repro.datasets.snapshot_io import (
+    LoadedSnapshot,
+    SnapshotFormatError,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.datasets.synthetic import (
     DatasetConfig,
     SyntheticSnapshot,
@@ -21,6 +26,7 @@ from repro.datasets.synthetic import (
 
 __all__ = [
     "LoadedSnapshot",
+    "SnapshotFormatError",
     "load_snapshot",
     "save_snapshot",
     "Figure1Scenario",

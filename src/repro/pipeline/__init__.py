@@ -13,8 +13,22 @@ See ``docs/architecture.md`` for the stage DAG, artifact formats,
 fingerprinting rules and cache layout.
 """
 
-from repro.pipeline.artifacts import ArtifactCache, ArtifactRecord, config_token, fingerprint
-from repro.pipeline.runner import PipelineRun, PipelineRunner, StageOutcome, StageSpec
+from repro.pipeline.artifacts import (
+    ArtifactCache,
+    ArtifactRecord,
+    CacheEntry,
+    CacheStats,
+    PruneReport,
+    config_token,
+    fingerprint,
+)
+from repro.pipeline.runner import (
+    PipelineRun,
+    PipelineRunner,
+    StageFailure,
+    StageOutcome,
+    StageSpec,
+)
 from repro.pipeline.stages import (
     GroundTruthArtifact,
     PipelineConfig,
@@ -30,10 +44,14 @@ from repro.pipeline.stages import (
 __all__ = [
     "ArtifactCache",
     "ArtifactRecord",
+    "CacheEntry",
+    "CacheStats",
+    "PruneReport",
     "config_token",
     "fingerprint",
     "PipelineRun",
     "PipelineRunner",
+    "StageFailure",
     "StageOutcome",
     "StageSpec",
     "GroundTruthArtifact",

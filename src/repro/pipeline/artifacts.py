@@ -21,6 +21,21 @@ Pickle is the payload format on purpose: artifacts are internal
 intermediate state exchanged between stages of one code base, not an
 interchange format — the stage *code version* participates in the
 fingerprint precisely so that incompatible pickles are never looked up.
+
+Hygiene: the cache records when each artifact was last used so
+:meth:`ArtifactCache.prune` can evict by age and/or LRU order down to
+a byte budget, and :meth:`ArtifactCache.stats` reports size accounting
+per stage — sweeps make unbounded caches a real problem in long-lived
+checkouts (CLI: ``repro cache stats`` / ``repro cache prune``).  Two
+mechanisms cooperate: a **sidecar index** (``cache-index.json`` at the
+root) written when an artifact is stored or pruned, and an
+``os.utime`` bump of the payload file on every successful read — an
+O(1) touch that keeps warm cache hits cheap (rewriting the index per
+access would make each hit O(total entries)).  An entry's last-use
+time is the newer of the two.  Both are advisory metadata only: a lost
+index or a filesystem that ignores utime never affects correctness, it
+just degrades eviction order (entries fall back to their creation
+time).
 """
 
 from __future__ import annotations
@@ -33,11 +48,16 @@ import json
 import os
 import pickle
 import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bump when the cache layout / metadata schema changes incompatibly.
 CACHE_LAYOUT_VERSION = 1
+
+#: Root-level sidecar recording last-access times for LRU eviction.
+INDEX_FILENAME = "cache-index.json"
 
 
 # ----------------------------------------------------------------------
@@ -139,12 +159,63 @@ class ArtifactRecord:
         return cls(**{field.name: data[field.name] for field in dataclasses.fields(cls)})
 
 
+@dataclasses.dataclass
+class CacheEntry:
+    """One stored artifact as the hygiene machinery sees it."""
+
+    stage: str
+    fingerprint: str
+    size_bytes: int  # payload + metadata sidecar
+    last_used: float  # epoch seconds (access index, else created_at)
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Size accounting of one artifact cache."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    per_stage: Dict[str, Dict[str, int]]  # stage -> {"entries", "bytes"}
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class PruneReport:
+    """What one :meth:`ArtifactCache.prune` call removed (or would)."""
+
+    removed: List[CacheEntry]
+    freed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+    dry_run: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "removed": [
+                {
+                    "stage": entry.stage,
+                    "fingerprint": entry.fingerprint,
+                    "size_bytes": entry.size_bytes,
+                }
+                for entry in self.removed
+            ],
+            "freed_bytes": self.freed_bytes,
+            "remaining_entries": self.remaining_entries,
+            "remaining_bytes": self.remaining_bytes,
+            "dry_run": self.dry_run,
+        }
+
+
 class ArtifactCache:
     """Content-addressed on-disk store of stage artifacts.
 
     Layout::
 
         <root>/
+          cache-index.json       # last-access times (LRU eviction order)
           <stage-name>/
             <fingerprint>.pkl    # pickled payload
             <fingerprint>.json   # ArtifactRecord sidecar (payload hash)
@@ -156,6 +227,11 @@ class ArtifactCache:
 
     PAYLOAD_SUFFIX = ".pkl"
     META_SUFFIX = ".json"
+
+    #: Class-level: every ArtifactCache instance over any root shares it
+    #: (sweep executors build one instance per scenario over the same
+    #: root, so a per-instance lock would never serialize anything).
+    _index_lock = threading.Lock()
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
@@ -204,6 +280,8 @@ class ArtifactCache:
         detection) but no deserialization.
         """
         verified = self._verified_bytes(stage, fingerprint)
+        if verified is not None:
+            self._touch(stage, fingerprint)
         return verified[1] if verified is not None else None
 
     def load(self, stage: str, fingerprint: str) -> Optional[Tuple[object, ArtifactRecord]]:
@@ -223,6 +301,7 @@ class ArtifactCache:
             value = pickle.loads(payload)
         except Exception:
             return None
+        self._touch(stage, fingerprint)
         return value, record
 
     def store(
@@ -244,6 +323,7 @@ class ArtifactCache:
         self._write_atomic(
             self.meta_path(stage, fingerprint), record.to_json().encode("utf-8")
         )
+        self._touch(stage, fingerprint, stored=True)
         return record
 
     @staticmethod
@@ -276,3 +356,192 @@ class ArtifactCache:
             if fingerprints:
                 result[stage_dir.name] = fingerprints
         return result
+
+    # ------------------------------------------------------------------
+    # hygiene: access index, size accounting, eviction
+    # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_FILENAME
+
+    def _read_index(self) -> Dict[str, float]:
+        """``"stage/fingerprint" -> last-used epoch seconds`` (best effort)."""
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return {}
+        entries = data.get("entries") if isinstance(data, dict) else None
+        if not isinstance(entries, dict):
+            return {}
+        return {
+            key: float(value)
+            for key, value in entries.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
+    def _write_index(self, entries: Dict[str, float]) -> None:
+        payload = json.dumps(
+            {"layout_version": CACHE_LAYOUT_VERSION, "entries": entries},
+            indent=2,
+            sort_keys=True,
+        )
+        self._write_atomic(self.index_path, payload.encode("utf-8"))
+
+    def _touch(self, stage: str, fingerprint: str, stored: bool = False) -> None:
+        """Record an access for LRU ordering.
+
+        A plain read access is an O(1) ``os.utime`` bump of the payload
+        file — cheap enough for every warm cache hit, visible across
+        processes.  Only a *store* rewrites the sidecar index (stores
+        are amortized by the stage computation they follow); the
+        read-modify-write runs under the class-level lock, and
+        concurrent processes race last-writer-wins, which is fine for
+        advisory access times — a lost touch only makes the entry look
+        slightly colder to a later ``prune``.
+        """
+        try:
+            if not stored:
+                os.utime(self.payload_path(stage, fingerprint))
+                return
+            with self._index_lock:
+                entries = self._read_index()
+                entries[f"{stage}/{fingerprint}"] = time.time()
+                self._write_index(entries)
+        except OSError:
+            # A read-only or vanished cache directory must never break
+            # the run the touch was bookkeeping for.
+            pass
+
+    def _scan_entries(self) -> List[CacheEntry]:
+        """Every stored artifact with its on-disk size and last use.
+
+        ``last_used`` is the newer of the sidecar-index entry (written
+        at store time) and the payload mtime (bumped by :meth:`_touch`
+        on every read).  Entries whose files vanish mid-scan — another
+        process pruning the same cache — are silently skipped: hygiene
+        is best-effort by contract, never an error.
+        """
+        index = self._read_index()
+        entries: List[CacheEntry] = []
+        for stage_dir in sorted(self.root.iterdir()):
+            if not stage_dir.is_dir():
+                continue
+            for payload_path in sorted(stage_dir.glob(f"*{self.PAYLOAD_SUFFIX}")):
+                fingerprint = payload_path.name[: -len(self.PAYLOAD_SUFFIX)]
+                meta_path = self.meta_path(stage_dir.name, fingerprint)
+                try:
+                    size = payload_path.stat().st_size
+                    mtime = payload_path.stat().st_mtime
+                except OSError:
+                    continue  # unlinked between glob and stat
+                try:
+                    size += meta_path.stat().st_size
+                except OSError:
+                    pass
+                last_used = max(
+                    index.get(f"{stage_dir.name}/{fingerprint}", 0.0), mtime
+                )
+                entries.append(
+                    CacheEntry(
+                        stage=stage_dir.name,
+                        fingerprint=fingerprint,
+                        size_bytes=size,
+                        last_used=last_used,
+                    )
+                )
+        return entries
+
+    def stats(self) -> CacheStats:
+        """Per-stage entry counts and byte totals."""
+        per_stage: Dict[str, Dict[str, int]] = {}
+        total_bytes = 0
+        count = 0
+        for entry in self._scan_entries():
+            bucket = per_stage.setdefault(entry.stage, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size_bytes
+            total_bytes += entry.size_bytes
+            count += 1
+        return CacheStats(
+            root=str(self.root),
+            entries=count,
+            total_bytes=total_bytes,
+            per_stage=per_stage,
+        )
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> PruneReport:
+        """Evict artifacts by age, then LRU down to a byte budget.
+
+        ``max_age_seconds`` removes everything not used for that long;
+        ``max_bytes`` then removes the least-recently-used survivors
+        until the cache fits the budget.  ``dry_run`` reports what would
+        be removed without touching a file.  Evicting a live entry is
+        always safe — the next run that needs it recomputes and
+        re-stores it (a cache miss, never an error).
+        """
+        if max_bytes is None and max_age_seconds is None:
+            raise ValueError("prune needs max_bytes and/or max_age_seconds")
+        if now is None:
+            now = time.time()
+        entries = self._scan_entries()
+        total = sum(entry.size_bytes for entry in entries)
+        doomed: List[CacheEntry] = []
+        survivors: List[CacheEntry] = []
+        for entry in entries:
+            if (
+                max_age_seconds is not None
+                and now - entry.last_used > max_age_seconds
+            ):
+                doomed.append(entry)
+            else:
+                survivors.append(entry)
+        if max_bytes is not None:
+            remaining = total - sum(entry.size_bytes for entry in doomed)
+            for entry in sorted(survivors, key=lambda e: (e.last_used, e.stage, e.fingerprint)):
+                if remaining <= max_bytes:
+                    break
+                doomed.append(entry)
+                remaining -= entry.size_bytes
+        removed_keys = {(entry.stage, entry.fingerprint) for entry in doomed}
+        survivors = [
+            entry for entry in entries
+            if (entry.stage, entry.fingerprint) not in removed_keys
+        ]
+        if not dry_run and doomed:
+            for entry in doomed:
+                for path in (
+                    self.payload_path(entry.stage, entry.fingerprint),
+                    self.meta_path(entry.stage, entry.fingerprint),
+                ):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        # Already gone, or undeletable (permissions,
+                        # read-only mount): hygiene is best-effort —
+                        # keep evicting the rest.
+                        pass
+                stage_dir = self.root / entry.stage
+                try:
+                    stage_dir.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+            with self._index_lock:
+                index = self._read_index()
+                kept = {f"{e.stage}/{e.fingerprint}" for e in survivors}
+                self._write_index(
+                    {key: value for key, value in index.items() if key in kept}
+                )
+        freed = sum(entry.size_bytes for entry in doomed)
+        return PruneReport(
+            removed=sorted(doomed, key=lambda e: (e.stage, e.fingerprint)),
+            freed_bytes=freed,
+            remaining_entries=len(survivors),
+            remaining_bytes=total - freed,
+            dry_run=dry_run,
+        )

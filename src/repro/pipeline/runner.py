@@ -72,6 +72,25 @@ class StageOutcome:
     seconds: float
 
 
+class StageFailure(RuntimeError):
+    """A stage's compute function raised.
+
+    Carries the partial :class:`PipelineRun` so callers that account
+    for work across many runs (the sweep executor) can still see the
+    outcomes of the stages that *did* complete — and were stored in the
+    cache — before the failure.  The failing stage itself has no
+    outcome (it never completed).  The original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, stage: str, run: "PipelineRun", cause: BaseException) -> None:
+        super().__init__(
+            f"stage {stage!r} failed: {type(cause).__name__}: {cause}"
+        )
+        self.stage = stage
+        self.run = run
+
+
 class PipelineRun:
     """One execution of (a target-closure of) the pipeline.
 
@@ -110,7 +129,10 @@ class PipelineRun:
         else:
             # The verified artifact became unloadable; recompute.
             started = time.perf_counter()
-            value = spec.compute(self)
+            try:
+                value = spec.compute(self)
+            except Exception as exc:
+                raise StageFailure(name, self, exc) from exc
             if cache is not None and spec.cacheable:
                 cache.store(name, self.fingerprints[name], value, spec.version)
             outcome = self._outcome_index[name]
@@ -198,6 +220,31 @@ class PipelineRunner:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def fingerprints(
+        self, config: object, targets: Optional[Sequence[str]] = None
+    ) -> Dict[str, str]:
+        """Stage name -> invocation fingerprint for the target closure.
+
+        Pure arithmetic over the stage declarations and the
+        configuration — nothing is computed, loaded or cached.  This is
+        what lets a sweep planner predict which stages two
+        configurations share *before* running either of them.
+        """
+        fingerprints: Dict[str, str] = {}
+        for spec in self.closure(targets):
+            token = (
+                config_token(spec.config_slice(config))
+                if spec.config_slice is not None
+                else ""
+            )
+            fingerprints[spec.name] = fingerprint(
+                spec.name,
+                spec.version,
+                token,
+                [fingerprints[dep] for dep in spec.dependencies],
+            )
+        return fingerprints
+
     def run(
         self, config: object, targets: Optional[Sequence[str]] = None
     ) -> PipelineRun:
@@ -210,19 +257,9 @@ class PipelineRunner:
         never deserialized.
         """
         run = PipelineRun(config, self)
+        run.fingerprints = self.fingerprints(config, targets)
         for spec in self.closure(targets):
-            token = (
-                config_token(spec.config_slice(config))
-                if spec.config_slice is not None
-                else ""
-            )
-            stage_fingerprint = fingerprint(
-                spec.name,
-                spec.version,
-                token,
-                [run.fingerprints[dep] for dep in spec.dependencies],
-            )
-            run.fingerprints[spec.name] = stage_fingerprint
+            stage_fingerprint = run.fingerprints[spec.name]
             if (
                 self.cache is not None
                 and spec.cacheable
@@ -234,7 +271,10 @@ class PipelineRunner:
                 )
                 continue
             started = time.perf_counter()
-            value = spec.compute(run)
+            try:
+                value = spec.compute(run)
+            except Exception as exc:
+                raise StageFailure(spec.name, run, exc) from exc
             elapsed = time.perf_counter() - started
             if self.cache is not None and spec.cacheable:
                 self.cache.store(spec.name, stage_fingerprint, value, spec.version)

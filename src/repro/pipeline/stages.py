@@ -32,10 +32,11 @@ cached artifact of that stage and its descendants is invalidated
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.paths import ExtractionResult, extract_from_archive
 from repro.analysis.stats import (
@@ -180,8 +181,49 @@ def _stage_scenario(run: PipelineRun) -> ScenarioArtifact:
     )
 
 
+#: When set (workers, executor), the propagation stages run batched via
+#: :meth:`repro.bgp.engine.PropagationEngine.run_many` instead of one
+#: serial simulator.  ``run_many`` is bit-identical to the serial run
+#: regardless of worker count (the golden determinism suite pins this),
+#: so the knob changes wall time only — results and fingerprints are
+#: untouched, which is why it deliberately does not participate in any
+#: config slice.  Process-wide on purpose: set it through
+#: :func:`propagation_parallelism`, typically around a serial sweep.
+_PROPAGATION_PARALLELISM: Optional[Tuple[int, str]] = None
+
+
+@contextlib.contextmanager
+def propagation_parallelism(workers: int, executor: str = "process") -> Iterator[None]:
+    """Run the propagation stages batched over ``workers`` simulators.
+
+    Reuses the ``run_many`` fork-sharing machinery: on fork platforms a
+    ``"process"`` executor shares the graph and policies with the
+    workers through a fork-inherited module global, so each task ships
+    only a small origin batch.
+    """
+    global _PROPAGATION_PARALLELISM
+    previous = _PROPAGATION_PARALLELISM
+    _PROPAGATION_PARALLELISM = (workers, executor)
+    try:
+        yield
+    finally:
+        _PROPAGATION_PARALLELISM = previous
+
+
 def _propagate(run: PipelineRun, afi: AFI) -> PropagationResult:
     scenario: ScenarioArtifact = run.value("scenario")
+    if _PROPAGATION_PARALLELISM is not None:
+        from repro.bgp.engine import PropagationEngine
+
+        workers, executor = _PROPAGATION_PARALLELISM
+        engine = PropagationEngine(
+            scenario.topology.graph,
+            scenario.policies,
+            keep_ribs_for=scenario.vantage_asns,
+        )
+        return engine.run_many(
+            scenario.origins[afi], workers=workers, executor=executor
+        )
     simulator = PropagationSimulator(
         scenario.topology.graph,
         scenario.policies,

@@ -1,0 +1,190 @@
+"""Sweep planning: fingerprint-level dedup before anything runs.
+
+Two grid cells that differ only in the correction budget share every
+stage up to ``views``; two cells that differ only in ``dataset.seed``
+still share the ``topology`` stage (the topology has its own seed).
+The planner makes that sharing explicit *before* execution:
+
+* :func:`plan_sweep` derives, for every scenario, the fingerprints of
+  its target closure (:meth:`PipelineRunner.fingerprints` — pure
+  arithmetic, nothing is computed), and
+* schedules the scenarios into **waves** such that no two scenarios in
+  the same wave claim the same not-yet-computed fingerprint.
+
+Within a wave the executor may run scenarios concurrently; each wave's
+newly claimed fingerprints land in the shared artifact cache before the
+next wave starts, so across the whole sweep **every distinct stage
+invocation is computed exactly once** and every other scenario that
+needs it gets a cache hit.  (The one documented exception: if the
+scenario that claimed a fingerprint fails before computing it, a later
+scenario recomputes it — failure isolation trumps exactly-once, and the
+executor's per-fingerprint counters make any duplicate visible.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.pipeline import PipelineRunner, StageSpec, full_stages
+from repro.sweep.grid import Scenario
+
+#: The default sweep targets: the Section-3 report and the Figure-2 sweep.
+DEFAULT_TARGETS: Tuple[str, ...] = ("section3", "correction")
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """One scenario plus the fingerprints of its target closure."""
+
+    scenario: Scenario
+    fingerprints: Dict[str, str]  # stage name -> fingerprint
+
+    @property
+    def scenario_id(self) -> str:
+        return self.scenario.scenario_id
+
+
+@dataclass
+class SweepPlan:
+    """The executable shape of a sweep: plans, waves, sharing summary.
+
+    All sharing accounting covers **cacheable** stages only: a
+    ``cacheable=False`` stage (e.g. the ``snapshot`` assembly facade)
+    can never be served from the cache, so every scenario legitimately
+    recomputes its own — counting those as "shared work" would make the
+    schedule serialize scenarios for nothing and the exactly-once
+    counters report phantom duplicates.
+    """
+
+    targets: Tuple[str, ...]
+    stage_order: List[str]
+    plans: List[ScenarioPlan]
+    noncacheable_stages: Set[str] = field(default_factory=set)
+    waves: List[List[ScenarioPlan]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # sharing accounting (cacheable stages only)
+    # ------------------------------------------------------------------
+    def cacheable_fingerprints(self, plan: ScenarioPlan) -> Set[str]:
+        """The fingerprints of one scenario the cache can actually serve."""
+        return {
+            fingerprint
+            for stage, fingerprint in plan.fingerprints.items()
+            if stage not in self.noncacheable_stages
+        }
+
+    def distinct_fingerprints(self) -> Dict[str, Set[str]]:
+        """Stage name -> the distinct cacheable fingerprints needed."""
+        result: Dict[str, Set[str]] = {name: set() for name in self.stage_order}
+        for plan in self.plans:
+            for stage, fingerprint in plan.fingerprints.items():
+                if stage not in self.noncacheable_stages:
+                    result[stage].add(fingerprint)
+        return {stage: fps for stage, fps in result.items() if fps}
+
+    def total_stage_invocations(self) -> int:
+        """Cacheable stage invocations a cache-less sweep would perform."""
+        return sum(len(self.cacheable_fingerprints(plan)) for plan in self.plans)
+
+    def distinct_stage_invocations(self) -> int:
+        """Cacheable stage invocations the deduplicated sweep performs."""
+        return sum(len(fps) for fps in self.distinct_fingerprints().values())
+
+    def sharing_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per stage: how many scenarios need it vs distinct slices."""
+        distinct = self.distinct_fingerprints()
+        needed: Dict[str, int] = {}
+        for plan in self.plans:
+            for stage in plan.fingerprints:
+                if stage not in self.noncacheable_stages:
+                    needed[stage] = needed.get(stage, 0) + 1
+        return {
+            stage: {"scenarios": needed[stage], "distinct": len(distinct[stage])}
+            for stage in self.stage_order
+            if stage in distinct
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable plan summary (for the CLI)."""
+        lines = [
+            f"{len(self.plans)} scenarios over targets {', '.join(self.targets)}: "
+            f"{self.distinct_stage_invocations()} distinct stage invocations "
+            f"(a cache-less sweep would run {self.total_stage_invocations()})",
+        ]
+        for stage, counts in self.sharing_summary().items():
+            if counts["distinct"] < counts["scenarios"]:
+                lines.append(
+                    f"  {stage:<14} shared: {counts['distinct']} distinct slices "
+                    f"serve {counts['scenarios']} scenarios"
+                )
+        if len(self.waves) > 1:
+            lines.append(
+                "  schedule: "
+                + " -> ".join(f"wave of {len(wave)}" for wave in self.waves)
+            )
+        return lines
+
+
+def _schedule(plan: SweepPlan) -> List[List[ScenarioPlan]]:
+    """Greedy wave schedule with disjoint not-yet-computed fingerprints.
+
+    Iterates the scenarios in declaration order; a scenario joins the
+    current wave unless one of its still-missing cacheable fingerprints
+    was already claimed by an earlier member of the wave (running the
+    two concurrently would compute the shared stage twice).
+    Deterministic: same plans, same waves.
+    """
+    waves: List[List[ScenarioPlan]] = []
+    computed: Set[str] = set()
+    remaining = list(plan.plans)
+    while remaining:
+        wave: List[ScenarioPlan] = []
+        claimed: Set[str] = set()
+        deferred: List[ScenarioPlan] = []
+        for scenario_plan in remaining:
+            new = plan.cacheable_fingerprints(scenario_plan) - computed
+            if new & claimed:
+                deferred.append(scenario_plan)
+            else:
+                wave.append(scenario_plan)
+                claimed |= new
+        waves.append(wave)
+        computed |= claimed
+        remaining = deferred
+    return waves
+
+
+def plan_sweep(
+    scenarios: Sequence[Scenario],
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    stages: Optional[Sequence[StageSpec]] = None,
+) -> SweepPlan:
+    """Plan a sweep: closure fingerprints per scenario, wave schedule.
+
+    Duplicate scenario ids are rejected — they would shadow each other
+    in every report keyed by id.
+    """
+    seen: Set[str] = set()
+    for scenario in scenarios:
+        if scenario.scenario_id in seen:
+            raise ValueError(f"duplicate scenario id {scenario.scenario_id!r}")
+        seen.add(scenario.scenario_id)
+    runner = PipelineRunner(list(stages) if stages is not None else full_stages())
+    targets = tuple(targets)
+    plans = [
+        ScenarioPlan(
+            scenario=scenario,
+            fingerprints=runner.fingerprints(scenario.config, targets),
+        )
+        for scenario in scenarios
+    ]
+    closure = runner.closure(targets)
+    plan = SweepPlan(
+        targets=targets,
+        stage_order=[spec.name for spec in closure],
+        plans=plans,
+        noncacheable_stages={spec.name for spec in closure if not spec.cacheable},
+    )
+    plan.waves = _schedule(plan)
+    return plan

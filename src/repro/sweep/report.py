@@ -1,0 +1,291 @@
+"""Cross-scenario sweep reports: delta tables and seed-variance flags.
+
+A sweep produces one Section-3 report (and one Figure-2 improvement
+summary) per grid cell; this module aggregates them into a single
+cross-scenario report:
+
+* a **delta table** per metric — min, max, spread and the per-scenario
+  values — separating the metrics that actually respond to the swept
+  axes from the ones that stay constant,
+* **seed-variance flags** — scenarios that differ *only* in a seed axis
+  (``seed`` or any ``*.seed`` field) are grouped, and every metric that
+  varies within such a group is flagged: at fixed configuration those
+  numbers are sampling noise, and any claim built on them needs more
+  seeds, and
+* the **cache accounting** of the execution (computed vs cached stage
+  invocations, duplicate-compute check).
+
+Reports serialize as JSON (``sort_keys=True`` plus a ``schema_version``
+field, so golden files and cross-run diffs stay stable) and as a
+markdown document for humans.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.report import write_json_report as _write_json_report
+from repro.sweep.executor import ScenarioResult, SweepResult
+from repro.sweep.grid import SweepGrid
+
+#: Bump when the sweep report JSON layout changes incompatibly.
+SWEEP_REPORT_SCHEMA_VERSION = 1
+
+
+def scenario_metrics(result: ScenarioResult) -> Dict[str, float]:
+    """Flat metric dictionary of one scenario (``section3.*`` numbers
+    plus the ``correction.*`` improvement summary)."""
+    metrics: Dict[str, float] = {}
+    if result.section3:
+        metrics.update(result.section3)
+    if result.correction:
+        improvement = result.correction.get("improvement", {})
+        for key, value in improvement.items():
+            metrics[f"correction.{key}"] = value
+    return metrics
+
+
+def _is_seed_field(field: str) -> bool:
+    return field == "seed" or field.endswith(".seed")
+
+
+def _delta_table(
+    ok_results: Sequence[ScenarioResult],
+) -> Dict[str, Dict[str, object]]:
+    """metric -> {min, max, spread, values-per-scenario}."""
+    per_scenario = {r.scenario_id: scenario_metrics(r) for r in ok_results}
+    metric_names = sorted({name for m in per_scenario.values() for name in m})
+    table: Dict[str, Dict[str, object]] = {}
+    for name in metric_names:
+        values = {
+            scenario_id: metrics[name]
+            for scenario_id, metrics in per_scenario.items()
+            if name in metrics
+        }
+        if not values:
+            continue
+        low, high = min(values.values()), max(values.values())
+        table[name] = {
+            "min": low,
+            "max": high,
+            "spread": high - low,
+            "values": values,
+        }
+    return table
+
+
+def _seed_variance(
+    ok_results: Sequence[ScenarioResult],
+) -> Dict[str, object]:
+    """Group scenarios that differ only in seed axes; flag noisy metrics."""
+    seed_fields = sorted(
+        {f for r in ok_results for f in r.overrides if _is_seed_field(f)}
+    )
+    groups: Dict[Tuple[Tuple[str, object], ...], List[ScenarioResult]] = {}
+    for result in ok_results:
+        fixed = tuple(
+            (f, v) for f, v in sorted(result.overrides.items()) if not _is_seed_field(f)
+        )
+        groups.setdefault(fixed, []).append(result)
+
+    reported: List[Dict[str, object]] = []
+    varying_union: set = set()
+    for fixed, members in sorted(groups.items(), key=lambda item: repr(item[0])):
+        if len(members) < 2:
+            continue
+        metric_sets = [scenario_metrics(m) for m in members]
+        names = sorted(set().union(*metric_sets))
+        varying = [
+            name
+            for name in names
+            if len({metrics.get(name) for metrics in metric_sets}) > 1
+        ]
+        varying_union.update(varying)
+        reported.append(
+            {
+                "fixed": {field: value for field, value in fixed},
+                "scenario_ids": [m.scenario_id for m in members],
+                "varying_metrics": varying,
+                "stable_metric_count": len(names) - len(varying),
+            }
+        )
+    return {
+        "seed_fields": seed_fields,
+        "groups": reported,
+        "varying_metrics": sorted(varying_union),
+    }
+
+
+def build_report(
+    sweep: SweepResult, grid: Optional[SweepGrid] = None
+) -> Dict[str, object]:
+    """The complete cross-scenario report of one sweep execution."""
+    ok_results = sweep.ok()
+    report: Dict[str, object] = {
+        "schema_version": SWEEP_REPORT_SCHEMA_VERSION,
+        "targets": list(sweep.targets),
+        "executor": sweep.executor,
+        "cache_dir": sweep.cache_dir,
+        "seconds": round(sweep.seconds, 4),
+        "grid": grid.spec_dict() if grid is not None else None,
+        "waves": sweep.waves,
+        "cache": {
+            **sweep.cache_counters(),
+            "total_stage_invocations": sweep.plan.total_stage_invocations(),
+            "distinct_stage_invocations": sweep.plan.distinct_stage_invocations(),
+            "duplicate_computes": sweep.duplicate_computes(),
+            "fully_cached": sweep.fully_cached(),
+            "sharing": sweep.plan.sharing_summary(),
+        },
+        "scenarios": {
+            result.scenario_id: {
+                "overrides": result.overrides,
+                "status": result.status,
+                "error": result.error,
+                "seconds": round(result.seconds, 4),
+                "computed_stages": sorted(result.computed_stages()),
+                "cached_stages": sorted(
+                    s for s, st in result.stage_statuses.items() if st == "cached"
+                ),
+                "section3": result.section3,
+                "correction": result.correction,
+            }
+            for result in sweep.results
+        },
+        "deltas": _delta_table(ok_results),
+        "seed_variance": _seed_variance(ok_results),
+        "failures": {r.scenario_id: r.error for r in sweep.failed()},
+    }
+    return report
+
+
+def write_json_report(report: Dict[str, object], path: Union[str, Path]) -> None:
+    """Write a sweep report through the repository's shared stable
+    writer (:func:`repro.analysis.report.write_json_report`); the
+    report already embeds its own ``schema_version``."""
+    _write_json_report(report, path)
+
+
+# ----------------------------------------------------------------------
+# markdown rendering
+# ----------------------------------------------------------------------
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_markdown(report: Dict[str, object]) -> str:
+    """A human-readable markdown rendering of :func:`build_report`."""
+    lines: List[str] = ["# Sweep report", ""]
+    cache = report["cache"]
+    scenarios = report["scenarios"]
+    lines.append(
+        f"{len(scenarios)} scenarios over targets "
+        f"`{', '.join(report['targets'])}` in {report['seconds']}s "
+        f"(executor `{report['executor']}`)."
+    )
+    lines.append(
+        f"Stage invocations: {cache['computed']} computed, "
+        f"{cache['cached']} cached "
+        f"({cache['distinct_stage_invocations']} distinct of "
+        f"{cache['total_stage_invocations']} total)."
+    )
+    if cache["duplicate_computes"] and report["cache_dir"] is not None:
+        # A cache-less sweep recomputes shared fingerprints per cell by
+        # design; only a cached sweep promises exactly-once.
+        lines.append(
+            f"**Warning:** {len(cache['duplicate_computes'])} fingerprints "
+            "were computed more than once (a scenario failure broke the "
+            "exactly-once schedule)."
+        )
+    if cache["fully_cached"]:
+        lines.append("Fully cached: nothing was recomputed.")
+    lines.append("")
+
+    lines.append("## Scenarios")
+    lines.append("")
+    lines.append("| scenario | status | computed | cached | seconds |")
+    lines.append("|---|---|---:|---:|---:|")
+    for scenario_id, data in scenarios.items():
+        lines.append(
+            f"| `{scenario_id}` | {data['status']} "
+            f"| {len(data['computed_stages'])} | {len(data['cached_stages'])} "
+            f"| {data['seconds']} |"
+        )
+    lines.append("")
+
+    deltas: Dict[str, Dict[str, object]] = report["deltas"]
+    varying = {name: row for name, row in deltas.items() if row["spread"] != 0}
+    constant = len(deltas) - len(varying)
+    lines.append("## Metric deltas across scenarios")
+    lines.append("")
+    if varying:
+        lines.append("| metric | min | max | spread |")
+        lines.append("|---|---:|---:|---:|")
+        for name, row in varying.items():
+            lines.append(
+                f"| `{name}` | {_format_value(row['min'])} "
+                f"| {_format_value(row['max'])} | {_format_value(row['spread'])} |"
+            )
+        lines.append("")
+        lines.append("Per-scenario values of the varying metrics:")
+        lines.append("")
+        ids = list(scenarios)
+        lines.append("| metric | " + " | ".join(f"`{i}`" for i in ids) + " |")
+        lines.append("|---|" + "---:|" * len(ids))
+        for name, row in varying.items():
+            cells = [
+                _format_value(row["values"].get(scenario_id, ""))
+                for scenario_id in ids
+            ]
+            lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    else:
+        lines.append("No metric varies across the grid.")
+    if constant:
+        lines.append("")
+        lines.append(f"{constant} metrics are identical across every scenario.")
+    lines.append("")
+
+    variance = report["seed_variance"]
+    lines.append("## Seed variance at fixed configuration")
+    lines.append("")
+    if not variance["groups"]:
+        lines.append(
+            "No scenario group differs only in a seed axis — nothing to flag."
+        )
+    elif not variance["varying_metrics"]:
+        lines.append(
+            "Every metric is identical across seeds at fixed configuration."
+        )
+    else:
+        lines.append(
+            "Metrics that change when **only the seed** changes (sampling "
+            "noise — conclusions about them need more seeds):"
+        )
+        lines.append("")
+        for group in variance["groups"]:
+            if not group["varying_metrics"]:
+                continue
+            fixed = (
+                ", ".join(
+                    f"{field}={_format_value(value)}"
+                    for field, value in group["fixed"].items()
+                )
+                or "(base config)"
+            )
+            lines.append(
+                f"- at {fixed}: "
+                + ", ".join(f"`{name}`" for name in group["varying_metrics"])
+            )
+    lines.append("")
+
+    failures: Dict[str, str] = report["failures"]
+    if failures:
+        lines.append("## Failures")
+        lines.append("")
+        for scenario_id, error in failures.items():
+            lines.append(f"- `{scenario_id}`: {error}")
+        lines.append("")
+    return "\n".join(lines)

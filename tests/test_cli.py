@@ -132,3 +132,160 @@ class TestPipelineOptions:
             main(["section3", "--small", "--from-snapshot", str(tmp_path)])
         with pytest.raises(SystemExit):
             main(["figure2", "--paper-scale", "--from-snapshot", str(tmp_path)])
+
+    def test_json_reports_carry_schema_version_and_sorted_keys(self, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        assert main(["section3", "--small", "--seed", "3", "--json", str(json_path)]) == 0
+        text = json_path.read_text()
+        payload = json.loads(text)
+        assert payload["schema_version"] == 1
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _tiny_grid(tmp_path, tops=(2, 3)):
+    grid = {
+        "schema_version": 1,
+        "base": {
+            "scale": "small",
+            "overrides": {
+                "dataset.topology.tier1_count": 3,
+                "dataset.topology.tier2_count": 8,
+                "dataset.topology.tier3_count": 20,
+                "dataset.vantage_points": 4,
+                "max_sources": 10,
+            },
+        },
+        "axes": [
+            {"field": "dataset.seed", "values": [3, 4]},
+            {"field": "top", "values": list(tops)},
+        ],
+    }
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(grid), encoding="utf-8")
+    return str(path)
+
+
+class TestSweepCommand:
+    def test_requires_grid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_bad_grid_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text("{broken", encoding="utf-8")
+        assert main(["sweep", "--grid", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_sweep_end_to_end_with_reports(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        json_path = tmp_path / "sweep.json"
+        md_path = tmp_path / "sweep.md"
+        assert main(
+            [
+                "sweep", "--grid", grid, "--cache-dir", cache_dir,
+                "--executor", "serial",
+                "--json", str(json_path), "--markdown", str(md_path),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "4 scenarios" in output
+        assert "shared" in output
+        text = json_path.read_text()
+        report = json.loads(text)
+        assert report["schema_version"] == 1
+        assert len(report["scenarios"]) == 4
+        assert report["cache"]["duplicate_computes"] == {}
+        # Stable serialization: sorted keys, trailing newline.
+        assert text == json.dumps(report, indent=2, sort_keys=True) + "\n"
+        assert "# Sweep report" in md_path.read_text()
+
+    def test_invalid_option_combination_exits_2(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path)
+        assert main(
+            [
+                "sweep", "--grid", grid, "--executor", "process",
+                "--propagation-workers", "2",
+            ]
+        ) == 2
+        assert "propagation_workers" in capsys.readouterr().err
+
+    def test_cacheless_sweep_prints_no_duplicate_warning(self, tmp_path, capsys):
+        """Without a cache, shared fingerprints recompute per cell by
+        design — that is not a broken exactly-once schedule."""
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(["sweep", "--grid", grid, "--executor", "serial"]) == 0
+        assert "warning" not in capsys.readouterr().out
+
+    def test_warm_sweep_reports_fully_cached(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["sweep", "--grid", grid, "--cache-dir", cache_dir, "--executor", "serial"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--grid", grid, "--cache-dir", cache_dir, "--executor", "serial"]
+        ) == 0
+        assert "fully cached: nothing was recomputed" in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def _populated_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["section3", "--small", "--seed", "3", "--cache-dir", cache_dir]
+        ) == 0
+        return cache_dir
+
+    def test_stats_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+
+    def test_stats_on_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_stats_human_and_json(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        human = capsys.readouterr().out
+        assert "artifacts" in human
+        assert "topology" in human
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema_version"] == 1
+        assert stats["entries"] > 0
+        assert stats["total_bytes"] > 0
+
+    def test_prune_requires_a_bound(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_to_budget(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "1"]
+        ) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_bytes"] <= 1
+
+    def test_prune_dry_run_removes_nothing(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        before = json.loads(capsys.readouterr().out)["total_bytes"]
+        assert main(
+            [
+                "cache", "prune", "--cache-dir", cache_dir,
+                "--max-bytes", "1", "--dry-run",
+            ]
+        ) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_bytes"] == before

@@ -96,11 +96,17 @@ class TestLoaderErrors:
         with pytest.raises(ValueError):
             loaded.ground_truth_annotation(AFI.IPV6)
 
-    def test_manifest_optional(self, saved, tmp_path):
+    def test_missing_manifest_raises(self, saved, tmp_path):
+        """Snapshot directories are versioned artifacts now: loading one
+        without its manifest must fail loudly, not limp along
+        (tests/test_snapshot_io_failures.py covers the other defects)."""
         directory, _ = saved
         import shutil
+
+        from repro.datasets import SnapshotFormatError
 
         partial = tmp_path / "no-manifest"
         shutil.copytree(directory, partial)
         (partial / MANIFEST_FILENAME).unlink()
-        assert load_snapshot(partial).manifest == {}
+        with pytest.raises(SnapshotFormatError, match="manifest"):
+            load_snapshot(partial)
