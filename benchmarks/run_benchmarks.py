@@ -35,6 +35,16 @@ Scenarios:
   warm rerun of that grid (fully cached).  Every cell is asserted
   bit-identical across all three modes before the speedups are
   recorded.
+* ``cluster_scaling`` (``BENCH_cluster.json``) — the distributed
+  executor (:mod:`repro.cluster`) on a 4 seeds x 2 correction-depths
+  paper-scale grid (wave widths 1/4/3, so up to 4 workers can be
+  busy): the serial in-process sweep versus coordinator+queue runs
+  with 1, 2 and 4 spawned local workers, each over a fresh shared
+  cache.  Every distributed run is asserted bit-identical to the
+  serial cells with exactly-once compute before the scaling numbers
+  are recorded.  ``host_cpus`` is part of the report: on a single-core
+  host the multi-worker rows measure coordination overhead, not
+  parallel speedup.
 
 ``--smoke`` runs every scenario at a tiny scale with one repeat and
 writes the reports under ``benchmarks/smoke/`` — a CI guard that the
@@ -413,6 +423,112 @@ def bench_sweep(repeats: int, small: bool = False) -> Dict:
     }
 
 
+def bench_cluster(repeats: int, small: bool = False) -> Dict:
+    """Distributed executor: serial baseline vs 1/2/4 local workers.
+
+    The grid deliberately uses four seeds so the wave schedule is
+    1 / 4 / 3 scenarios wide — wave two genuinely offers four-way
+    parallelism.  Each worker count runs against a fresh queue and a
+    fresh shared cache; parity with the serial cells and exactly-once
+    compute are asserted before any wall-clock number is recorded.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cluster.coordinator import run_distributed_sweep
+    from repro.datasets import DatasetConfig, paper_scale_config
+    from repro.pipeline import PipelineConfig
+    from repro.sweep import GridAxis, SweepGrid, run_sweep
+
+    if small:
+        dataset = DatasetConfig(
+            topology=SMOKE_TOPOLOGY,
+            seed=2010,
+            vantage_points=6,
+        )
+    else:
+        dataset = paper_scale_config()
+    base = PipelineConfig(dataset=dataset)
+    seeds = tuple(dataset.seed + offset for offset in range(4))
+    grid = SweepGrid(
+        base,
+        [GridAxis("dataset.seed", seeds), GridAxis("top", (10, 20))],
+    )
+
+    def _cells(result):
+        return {r.scenario_id: (r.section3, r.correction) for r in result.results}
+
+    worker_counts = (1, 2, 4)
+    best_serial = float("inf")
+    best_by_workers: Dict[int, float] = {n: float("inf") for n in worker_counts}
+    wave_widths: list = []
+    for _ in range(repeats):
+        work_root = tempfile.mkdtemp(prefix="bench_cluster_")
+        try:
+            gc.collect()
+            started = time.perf_counter()
+            serial = run_sweep(
+                grid, cache_dir=os.path.join(work_root, "serial-cache"),
+                executor="serial",
+            )
+            best_serial = min(best_serial, time.perf_counter() - started)
+            if serial.failed():
+                raise AssertionError("serial baseline sweep had failures")
+            serial_cells = _cells(serial)
+            wave_widths = [len(wave) for wave in serial.plan.waves]
+
+            for workers in worker_counts:
+                started = time.perf_counter()
+                distributed = run_distributed_sweep(
+                    grid,
+                    queue_dir=os.path.join(work_root, f"queue-{workers}"),
+                    cache_dir=os.path.join(work_root, f"cache-{workers}"),
+                    local_workers=workers,
+                    lease_seconds=60.0,
+                    poll_interval=0.05,
+                )
+                elapsed = time.perf_counter() - started
+                if distributed.failed():
+                    raise AssertionError(
+                        f"{workers}-worker distributed sweep had failures"
+                    )
+                if distributed.duplicate_computes():
+                    raise AssertionError(
+                        f"{workers}-worker run computed a fingerprint twice; "
+                        "refusing to record scaling over a broken schedule"
+                    )
+                if _cells(distributed) != serial_cells:
+                    raise AssertionError(
+                        f"{workers}-worker cells differ from serial; refusing "
+                        "to record scaling over non-identical results"
+                    )
+                best_by_workers[workers] = min(best_by_workers[workers], elapsed)
+        finally:
+            shutil.rmtree(work_root, ignore_errors=True)
+
+    one_worker = best_by_workers[1]
+    return {
+        "ases": dataset.topology.total_ases,
+        "cells": len(grid),
+        "axes": grid.spec_dict()["axes"],
+        "wave_widths": wave_widths,
+        "host_cpus": os.cpu_count(),
+        "serial_wall_seconds": round(best_serial, 4),
+        "workers": {
+            str(n): {
+                "wall_seconds": round(best_by_workers[n], 4),
+                "speedup_vs_1_worker": round(one_worker / best_by_workers[n], 2),
+                "speedup_vs_serial": round(best_serial / best_by_workers[n], 2),
+            }
+            for n in worker_counts
+        },
+        "queue_overhead_seconds_1_worker": round(one_worker - best_serial, 4),
+        "bit_identical": True,
+        "exactly_once": True,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 def bench_scale(repeats: int) -> Dict:
     topology = generate_topology(SCALE_TOPOLOGY)
     graph = topology.graph
@@ -542,6 +658,23 @@ def main(argv: Optional[list] = None) -> int:
         help="run only the sweep-grid scenario, in this process "
         "(used internally, like --extraction-only)",
     )
+    parser.add_argument(
+        "--skip-cluster",
+        action="store_true",
+        help="skip the distributed-executor scenario (BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--cluster-output",
+        type=Path,
+        default=None,
+        help="where to write the cluster report (default: repo root)",
+    )
+    parser.add_argument(
+        "--cluster-only",
+        action="store_true",
+        help="run only the cluster-scaling scenario, in this process "
+        "(used internally, like --extraction-only)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -560,6 +693,8 @@ def main(argv: Optional[list] = None) -> int:
         args.pipeline_output = output_root / "BENCH_pipeline.json"
     if args.sweep_output is None:
         args.sweep_output = output_root / "BENCH_sweep.json"
+    if args.cluster_output is None:
+        args.cluster_output = output_root / "BENCH_cluster.json"
 
     if args.extraction_only:
         args.extraction_output.write_text(
@@ -590,6 +725,18 @@ def main(argv: Optional[list] = None) -> int:
             json.dumps(
                 _report_envelope(
                     {"sweep_grid": bench_sweep(args.repeats, args.smoke)}
+                ),
+                indent=2,
+            )
+            + "\n"
+        )
+        return 0
+
+    if args.cluster_only:
+        args.cluster_output.write_text(
+            json.dumps(
+                _report_envelope(
+                    {"cluster_scaling": bench_cluster(args.repeats, args.smoke)}
                 ),
                 indent=2,
             )
@@ -636,6 +783,23 @@ def main(argv: Optional[list] = None) -> int:
             f"({scenario['speedup_warm_vs_cold']}x over cold; "
             f"{scenario['distinct_stage_invocations']} distinct of "
             f"{scenario['total_stage_invocations']} stage invocations)"
+        )
+
+    if not args.skip_cluster:
+        print(f"[bench] cluster scaling (4 seeds x 2 tops) on {scale_name} ...")
+        cluster_report = _run_isolated(
+            args, "--cluster-only", "--cluster-output", args.cluster_output
+        )
+        scenario = cluster_report["results"]["cluster_scaling"]
+        workers = scenario["workers"]
+        print(
+            f"  cluster_scaling: serial {scenario['serial_wall_seconds']}s vs "
+            + " vs ".join(
+                f"{n}w {workers[n]['wall_seconds']}s "
+                f"({workers[n]['speedup_vs_1_worker']}x vs 1w)"
+                for n in ("1", "2", "4")
+            )
+            + f" on {scenario['host_cpus']} cpus (bit-identical, exactly-once)"
         )
 
     report = _report_envelope({}, schema_version=SCHEMA_VERSION)

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Five subcommands cover the common workflows without writing any code::
+Six subcommands cover the common workflows without writing any code::
 
     python -m repro section3  [--small | --paper-scale] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
@@ -8,8 +8,13 @@ Five subcommands cover the common workflows without writing any code::
                               [--cache-dir DIR | --from-snapshot DIR]
     python -m repro snapshot  --output DIR [--small | --paper-scale]
     python -m repro sweep     --grid grid.json [--cache-dir DIR]
-                              [--executor serial|thread|process]
+                              [--executor serial|thread|process|cluster]
+                              [--distributed --queue-dir DIR
+                               --local-workers N]
+                              [--cache-budget-bytes N]
                               [--json PATH] [--markdown PATH]
+    python -m repro worker    --queue-dir DIR [--worker-id ID]
+                              [--lease-seconds S] [--max-idle-seconds S]
     python -m repro cache     stats | prune  --cache-dir DIR
 
 ``section3`` prints the Section-3 statistics table, ``figure2`` prints
@@ -21,8 +26,20 @@ a directory, so the pipeline can also be exercised from files on disk.
 ``sweep`` expands a JSON parameter grid (see :mod:`repro.sweep.grid`)
 into scenarios and runs them all over one shared artifact cache —
 upstream stages two scenarios have in common are computed once and
-reused — then prints/writes a cross-scenario report.  ``cache stats``
-and ``cache prune`` keep those caches from growing unbounded.
+reused — then prints/writes a cross-scenario report.  With
+``--distributed`` the waves go through the durable task queue in
+``--queue-dir`` and cooperating worker processes execute them:
+``--local-workers N`` spawns N on this host, and any number of
+``repro worker --queue-dir DIR`` processes started from other shells
+can join the same queue.  The queue is a SQLite file (WAL mode), so
+sharing it across *machines* requires a filesystem with coherent
+SQLite locking — typical NFS is not; multi-host fan-out beyond that is
+the networked-backend item on the roadmap.  ``cache stats``
+and ``cache prune`` keep those caches from growing unbounded —
+``--cache-budget-bytes`` automates the prune after every sweep wave.
+Every ``--cache-dir`` is a cache *spec*: a directory (the default
+layout) or a ``*.sqlite`` / ``sqlite://`` object-store file; the cache
+subcommands auto-detect which backend wrote a given cache.
 
 Two flags connect the single-run commands into a staged workflow:
 
@@ -256,17 +273,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "(every cell computes its full closure)"
         )
 
+    if args.distributed and args.executor not in (None, "cluster"):
+        print(
+            f"error: --distributed conflicts with --executor {args.executor}",
+            file=sys.stderr,
+        )
+        return 2
+    executor = "cluster" if args.distributed else (args.executor or "thread")
+    if executor == "cluster" and args.workers is not None:
+        # Silently dropping --workers would leave the user with zero
+        # spawned workers and a coordinator waiting forever.
+        print(
+            "error: use --local-workers (spawned worker processes) with a "
+            "distributed sweep; --workers bounds in-process pools only",
+            file=sys.stderr,
+        )
+        return 2
+    if executor != "cluster" and (
+        args.local_workers is not None
+        or args.lease_seconds is not None
+        or args.wave_timeout is not None
+    ):
+        # The symmetric silent drop: cluster-only flags on a local
+        # executor would be ignored, which reads like they worked.
+        print(
+            "error: --local-workers/--lease-seconds/--wave-timeout require "
+            "--distributed (or --executor cluster)",
+            file=sys.stderr,
+        )
+        return 2
+    workers = args.local_workers if executor == "cluster" else args.workers
+    if executor == "cluster" and not args.local_workers and args.queue_dir:
+        # Guarded on queue_dir: a missing one errors in run_sweep, and
+        # a notice quoting '--queue-dir None' would be copy-paste bait.
+        print(
+            "[sweep] no --local-workers: waiting for external 'repro worker "
+            f"--queue-dir {args.queue_dir}' processes to drain the queue"
+        )
+    from repro.cluster.backends import BackendError
+    from repro.cluster.coordinator import ClusterError
+
     try:
         result = run_sweep(
             plan,  # the announced plan IS the executed plan
             cache_dir=args.cache_dir,
-            executor=args.executor,
-            workers=args.workers,
+            executor=executor,
+            workers=workers,
             propagation_workers=args.propagation_workers,
+            queue_dir=args.queue_dir,
+            cache_budget_bytes=args.cache_budget_bytes,
+            lease_seconds=args.lease_seconds if args.lease_seconds is not None else 30.0,
+            wave_timeout=args.wave_timeout,
         )
-    except ValueError as exc:
-        # Invalid option combinations (e.g. process executor with
-        # propagation workers) — scenario failures never raise here.
+    except (ValueError, ClusterError, BackendError) as exc:
+        # Invalid option combinations, a cluster that cannot make
+        # progress (all workers dead, wave timeout) or a broken cache
+        # backend — scenario failures never raise here.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for scenario in result.results:
@@ -291,7 +353,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # design — only a cached sweep promises exactly-once.
         print(
             f"[sweep] warning: {len(duplicates)} fingerprints computed more "
-            "than once (a failure broke the exactly-once schedule)"
+            "than once (a failure or a cache-budget eviction broke the "
+            "exactly-once schedule)"
         )
     if result.fully_cached():
         print("[sweep] fully cached: nothing was recomputed")
@@ -312,12 +375,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failed() else 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.coordinator import queue_path
+    from repro.cluster.worker import Worker, default_worker_id
+
+    queue_file = queue_path(args.queue_dir)
+    worker_id = args.worker_id or default_worker_id()
+    worker = Worker(
+        queue_file,
+        worker_id=worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_interval=args.poll_interval,
+    )
+    print(f"[worker {worker_id}] polling {queue_file}", flush=True)
+    processed = worker.run(
+        max_tasks=args.max_tasks,
+        exit_when_closed=not args.keep_alive,
+        max_idle_seconds=args.max_idle_seconds,
+    )
+    print(f"[worker {worker_id}] done: {processed} tasks processed", flush=True)
+    return 0
+
+
 def _open_cache(args: argparse.Namespace) -> Optional[ArtifactCache]:
-    root = Path(args.cache_dir)
-    if not root.is_dir():
-        print(f"error: cache directory {root} does not exist", file=sys.stderr)
+    """Open a cache for ``cache stats|prune``, whatever backend wrote it.
+
+    ``--cache-dir`` may name a cache directory *or* a SQLite
+    object-store file (``*.sqlite`` / ``sqlite://``) — the spec sniffing
+    in :meth:`ArtifactCache.from_spec` picks the right backend, so the
+    hygiene commands work on caches written by distributed workers too.
+    """
+    from repro.cluster.backends import spec_path
+
+    spec = str(args.cache_dir)
+    path = spec_path(spec)
+    if not path.exists():
+        print(f"error: cache {path} does not exist", file=sys.stderr)
         return None
-    return ArtifactCache(root)
+    try:
+        return ArtifactCache.from_spec(spec)
+    except OSError as exc:
+        # E.g. --cache-dir pointing at a regular file that is not a
+        # SQLite store, or a corrupt database (BackendError is OSError).
+        print(f"error: cannot open cache {path}: {exc}", file=sys.stderr)
+        return None
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -430,12 +531,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
-        default="thread",
-        help="how scenarios of one wave run (default: thread)",
+        choices=("serial", "thread", "process", "cluster"),
+        default=None,
+        help="how scenarios of one wave run (default: thread; 'cluster' "
+        "routes waves through the durable task queue, like --distributed)",
     )
     sweep.add_argument(
         "--workers", type=int, default=None, help="scenario-level worker bound"
+    )
+    sweep.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run the waves through the durable task queue in --queue-dir "
+        "(equivalent to --executor cluster); requires --cache-dir",
+    )
+    sweep.add_argument(
+        "--queue-dir",
+        help="directory holding the task queue shared with 'repro worker' "
+        "processes (required with --distributed)",
+    )
+    sweep.add_argument(
+        "--local-workers",
+        type=int,
+        default=None,
+        help="spawn this many local worker processes for a distributed "
+        "sweep (external 'repro worker' processes may join the queue too)",
+    )
+    sweep.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help="task lease for distributed workers: a dead worker's task is "
+        "re-claimed after this long without a heartbeat (default: 30)",
+    )
+    sweep.add_argument(
+        "--wave-timeout",
+        type=float,
+        default=None,
+        help="fail a distributed sweep if one wave has not finished after "
+        "this many seconds (default: wait indefinitely — workers may join "
+        "late; set a bound when relying on external workers that could die)",
+    )
+    sweep.add_argument(
+        "--cache-budget-bytes",
+        type=int,
+        default=None,
+        help="prune the artifact cache down to this many bytes after every "
+        "sweep wave (the 'repro cache prune' logic, automated)",
     )
     sweep.add_argument(
         "--propagation-workers",
@@ -452,8 +594,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(handler=_cmd_sweep)
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a distributed-sweep worker over a shared task queue",
+    )
+    worker.add_argument(
+        "--queue-dir", required=True,
+        help="queue directory shared with the coordinating 'repro sweep "
+        "--distributed' (and any other workers)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity for leases/logs (default: host-pid)",
+    )
+    worker.add_argument(
+        "--lease-seconds", type=float, default=30.0,
+        help="lease granted per claimed task; heartbeats extend it while "
+        "the scenario runs (default: 30)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between claim attempts when the queue is empty",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after processing this many tasks (default: unbounded)",
+    )
+    worker.add_argument(
+        "--max-idle-seconds", type=float, default=None,
+        help="exit after this long without claimable work (default: wait "
+        "until the coordinator closes the queue)",
+    )
+    worker.add_argument(
+        "--keep-alive", action="store_true",
+        help="do not exit when the queue is closed: keep polling for the "
+        "next sweep (a reused queue directory is 'closed' between sweeps; "
+        "the next coordinator reopens it).  Use for standing worker pools, "
+        "ideally with --max-idle-seconds as a safety bound",
+    )
+    worker.set_defaults(handler=_cmd_worker)
+
     cache = subparsers.add_parser(
-        "cache", help="inspect or prune an artifact-cache directory"
+        "cache", help="inspect or prune an artifact cache (directory or "
+        "sqlite object store)"
     )
     cache_commands = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_commands.add_parser(

@@ -1,0 +1,673 @@
+"""Pluggable artifact-cache backends: byte-addressed object stores.
+
+The artifact cache (:mod:`repro.pipeline.artifacts`) used to *be* a
+directory layout; distributing a sweep across workers makes the byte
+storage a contract of its own.  A :class:`CacheBackend` is a flat
+key/value object store — keys are POSIX-ish relative names like
+``"store/<fingerprint>.pkl"`` — with exactly the operations the cache
+needs and nothing it does not:
+
+* ``get`` / ``put`` / ``delete`` / ``stat`` / ``list`` — plain object
+  access; ``put`` must be **atomic** (no reader ever observes a
+  half-written object),
+* ``put_if_absent`` — the distributed dedupe primitive: when two
+  workers race to publish the same fingerprint (a re-claimed task whose
+  original owner turned out to be alive, a failure-broken wave), exactly
+  one write wins **atomically** and the loser learns it lost — the
+  payloads are bit-identical by construction, so losing is free,
+* ``touch`` — an advisory last-use bump feeding LRU eviction,
+* ``lock`` — a cross-process mutex scoped to the store, serializing
+  read-modify-write of shared metadata (the ``cache-index.json``
+  sidecar) between concurrent workers and prunes.
+
+Two production backends ship: :class:`LocalDirectoryBackend` (the
+pre-existing on-disk layout, refactored behind the interface — one
+payload file plus metadata sidecar per artifact under a shared
+directory, e.g. on NFS) and :class:`SQLiteObjectStoreBackend` (a
+single-file key-value store standing in for the "object store" shape —
+all objects in one SQLite database, put-if-absent via ``INSERT OR
+IGNORE``).  :class:`MemoryBackend` backs the conformance tests.  All
+three must pass the same conformance suite
+(``tests/test_cache_backends.py``).
+
+Storage faults raise :class:`BackendError` (an ``OSError`` subclass) so
+callers keep one except-clause regardless of the backend underneath.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Optional, Tuple, Union
+
+try:  # POSIX cross-process locking; degrade to in-process elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+
+class BackendError(OSError):
+    """A storage fault inside a cache backend (I/O error, locked or
+    corrupt database, ...).  Subclasses ``OSError`` on purpose: every
+    caller that already tolerates a flaky filesystem tolerates a flaky
+    backend with the same except-clause."""
+
+
+class ObjectStat(NamedTuple):
+    """Size and advisory last-use time of one stored object."""
+
+    size: int
+    mtime: float
+
+
+def validate_key(key: str) -> str:
+    """Reject keys that could escape or corrupt a store.
+
+    Keys are relative POSIX-ish names: non-empty ``/``-separated
+    segments, no ``..``, no absolute paths, no backslashes (a Windows
+    separator smuggled into a key would mean two spellings of one
+    object).
+    """
+    if not isinstance(key, str) or not key:
+        raise ValueError(f"backend key must be a non-empty string, got {key!r}")
+    if key.startswith("/") or "\\" in key:
+        raise ValueError(f"backend key must be a relative POSIX name, got {key!r}")
+    segments = key.split("/")
+    if any(not segment or segment == ".." for segment in segments):
+        raise ValueError(f"backend key has empty or '..' segments: {key!r}")
+    if any(segment.startswith(".") for segment in segments):
+        # '.' segments would alias two spellings of one key on the
+        # directory backend, and dot-prefixed names are its namespace
+        # for invisible internals (temp files, the lock file) — a
+        # dot-prefixed key would be storable but unlistable there while
+        # behaving normally on other backends.
+        raise ValueError(f"backend key has dot-prefixed segments: {key!r}")
+    return key
+
+
+class _FileLock:
+    """A cross-process mutex backed by ``flock`` on a lock file.
+
+    Reentrancy is *not* provided — callers hold the lock across one
+    read-modify-write and release it.  Where ``fcntl`` is unavailable
+    the lock degrades to an in-process ``threading.Lock`` (documented
+    limitation: no cross-process exclusion on such platforms).
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = Path(path)
+        self._thread_lock = threading.Lock()
+
+    @contextlib.contextmanager
+    def acquire(self) -> Iterator[None]:
+        with self._thread_lock:
+            if fcntl is None:  # pragma: no cover - non-POSIX platform
+                yield
+                return
+            try:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                handle = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+            except OSError as exc:
+                raise BackendError(f"cannot open lock file {self._path}: {exc}") from exc
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+            finally:
+                os.close(handle)
+
+
+class CacheBackend(abc.ABC):
+    """The byte-storage contract behind :class:`ArtifactCache`.
+
+    Implementations must make ``put`` atomic (readers see the old bytes
+    or the new bytes, never a prefix) and ``put_if_absent`` an atomic
+    test-and-set.  ``touch`` and ``list``/``stat`` freshness are
+    advisory: losing a touch degrades LRU ordering, never correctness.
+    """
+
+    @property
+    @abc.abstractmethod
+    def location(self) -> str:
+        """Where this store lives (a path or URL; for humans/reports)."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[bytes]:
+        """The object's bytes, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Store (or atomically overwrite) one object."""
+
+    @abc.abstractmethod
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Store the object only if the key is free; ``True`` iff stored."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove one object; ``True`` iff it existed."""
+
+    @abc.abstractmethod
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        """Size + last-use time from the store itself (never from a
+        sidecar index — stale indexes must not misreport sizes)."""
+
+    @abc.abstractmethod
+    def list(self, prefix: str = "") -> List[str]:
+        """Every stored key starting with ``prefix``, sorted."""
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, ObjectStat]]:
+        """Every stored key with its stat, sorted by key.
+
+        The default composes ``list`` + per-key ``stat``; backends with
+        a cheaper bulk path (one query instead of N) override it —
+        hygiene scans (`stats`/`prune`) call this once per run/wave.
+        Keys that vanish between list and stat are skipped.
+        """
+        results: List[Tuple[str, ObjectStat]] = []
+        for key in self.list(prefix):
+            stat = self.stat(key)
+            if stat is not None:
+                results.append((key, stat))
+        return results
+
+    @abc.abstractmethod
+    def touch(self, key: str) -> None:
+        """Advisory last-use bump; must be cheap (O(1) per object).
+
+        May debounce: skipping the bump while the recorded last use is
+        already recent is allowed — LRU eviction does not care about
+        sub-minute precision, and it keeps hot cache hits read-only.
+        """
+
+    @abc.abstractmethod
+    def lock(self) -> contextlib.AbstractContextManager:
+        """A mutex over the whole store for shared-metadata RMW;
+        cross-process wherever the platform allows."""
+
+    def exists(self, key: str) -> bool:
+        return self.stat(key) is not None
+
+
+# ----------------------------------------------------------------------
+# local directory backend (the original on-disk layout)
+# ----------------------------------------------------------------------
+class LocalDirectoryBackend(CacheBackend):
+    """Objects as files under a root directory (key = relative path).
+
+    This is the layout :class:`ArtifactCache` has always written —
+    refactored behind the interface, not changed: existing cache
+    directories keep working, and ``payload_path``-style tooling keeps
+    pointing at real files.  Atomicity comes from temp-file + ``rename``
+    (overwrite) and temp-file + ``link`` (put-if-absent: ``link`` fails
+    with ``EEXIST`` exactly when another writer won).  Dot-prefixed
+    files (in-flight temp files, the lock file) are invisible to
+    ``list``.
+    """
+
+    LOCK_FILENAME = ".cache.lock"
+
+    #: Temp files this old are orphans of a crashed writer (a healthy
+    #: put holds its temp file for milliseconds) and are collected by
+    #: the next hygiene scan, so budgeted caches cannot leak invisible
+    #: disk through worker churn.
+    TEMP_GC_AGE_SECONDS = 3600.0
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise BackendError(f"cannot create cache root {self.root}: {exc}") from exc
+        self._lock = _FileLock(self.root / self.LOCK_FILENAME)
+
+    @property
+    def location(self) -> str:
+        return str(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / validate_key(key)
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+        except IsADirectoryError:
+            return None
+        except OSError as exc:
+            raise BackendError(f"cannot read {key!r}: {exc}") from exc
+
+    def _write_temp(self, path: Path, data: bytes) -> str:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+            raise
+        return temp_name
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        try:
+            temp_name = self._write_temp(path, data)
+            os.replace(temp_name, path)
+        except OSError as exc:
+            raise BackendError(f"cannot write {key!r}: {exc}") from exc
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        path = self._path(key)
+        try:
+            temp_name = self._write_temp(path, data)
+        except OSError as exc:
+            raise BackendError(f"cannot write {key!r}: {exc}") from exc
+        try:
+            try:
+                os.link(temp_name, path)  # atomic: fails iff the key exists
+                return True
+            except FileExistsError:
+                return False
+            except OSError:
+                # Filesystems without hardlinks (exFAT, some mounts):
+                # reserve the key with an exclusive create — the same
+                # single-winner semantics — then move the payload over
+                # the reservation.  A reader glimpsing the empty
+                # reservation sees a hash mismatch, i.e. a miss, never
+                # torn data.
+                try:
+                    os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                except FileExistsError:
+                    return False
+                except OSError as exc:
+                    raise BackendError(f"cannot publish {key!r}: {exc}") from exc
+                try:
+                    os.replace(temp_name, path)
+                except OSError as exc:
+                    raise BackendError(f"cannot publish {key!r}: {exc}") from exc
+                return True
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        except OSError as exc:
+            raise BackendError(f"cannot delete {key!r}: {exc}") from exc
+        # Keep the tree tidy: drop directories the deletion emptied
+        # (rmdir refuses non-empty ones, which is exactly the check).
+        parent = path.parent
+        while parent != self.root:
+            try:
+                parent.rmdir()
+            except OSError:
+                break
+            parent = parent.parent
+        return True
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        try:
+            result = self._path(key).stat()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise BackendError(f"cannot stat {key!r}: {exc}") from exc
+        if not os.path.isfile(self._path(key)):
+            return None
+        return ObjectStat(size=result.st_size, mtime=result.st_mtime)
+
+    def list(self, prefix: str = "") -> List[str]:
+        keys: List[str] = []
+        try:
+            for directory, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    if name.startswith("."):
+                        continue  # temp files, the lock file
+                    relative = Path(directory, name).relative_to(self.root)
+                    key = relative.as_posix()
+                    if key.startswith(prefix):
+                        keys.append(key)
+        except OSError as exc:
+            raise BackendError(f"cannot list {self.root}: {exc}") from exc
+        return sorted(keys)
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, ObjectStat]]:
+        self._collect_orphaned_temp_files()
+        return super().scan(prefix)
+
+    def _collect_orphaned_temp_files(self) -> None:
+        """Unlink temp files left by crashed writers (best effort).
+
+        A writer SIGKILLed between ``mkstemp`` and ``replace``/``link``
+        leaves a full-size dot-prefixed temp file that ``list`` hides —
+        without collection, budgeted caches would leak invisible disk
+        on every worker crash.  Age-gated so in-flight writes are never
+        touched; runs on every hygiene scan (``stats``/``prune``).
+        """
+        cutoff = time.time() - self.TEMP_GC_AGE_SECONDS
+        try:
+            for directory, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    if not name.startswith(".") or name == self.LOCK_FILENAME:
+                        continue
+                    path = Path(directory, name)
+                    try:
+                        if path.stat().st_mtime < cutoff:
+                            path.unlink()
+                    except OSError:
+                        continue  # vanished or undeletable: not our problem
+        except OSError:
+            pass
+
+    def touch(self, key: str) -> None:
+        try:
+            os.utime(self._path(key))
+        except OSError as exc:
+            raise BackendError(f"cannot touch {key!r}: {exc}") from exc
+
+    def lock(self) -> contextlib.AbstractContextManager:
+        return self._lock.acquire()
+
+
+# ----------------------------------------------------------------------
+# SQLite object-store backend
+# ----------------------------------------------------------------------
+class SQLiteObjectStoreBackend(CacheBackend):
+    """Every object a row in one SQLite database file.
+
+    The generic key-value/object-store shape: a single file multiple
+    worker processes on one host share, with transactional writes.
+    ``put_if_absent`` maps to ``INSERT OR IGNORE`` — SQLite's row-level
+    atomicity is the test-and-set.  WAL journaling keeps readers and the
+    single writer from blocking each other; every operation opens its
+    own short-lived connection, so the backend is thread- and
+    process-safe without shared connection state.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS objects (
+            key        TEXT PRIMARY KEY,
+            data       BLOB NOT NULL,
+            size       INTEGER NOT NULL,
+            created_at REAL NOT NULL,
+            last_used  REAL NOT NULL
+        )
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise BackendError(f"cannot create {self.path.parent}: {exc}") from exc
+        self._lock = _FileLock(self.path.with_name(self.path.name + ".lock"))
+        try:
+            conn = sqlite3.connect(str(self.path), timeout=30.0)
+            conn.isolation_level = None  # VACUUM refuses transactions
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                # FULL auto-vacuum releases pages to the OS on delete;
+                # without it a pruned store keeps its peak file size
+                # forever and --cache-budget-bytes bounds nothing.  A
+                # pre-existing store without the mode needs one VACUUM
+                # for the change to take effect (one-time cost).
+                if conn.execute("PRAGMA auto_vacuum").fetchone()[0] != 1:
+                    conn.execute("PRAGMA auto_vacuum=FULL")
+                    conn.execute("VACUUM")
+                conn.execute(self._SCHEMA)
+            finally:
+                conn.close()
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"cannot open object store {self.path}: {exc}"
+            ) from exc
+
+    @property
+    def location(self) -> str:
+        return str(self.path)
+
+    #: A warm hit re-touched within this window skips the UPDATE, so
+    #: repeated cache hits stay read-only instead of serializing every
+    #: worker on the store's single-writer lock (LRU eviction does not
+    #: care about sub-minute last-used precision).
+    TOUCH_DEBOUNCE_SECONDS = 60.0
+
+    @contextlib.contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        try:
+            conn = sqlite3.connect(str(self.path), timeout=30.0)
+            # WAL + NORMAL is durable against application crashes and
+            # loses at most the last transactions on a power loss — the
+            # right trade for a rebuildable cache, and it spares every
+            # write transaction a full fsync.
+            conn.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.Error as exc:
+            raise BackendError(f"cannot open object store {self.path}: {exc}") from exc
+        try:
+            yield conn
+            conn.commit()
+        except sqlite3.Error as exc:
+            conn.rollback()
+            raise BackendError(f"object store {self.path}: {exc}") from exc
+        finally:
+            conn.close()
+
+    def get(self, key: str) -> Optional[bytes]:
+        validate_key(key)
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT data FROM objects WHERE key = ?", (key,)
+            ).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def put(self, key: str, data: bytes) -> None:
+        validate_key(key)
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO objects (key, data, size, created_at, last_used) "
+                "VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET data = excluded.data, "
+                "size = excluded.size, created_at = excluded.created_at, "
+                "last_used = excluded.last_used",
+                (key, sqlite3.Binary(data), len(data), now, now),
+            )
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        validate_key(key)
+        now = time.time()
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO objects (key, data, size, created_at, last_used) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (key, sqlite3.Binary(data), len(data), now, now),
+            )
+            return cursor.rowcount == 1
+
+    def delete(self, key: str) -> bool:
+        validate_key(key)
+        with self._connect() as conn:
+            cursor = conn.execute("DELETE FROM objects WHERE key = ?", (key,))
+            return cursor.rowcount == 1
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        validate_key(key)
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT size, last_used FROM objects WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            return None
+        return ObjectStat(size=int(row[0]), mtime=float(row[1]))
+
+    _PREFIX_QUERY = (
+        "WHERE key LIKE ? ESCAPE '\\' ORDER BY key"
+    )
+
+    @staticmethod
+    def _like_prefix(prefix: str) -> str:
+        escaped = (
+            prefix.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+        )
+        return escaped + "%"
+
+    def list(self, prefix: str = "") -> List[str]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT key FROM objects {self._PREFIX_QUERY}",
+                (self._like_prefix(prefix),),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, ObjectStat]]:
+        # One query for the whole hygiene scan instead of a connection
+        # per key (the default list+stat composition).
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT key, size, last_used FROM objects {self._PREFIX_QUERY}",
+                (self._like_prefix(prefix),),
+            ).fetchall()
+        return [
+            (key, ObjectStat(size=int(size), mtime=float(last_used)))
+            for key, size, last_used in rows
+        ]
+
+    def touch(self, key: str) -> None:
+        validate_key(key)
+        now = time.time()
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT last_used FROM objects WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None or now - float(row[0]) < self.TOUCH_DEBOUNCE_SECONDS:
+                return  # fresh enough: stay read-only
+            conn.execute(
+                "UPDATE objects SET last_used = ? WHERE key = ?", (now, key)
+            )
+
+    def lock(self) -> contextlib.AbstractContextManager:
+        return self._lock.acquire()
+
+
+# ----------------------------------------------------------------------
+# in-memory backend (tests, conformance reference)
+# ----------------------------------------------------------------------
+class MemoryBackend(CacheBackend):
+    """A dict-backed store: the conformance-suite reference.
+
+    In-process only (its ``lock`` excludes threads, not processes) —
+    useful for tests and as the smallest correct implementation of the
+    contract, not for sharing between workers.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict = {}  # key -> (bytes, last_used)
+        self._mutex = threading.Lock()
+        self._shared = threading.Lock()
+
+    @property
+    def location(self) -> str:
+        return "memory://"
+
+    def get(self, key: str) -> Optional[bytes]:
+        validate_key(key)
+        with self._mutex:
+            entry = self._objects.get(key)
+            return entry[0] if entry is not None else None
+
+    def put(self, key: str, data: bytes) -> None:
+        validate_key(key)
+        with self._mutex:
+            self._objects[key] = (bytes(data), time.time())
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        validate_key(key)
+        with self._mutex:
+            if key in self._objects:
+                return False
+            self._objects[key] = (bytes(data), time.time())
+            return True
+
+    def delete(self, key: str) -> bool:
+        validate_key(key)
+        with self._mutex:
+            return self._objects.pop(key, None) is not None
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        validate_key(key)
+        with self._mutex:
+            entry = self._objects.get(key)
+        if entry is None:
+            return None
+        return ObjectStat(size=len(entry[0]), mtime=entry[1])
+
+    def list(self, prefix: str = "") -> List[str]:
+        with self._mutex:
+            return sorted(key for key in self._objects if key.startswith(prefix))
+
+    def touch(self, key: str) -> None:
+        validate_key(key)
+        with self._mutex:
+            entry = self._objects.get(key)
+            if entry is not None:
+                self._objects[key] = (entry[0], time.time())
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        with self._shared:
+            yield
+
+    def lock(self) -> contextlib.AbstractContextManager:
+        return self._locked()
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+# ----------------------------------------------------------------------
+SQLITE_SPEC_PREFIX = "sqlite://"
+
+
+def spec_path(spec: Union[str, Path]) -> Path:
+    """The filesystem path a cache spec points at (directory root or
+    object-store file) — the single place the spec grammar is parsed,
+    shared by :func:`open_backend` and existence checks in the CLI."""
+    text = str(spec)
+    if text.startswith(SQLITE_SPEC_PREFIX):
+        return Path(text[len(SQLITE_SPEC_PREFIX):])
+    return Path(text)
+
+
+def open_backend(spec: Union[str, Path, CacheBackend]) -> CacheBackend:
+    """Open a backend from a cache spec.
+
+    * an existing :class:`CacheBackend` passes through,
+    * ``sqlite://PATH`` (or a path ending in ``.sqlite``, or an existing
+      regular file) opens the SQLite object store,
+    * anything else is a cache *directory* (created on demand) — the
+      layout every pre-existing ``--cache-dir`` points at.
+
+    The file-vs-directory sniff is what lets ``repro cache stats|prune``
+    operate on a cache regardless of which backend wrote it.
+    """
+    if isinstance(spec, CacheBackend):
+        return spec
+    path = spec_path(spec)
+    if str(spec).startswith(SQLITE_SPEC_PREFIX):
+        return SQLiteObjectStoreBackend(path)
+    if path.suffix == ".sqlite" or path.is_file():
+        return SQLiteObjectStoreBackend(path)
+    return LocalDirectoryBackend(path)

@@ -1,0 +1,355 @@
+"""The coordinator: sweep waves in, task batches out, barriers enforced.
+
+:func:`run_distributed_sweep` is the cluster twin of
+:func:`repro.sweep.executor.run_sweep`: same inputs (grid / plan /
+scenarios), same :class:`~repro.sweep.executor.SweepResult` out — the
+reports, counters and golden tests downstream cannot tell the two
+apart.  The difference is *where* scenarios run: the coordinator
+enqueues each wave of the :class:`~repro.sweep.planner.SweepPlan` as a
+batch of durable tasks and any number of workers — spawned locally via
+``local_workers`` and/or started by hand from other shells with
+``repro worker --queue-dir DIR`` — claim and run them.  (The queue is
+a WAL-mode SQLite file: workers on *other machines* can only join via
+a filesystem with coherent SQLite locking, which typical NFS is not —
+the usual scope is many worker processes on one host.)
+
+**Wave barrier.**  The queue only ever contains tasks of the current
+wave: the coordinator enqueues wave *n+1* after every wave-*n* task is
+terminal.  That is the whole exactly-once argument, unchanged from the
+in-process executor — scenarios within a wave never claim the same
+not-yet-computed fingerprint, and everything earlier waves computed is
+already in the shared cache.  (The documented exceptions also carry
+over: a scenario that fails — or dies — before publishing a claimed
+fingerprint leaves it to a later scenario, and a budget prune between
+waves may evict entries a later wave then recomputes.  The
+per-fingerprint counters keep both visible.)
+
+**Crash handling.**  A worker that dies mid-task stops heartbeating;
+the task's lease expires and the next claim re-runs it, resuming from
+the stages the dead worker already published (see
+:mod:`repro.cluster.queue` for lease/retry semantics).  A task that
+exhausts its attempts is ``dead`` and becomes a failed scenario in the
+result — failure isolation, exactly as in-process.
+
+**Cache hygiene.**  With ``cache_budget_bytes`` the coordinator prunes
+the shared cache down to the budget after every wave barrier (the
+"Cache hygiene automation" item): long campaigns stay inside a disk
+quota, at the documented risk of recomputing evicted prefixes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster.queue import Task, TaskQueue, TaskSpec
+from repro.pipeline import ArtifactCache
+from repro.sweep.executor import (
+    ScenarioResult,
+    SweepResult,
+    _result_from_payload,
+)
+from repro.sweep.grid import Scenario, SweepGrid
+from repro.sweep.planner import DEFAULT_TARGETS, ScenarioPlan, SweepPlan, plan_sweep
+
+#: The queue database inside a ``--queue-dir``.
+QUEUE_FILENAME = "queue.sqlite"
+
+#: How long the coordinator waits for spawned workers to exit after
+#: closing the queue before terminating them.
+_SHUTDOWN_GRACE_SECONDS = 30.0
+
+
+class ClusterError(RuntimeError):
+    """The distributed run cannot make progress (no workers left,
+    malformed queue state) — distinct from per-scenario failures, which
+    are isolated into the result like every other executor."""
+
+
+def queue_path(queue_dir: Union[str, Path]) -> Path:
+    return Path(queue_dir) / QUEUE_FILENAME
+
+
+# ----------------------------------------------------------------------
+# task encoding
+# ----------------------------------------------------------------------
+def task_spec_for(
+    sweep_id: str,
+    wave_index: int,
+    plan: ScenarioPlan,
+    targets: Sequence[str],
+    cache_spec: Optional[str],
+    max_attempts: int,
+) -> TaskSpec:
+    """One scenario of one wave as a durable task.
+
+    The config crosses the process boundary as a pickle — internal
+    state of one code base, exactly the artifact-cache argument; the
+    rest of the row is JSON/text so the queue stays inspectable with
+    any sqlite client.
+    """
+    return TaskSpec(
+        task_id=f"{sweep_id}/{wave_index}/{plan.scenario_id}",
+        sweep_id=sweep_id,
+        wave=wave_index,
+        scenario_id=plan.scenario_id,
+        config=pickle.dumps(plan.scenario.config, protocol=pickle.HIGHEST_PROTOCOL),
+        targets=json.dumps(list(targets)),
+        cache_spec=cache_spec,
+        max_attempts=max_attempts,
+    )
+
+
+# ----------------------------------------------------------------------
+# local worker processes
+# ----------------------------------------------------------------------
+#: Spawned workers exit on their own after this long without claimable
+#: work — the orphan bound for a coordinator that died without cleanup
+#: (SIGKILL skips the finally that closes the queue).  Generous enough
+#: that healthy wave barriers (sub-second enqueue gaps, plus a budget
+#: prune at worst) never trip it.
+_SPAWNED_WORKER_MAX_IDLE_SECONDS = 600.0
+
+
+def spawn_local_worker(
+    queue_dir: Union[str, Path],
+    index: int,
+    lease_seconds: float,
+    poll_interval: float = 0.1,
+) -> subprocess.Popen:
+    """Start one ``repro worker`` subprocess in drain mode.
+
+    stdout/stderr go to ``worker-<index>.log`` inside the queue
+    directory, so a worker that dies at import time leaves a post-mortem
+    instead of vanishing silently.  The worker carries a max-idle bound:
+    if the coordinator is SIGKILLed (no queue close, no reaping), the
+    orphan exits by itself instead of polling forever.
+    """
+    import repro
+
+    queue_dir = Path(queue_dir)
+    source_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    python_path = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{source_root}{os.pathsep}{python_path}" if python_path else str(source_root)
+    )
+    log = open(queue_dir / f"worker-{index}.log", "ab")
+    try:
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--queue-dir",
+                str(queue_dir),
+                "--worker-id",
+                # Unique across coordinator generations: an orphan of a
+                # SIGKILLed coordinator must never share an id with a
+                # successor's worker, or the queue's owner-based zombie
+                # fencing stops fencing.
+                f"local-{index}-{uuid.uuid4().hex[:8]}",
+                "--lease-seconds",
+                str(lease_seconds),
+                "--poll-interval",
+                str(poll_interval),
+                "--max-idle-seconds",
+                str(_SPAWNED_WORKER_MAX_IDLE_SECONDS),
+            ],
+            env=env,
+            stdout=log,
+            stderr=subprocess.STDOUT,
+        )
+    finally:
+        log.close()  # the child inherited the descriptor
+
+
+def _reap_workers(workers: List[subprocess.Popen]) -> None:
+    deadline = time.monotonic() + _SHUTDOWN_GRACE_SECONDS
+    for process in workers:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            process.terminate()
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+def _dead_task_result(plan: ScenarioPlan, task: Task) -> ScenarioResult:
+    return ScenarioResult(
+        scenario_id=plan.scenario_id,
+        overrides=plan.scenario.overrides_dict(),
+        status="failed",
+        error=task.error or f"task died after {task.attempts} attempts",
+        fingerprints=dict(plan.fingerprints),
+    )
+
+
+def _wait_for_wave(
+    queue: TaskQueue,
+    sweep_id: str,
+    wave_index: int,
+    expected: int,
+    workers: List[subprocess.Popen],
+    poll_interval: float,
+    timeout: Optional[float],
+    lease_seconds: float,
+) -> List[Task]:
+    """Block until every task of the wave is terminal (the barrier).
+
+    Polling uses the aggregate status counts — one ``GROUP BY`` row per
+    status — instead of re-fetching full task rows (config pickles,
+    result payloads) every tick; the full rows are read exactly once,
+    after the barrier resolves.
+
+    Abort detection: when every *spawned* worker has exited, external
+    workers (joined by hand) may still be draining the wave — a live
+    lease on any running task is the progress signal.  The coordinator
+    raises only once no live lease has been observed for a full lease
+    period with the spawned pool gone, i.e. when nobody can be working.
+    """
+    started = time.monotonic()
+    stalled_since: Optional[float] = None
+    while True:
+        counts = queue.counts(sweep_id=sweep_id, wave=wave_index)
+        terminal = counts.get("done", 0) + counts.get("dead", 0)
+        if terminal == expected:
+            return queue.tasks(sweep_id=sweep_id, wave=wave_index)
+        if workers:
+            exit_codes = [process.poll() for process in workers]
+            if all(code is not None for code in exit_codes):
+                now = time.time()
+                rows = queue.tasks(sweep_id=sweep_id, wave=wave_index)
+                externally_alive = any(
+                    row.status == "running" and (row.lease_expires or 0) > now
+                    for row in rows
+                )
+                if externally_alive:
+                    stalled_since = None
+                elif stalled_since is None:
+                    stalled_since = time.monotonic()
+                elif time.monotonic() - stalled_since > lease_seconds:
+                    raise ClusterError(
+                        f"all {len(workers)} local workers exited "
+                        f"(codes {exit_codes}), no external worker holds a "
+                        f"lease, and wave {wave_index} is unfinished; "
+                        "see worker-*.log in the queue directory"
+                    )
+        if timeout is not None and time.monotonic() - started > timeout:
+            raise ClusterError(
+                f"wave {wave_index} did not finish within {timeout:.0f}s "
+                f"(statuses: {queue.counts(sweep_id=sweep_id, wave=wave_index)})"
+            )
+        time.sleep(poll_interval)
+
+
+def run_distributed_sweep(
+    grid: Union[SweepGrid, SweepPlan, Sequence[Scenario]],
+    queue_dir: Union[str, Path],
+    cache_dir: Union[str, Path],
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    local_workers: Optional[int] = None,
+    lease_seconds: float = 30.0,
+    poll_interval: float = 0.1,
+    max_attempts: int = 3,
+    cache_budget_bytes: Optional[int] = None,
+    wave_timeout: Optional[float] = None,
+) -> SweepResult:
+    """Run a sweep's waves through the durable queue; workers compute.
+
+    ``local_workers`` spawns that many drain-mode ``repro worker``
+    subprocesses; with ``None``/``0`` the coordinator only enqueues and
+    waits — start workers yourself (other shells, other machines
+    sharing the queue and cache paths).  ``cache_dir`` is mandatory: a
+    distributed sweep without a shared cache would recompute every
+    shared prefix per scenario *and* violate the wave schedule's
+    premise.  Results, counters and reports are shaped exactly like
+    every other executor's (``executor="cluster"``).
+    """
+    if cache_dir is None:
+        raise ValueError("a distributed sweep requires a shared cache_dir")
+    if isinstance(grid, SweepPlan):
+        plan = grid
+    else:
+        scenarios = grid.expand() if isinstance(grid, SweepGrid) else list(grid)
+        plan = plan_sweep(scenarios, targets=targets)
+    cache_spec = str(cache_dir)
+    queue_dir = Path(queue_dir)
+    queue_dir.mkdir(parents=True, exist_ok=True)
+    queue = TaskQueue(queue_path(queue_dir))
+    sweep_id = uuid.uuid4().hex
+    # One coordinator per queue directory at a time, by contract: a
+    # reused queue may still be 'closed' from the previous run (reopen
+    # it so fresh drain-mode workers don't exit on arrival) and may
+    # hold non-terminal tasks of a coordinator that died without
+    # cleanup (purge them so they cannot starve this sweep's barrier).
+    queue.reopen()
+    queue.purge_abandoned(sweep_id)
+
+    workers: List[subprocess.Popen] = []
+    outcomes: Dict[str, ScenarioResult] = {}
+    started = time.perf_counter()
+    try:
+        for index in range(local_workers or 0):
+            workers.append(
+                spawn_local_worker(
+                    queue_dir, index, lease_seconds, poll_interval=poll_interval
+                )
+            )
+        for wave_index, wave in enumerate(plan.waves):
+            queue.enqueue(
+                [
+                    task_spec_for(
+                        sweep_id, wave_index, scenario_plan, plan.targets,
+                        cache_spec, max_attempts,
+                    )
+                    for scenario_plan in wave
+                ]
+            )
+            tasks = _wait_for_wave(
+                queue, sweep_id, wave_index, len(wave), workers,
+                poll_interval, wave_timeout, lease_seconds,
+            )
+            by_scenario = {task.scenario_id: task for task in tasks}
+            for scenario_plan in wave:
+                task = by_scenario[scenario_plan.scenario_id]
+                if task.status == "done" and task.result is not None:
+                    outcomes[scenario_plan.scenario_id] = _result_from_payload(
+                        scenario_plan, task.result
+                    )
+                else:
+                    outcomes[scenario_plan.scenario_id] = _dead_task_result(
+                        scenario_plan, task
+                    )
+            if cache_budget_bytes is not None:
+                ArtifactCache.from_spec(cache_spec).prune(max_bytes=cache_budget_bytes)
+    finally:
+        queue.close()
+        _reap_workers(workers)
+    elapsed = time.perf_counter() - started
+
+    results = [outcomes[p.scenario_id] for p in plan.plans]
+    return SweepResult(
+        targets=plan.targets,
+        plan=plan,
+        results=results,
+        seconds=elapsed,
+        executor="cluster",
+        cache_dir=cache_spec,
+        waves=[[p.scenario_id for p in wave] for wave in plan.waves],
+    )

@@ -1,0 +1,425 @@
+"""A durable SQLite task queue with leases, heartbeats and retries.
+
+One queue file coordinates a sweep between a coordinator and any number
+of worker processes (``repro worker``).  The design is deliberately
+boring: every operation is one short transaction against a single
+SQLite database in WAL mode, opened per call — no daemon, no sockets,
+no shared connections, safe from any process on the host.
+
+Lifecycle of a task::
+
+    pending ──claim──> running ──complete──> done
+       ^                  │
+       │   lease expired  │ fail / crash (no heartbeat)
+       └──────────────────┘          │
+                                     └─ attempts exhausted ──> dead
+
+* **Leases.**  A claim grants the worker an exclusive lease for
+  ``lease_seconds``; the worker's heartbeat thread extends it while the
+  scenario runs.  A worker that dies (SIGKILL, OOM, power loss) simply
+  stops heartbeating: once the lease expires the next ``claim`` by any
+  worker returns the task again.  Every lease-state transition is
+  guarded by the recorded owner, so a *zombie* — a worker that lost its
+  lease but is still running — cannot complete, fail or heartbeat a
+  task that has moved on without it.
+* **Retries.**  Each claim increments ``attempts``; a task whose lease
+  expires with ``attempts >= max_attempts`` is marked ``dead`` instead
+  of re-queued, so a scenario that reliably kills its worker cannot
+  livelock the sweep.  (A scenario that merely *raises* is not a queue
+  failure — the worker publishes the failure payload and the task
+  completes; see :mod:`repro.cluster.worker`.)
+* **Exactly-once compute.**  The queue guarantees exactly-once
+  *assignment* per attempt; exactly-once *compute* is the artifact
+  cache's job (re-claimed tasks resume from cached stages, and the
+  backend's atomic put-if-absent dedupes the zombie-vs-heir write race).
+
+The ``control`` table carries the coordinator's open/closed state:
+workers started with ``--exit-when-closed`` drain the queue and exit
+once the coordinator closes it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Bump when the queue schema changes incompatibly.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Queue statuses that will never change again.
+TERMINAL_STATUSES = ("done", "dead")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    task_id      TEXT PRIMARY KEY,
+    sweep_id     TEXT NOT NULL,
+    wave         INTEGER NOT NULL,
+    scenario_id  TEXT NOT NULL,
+    config       BLOB NOT NULL,
+    targets      TEXT NOT NULL,
+    cache_spec   TEXT,
+    status       TEXT NOT NULL DEFAULT 'pending',
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    owner        TEXT,
+    lease_expires REAL,
+    result       TEXT,
+    error        TEXT,
+    enqueued_at  REAL NOT NULL,
+    updated_at   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_tasks_claim ON tasks (status, wave);
+CREATE TABLE IF NOT EXISTS control (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+_TASK_COLUMNS = (
+    "task_id, sweep_id, wave, scenario_id, config, targets, cache_spec, "
+    "status, attempts, max_attempts, owner, lease_expires, result, error, "
+    "enqueued_at, updated_at"
+)
+
+
+class QueueError(RuntimeError):
+    """A malformed queue operation (duplicate task ids, bad spec)."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """What a producer enqueues: one scenario of one sweep wave.
+
+    ``config`` is an opaque byte payload (the coordinator pickles the
+    ``PipelineConfig`` — internal state of one code base, the same
+    argument the artifact cache makes); ``targets`` is a JSON list of
+    pipeline target names; ``cache_spec`` is the shared artifact-cache
+    spec every worker must use (see ``ArtifactCache.from_spec``).
+    """
+
+    task_id: str
+    sweep_id: str
+    wave: int
+    scenario_id: str
+    config: bytes
+    targets: str
+    cache_spec: Optional[str] = None
+    max_attempts: int = 3
+
+
+@dataclass
+class Task:
+    """One queue row as a consumer sees it."""
+
+    task_id: str
+    sweep_id: str
+    wave: int
+    scenario_id: str
+    config: bytes
+    targets: str
+    cache_spec: Optional[str]
+    status: str
+    attempts: int
+    max_attempts: int
+    owner: Optional[str]
+    lease_expires: Optional[float]
+    result: Optional[Dict[str, object]]
+    error: Optional[str]
+    enqueued_at: float
+    updated_at: float
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def targets_tuple(self) -> tuple:
+        return tuple(json.loads(self.targets))
+
+
+def _task_from_row(row: tuple) -> Task:
+    return Task(
+        task_id=row[0],
+        sweep_id=row[1],
+        wave=row[2],
+        scenario_id=row[3],
+        config=bytes(row[4]),
+        targets=row[5],
+        cache_spec=row[6],
+        status=row[7],
+        attempts=row[8],
+        max_attempts=row[9],
+        owner=row[10],
+        lease_expires=row[11],
+        result=json.loads(row[12]) if row[12] is not None else None,
+        error=row[13],
+        enqueued_at=row[14],
+        updated_at=row[15],
+    )
+
+
+class TaskQueue:
+    """The durable queue over one SQLite file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR IGNORE INTO control (key, value) VALUES ('state', 'open')"
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO control (key, value) VALUES "
+                "('schema_version', ?)",
+                (str(QUEUE_SCHEMA_VERSION),),
+            )
+
+    @contextlib.contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        conn.isolation_level = None  # explicit transaction control
+        try:
+            yield conn
+        finally:
+            conn.close()
+
+    @contextlib.contextmanager
+    def _transaction(self) -> Iterator[sqlite3.Connection]:
+        """One ``BEGIN IMMEDIATE`` transaction: the write lock is taken
+        up front, so a claim's read-check-update is atomic across
+        processes."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield conn
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, specs: List[TaskSpec]) -> None:
+        """Add a batch of tasks (one wave, typically) as ``pending``."""
+        now = time.time()
+        with self._transaction() as conn:
+            for spec in specs:
+                try:
+                    conn.execute(
+                        "INSERT INTO tasks (task_id, sweep_id, wave, scenario_id, "
+                        "config, targets, cache_spec, max_attempts, enqueued_at, "
+                        "updated_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            spec.task_id,
+                            spec.sweep_id,
+                            spec.wave,
+                            spec.scenario_id,
+                            sqlite3.Binary(spec.config),
+                            spec.targets,
+                            spec.cache_spec,
+                            spec.max_attempts,
+                            now,
+                            now,
+                        ),
+                    )
+                except sqlite3.IntegrityError as exc:
+                    raise QueueError(
+                        f"task {spec.task_id!r} is already enqueued"
+                    ) from exc
+
+    def state(self) -> str:
+        """``"open"`` or ``"closed"`` (the coordinator's drain signal)."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT value FROM control WHERE key = 'state'"
+            ).fetchone()
+        return row[0] if row is not None else "open"
+
+    def close(self) -> None:
+        """Signal drain: workers with ``exit_when_closed`` stop once no
+        claimable task remains.  Enqueued work is still drained."""
+        with self._transaction() as conn:
+            conn.execute("UPDATE control SET value = 'closed' WHERE key = 'state'")
+
+    def reopen(self) -> None:
+        with self._transaction() as conn:
+            conn.execute("UPDATE control SET value = 'open' WHERE key = 'state'")
+
+    def purge_abandoned(self, keep_sweep_id: str) -> int:
+        """Delete every *other* sweep's rows except its dead tasks.
+
+        A coordinator that died without closing its queue leaves
+        pending/running rows behind; workers would happily burn whole
+        scenario runtimes computing results nobody will ever collect,
+        starving the live sweep's barrier.  A starting coordinator —
+        there is one coordinator per queue directory at a time, by
+        contract — sweeps them out.  Finished (``done``) rows of past
+        sweeps go too: their results were already collected into the
+        sweep report, and each row carries a config pickle + result
+        payload, so keeping them would grow a reused ``queue.sqlite``
+        without bound.  Only ``dead`` rows survive as post-mortem
+        material — they are the rare ones worth investigating.
+        """
+        with self._transaction() as conn:
+            cursor = conn.execute(
+                "DELETE FROM tasks WHERE sweep_id != ? AND status != 'dead'",
+                (keep_sweep_id,),
+            )
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def claim(
+        self, owner: str, lease_seconds: float, now: Optional[float] = None
+    ) -> Optional[Task]:
+        """Atomically claim one task (lowest wave first).
+
+        Expired leases are swept first: running tasks whose lease has
+        lapsed go back to ``pending`` — unless their attempts are
+        exhausted, in which case they become ``dead`` — and are then
+        eligible for this very claim.  Returns ``None`` when nothing is
+        claimable.
+        """
+        if now is None:
+            now = time.time()
+        with self._transaction() as conn:
+            conn.execute(
+                "UPDATE tasks SET status = 'dead', owner = NULL, "
+                "error = COALESCE(error, 'lease expired; attempts exhausted'), "
+                "updated_at = ? "
+                "WHERE status = 'running' AND lease_expires < ? "
+                "AND attempts >= max_attempts",
+                (now, now),
+            )
+            conn.execute(
+                "UPDATE tasks SET status = 'pending', owner = NULL, updated_at = ? "
+                "WHERE status = 'running' AND lease_expires < ?",
+                (now, now),
+            )
+            row = conn.execute(
+                f"SELECT {_TASK_COLUMNS} FROM tasks WHERE status = 'pending' "
+                "ORDER BY wave, rowid LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            task = _task_from_row(row)
+            lease_expires = now + lease_seconds
+            conn.execute(
+                "UPDATE tasks SET status = 'running', owner = ?, "
+                "lease_expires = ?, attempts = attempts + 1, updated_at = ? "
+                "WHERE task_id = ?",
+                (owner, lease_expires, now, task.task_id),
+            )
+            task.status = "running"
+            task.owner = owner
+            task.lease_expires = lease_expires
+            task.attempts += 1
+            task.updated_at = now
+            return task
+
+    def heartbeat(
+        self, task_id: str, owner: str, lease_seconds: float
+    ) -> bool:
+        """Extend the lease; ``False`` means the lease was lost (the
+        task expired and moved on) and the worker should stand down."""
+        now = time.time()
+        with self._transaction() as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET lease_expires = ?, updated_at = ? "
+                "WHERE task_id = ? AND owner = ? AND status = 'running'",
+                (now + lease_seconds, now, task_id, owner),
+            )
+            return cursor.rowcount == 1
+
+    def complete(
+        self, task_id: str, owner: str, result: Dict[str, object]
+    ) -> bool:
+        """Publish the result and mark ``done``; owner-guarded, so a
+        zombie's late completion is rejected (``False``)."""
+        now = time.time()
+        with self._transaction() as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET status = 'done', result = ?, owner = NULL, "
+                "updated_at = ? "
+                "WHERE task_id = ? AND owner = ? AND status = 'running'",
+                (json.dumps(result, sort_keys=True), now, task_id, owner),
+            )
+            return cursor.rowcount == 1
+
+    def fail(self, task_id: str, owner: str, error: str) -> str:
+        """Report an infrastructure failure (the worker could not even
+        produce a result payload).  Returns the task's new status:
+        ``"pending"`` (will retry), ``"dead"`` (attempts exhausted) or
+        ``"lost"`` (the lease had already moved on — no-op).
+        """
+        now = time.time()
+        with self._transaction() as conn:
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM tasks "
+                "WHERE task_id = ? AND owner = ? AND status = 'running'",
+                (task_id, owner),
+            ).fetchone()
+            if row is None:
+                return "lost"
+            attempts, max_attempts = row
+            status = "dead" if attempts >= max_attempts else "pending"
+            conn.execute(
+                "UPDATE tasks SET status = ?, owner = NULL, error = ?, "
+                "updated_at = ? WHERE task_id = ?",
+                (status, error, now, task_id),
+            )
+            return status
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def _filtered(
+        self, sweep_id: Optional[str], wave: Optional[int]
+    ) -> tuple:
+        clauses, params = [], []
+        if sweep_id is not None:
+            clauses.append("sweep_id = ?")
+            params.append(sweep_id)
+        if wave is not None:
+            clauses.append("wave = ?")
+            params.append(wave)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, params
+
+    def tasks(
+        self, sweep_id: Optional[str] = None, wave: Optional[int] = None
+    ) -> List[Task]:
+        where, params = self._filtered(sweep_id, wave)
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT {_TASK_COLUMNS} FROM tasks{where} ORDER BY wave, rowid",
+                params,
+            ).fetchall()
+        return [_task_from_row(row) for row in rows]
+
+    def counts(
+        self, sweep_id: Optional[str] = None, wave: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Status -> number of tasks (missing statuses omitted)."""
+        where, params = self._filtered(sweep_id, wave)
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT status, COUNT(*) FROM tasks{where} GROUP BY status",
+                params,
+            ).fetchall()
+        return {status: count for status, count in rows}
+
+    def get(self, task_id: str) -> Optional[Task]:
+        with self._connect() as conn:
+            row = conn.execute(
+                f"SELECT {_TASK_COLUMNS} FROM tasks WHERE task_id = ?", (task_id,)
+            ).fetchone()
+        return _task_from_row(row) if row is not None else None

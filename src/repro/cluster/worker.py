@@ -1,0 +1,172 @@
+"""The worker loop: claim a task, run the pipeline, publish the result.
+
+A worker is one process (``repro worker --queue-dir DIR``, or a
+:class:`Worker` instance embedded in-process for tests) cooperating on
+one :class:`~repro.cluster.queue.TaskQueue`:
+
+1. **claim** the lowest-wave claimable task under a lease,
+2. run the scenario's pipeline targets through the existing
+   :class:`~repro.pipeline.PipelineRunner` against the shared artifact
+   cache named by the task's ``cache_spec`` — computed stages are
+   published to the cache as a side effect (atomic put-if-absent, so a
+   zombie twin cannot duplicate-write), and a re-claimed task resumes
+   from whatever its dead predecessor already cached,
+3. **heartbeat** on a background thread while the scenario runs, so a
+   *healthy* long task keeps its lease while a *dead* worker's lease
+   lapses in bounded time,
+4. **complete** the task with the same picklable result payload the
+   in-process sweep executors use (scenario pipeline failures travel
+   *inside* that payload — they are results, not queue failures).
+
+A worker that loses its lease mid-run (paused by the OS long enough for
+the lease to expire) discards its result: the queue's owner guard would
+reject the late ``complete`` anyway, and the heir recomputes nothing
+but the uncached suffix.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.cluster.queue import Task, TaskQueue
+from repro.pipeline import StageSpec
+
+#: How many times per lease period the heartbeat fires.
+HEARTBEATS_PER_LEASE = 3
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Worker:
+    """One cooperating worker over a task queue.
+
+    ``stages`` overrides the pipeline DAG for in-process/test use (the
+    CLI always runs the default DAG — custom stage lists cannot cross a
+    process boundary).
+    """
+
+    def __init__(
+        self,
+        queue_path: Union[str, Path, TaskQueue],
+        worker_id: Optional[str] = None,
+        lease_seconds: float = 30.0,
+        poll_interval: float = 0.2,
+        stages: Optional[Sequence[StageSpec]] = None,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.queue = (
+            queue_path if isinstance(queue_path, TaskQueue) else TaskQueue(queue_path)
+        )
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self._stages = list(stages) if stages is not None else None
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_tasks: Optional[int] = None,
+        exit_when_closed: bool = True,
+        max_idle_seconds: Optional[float] = None,
+    ) -> int:
+        """Process tasks until a stop condition; returns tasks processed.
+
+        Stop conditions: ``max_tasks`` processed; the queue is closed
+        and nothing is claimable (``exit_when_closed`` — the drain
+        handshake with the coordinator); the queue held no non-terminal
+        task at all for ``max_idle_seconds`` (a *sweep in progress* —
+        sibling workers holding running tasks — never counts as idle,
+        so a long wave cannot shed its idle pool members; the bound
+        catches coordinators that died without closing the queue).
+        With none of them the worker polls forever — that is what a
+        standing worker machine does.
+        """
+        processed = 0
+        idle_since: Optional[float] = None
+        while True:
+            if max_tasks is not None and processed >= max_tasks:
+                break
+            task = self.queue.claim(self.worker_id, self.lease_seconds)
+            if task is None:
+                if exit_when_closed and self.queue.state() == "closed":
+                    break
+                now = time.monotonic()
+                if max_idle_seconds is not None:
+                    counts = self.queue.counts()
+                    live = counts.get("pending", 0) + counts.get("running", 0)
+                    if live:
+                        idle_since = None  # someone is working: not idle
+                    elif idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= max_idle_seconds:
+                        break
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            self.process(task)
+            processed += 1
+        return processed
+
+    # ------------------------------------------------------------------
+    # one task
+    # ------------------------------------------------------------------
+    def process(self, task: Task) -> bool:
+        """Run one claimed task to a terminal report; ``True`` iff this
+        worker's completion was accepted (a lost lease returns False)."""
+        stop = threading.Event()
+        lease_lost = threading.Event()
+
+        def beat() -> None:
+            interval = self.lease_seconds / HEARTBEATS_PER_LEASE
+            while not stop.wait(interval):
+                try:
+                    alive = self.queue.heartbeat(
+                        task.task_id, self.worker_id, self.lease_seconds
+                    )
+                except Exception:
+                    continue  # transient queue hiccup: keep trying
+                if not alive:
+                    lease_lost.set()
+                    return
+
+        heartbeat_thread = threading.Thread(
+            target=beat, name=f"heartbeat-{task.task_id}", daemon=True
+        )
+        heartbeat_thread.start()
+        try:
+            payload = self._execute(task)
+        except Exception as exc:  # noqa: BLE001 - infra failure -> retry
+            stop.set()
+            heartbeat_thread.join()
+            self.queue.fail(
+                task.task_id, self.worker_id, f"{type(exc).__name__}: {exc}"
+            )
+            return False
+        stop.set()
+        heartbeat_thread.join()
+        if lease_lost.is_set():
+            # Another worker owns the task now; our cache writes were
+            # deduplicated by put-if-absent, our result is redundant.
+            return False
+        return self.queue.complete(task.task_id, self.worker_id, payload)
+
+    def _execute(self, task: Task) -> dict:
+        # Imported here so the queue/backends layer stays importable
+        # without the sweep machinery (and to avoid import cycles).
+        from repro.sweep.executor import _execute_scenario
+
+        config = pickle.loads(task.config)
+        return _execute_scenario(
+            config, task.cache_spec, task.targets_tuple(), self._stages
+        )

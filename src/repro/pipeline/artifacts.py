@@ -10,12 +10,21 @@ identity is fully determined by a **fingerprint** — a SHA-256 digest of
 * the fingerprints of its upstream artifacts (so invalidation cascades
   through the DAG without ever loading a payload).
 
-:class:`ArtifactCache` stores artifacts on disk under
-``<root>/<stage>/<fingerprint>.pkl`` with a ``.json`` metadata sidecar
-recording the SHA-256 of the pickled payload.  A load verifies the
+:class:`ArtifactCache` stores artifacts through a pluggable
+:class:`~repro.cluster.backends.CacheBackend` under the keys
+``<stage>/<fingerprint>.pkl`` with a ``.json`` metadata sidecar
+recording the SHA-256 of the pickled payload.  The default backend is
+the original on-disk directory layout
+(:class:`~repro.cluster.backends.LocalDirectoryBackend`); a SQLite
+object store is available for caches shared by concurrent worker
+processes (``ArtifactCache.from_spec`` sniffs the kind, so
+``repro cache stats|prune`` work on either).  A load verifies the
 payload hash against the sidecar, so a truncated or bit-flipped artifact
 is detected and reported as a miss (the runner then recomputes and
 overwrites it) instead of being deserialized into silent corruption.
+Stores go through the backend's **atomic put-if-absent**: when two
+workers race to publish the same fingerprint, one write wins and the
+loser adopts it (the payloads are bit-identical by construction).
 
 Pickle is the payload format on purpose: artifacts are internal
 intermediate state exchanged between stages of one code base, not an
@@ -45,13 +54,17 @@ import datetime as _dt
 import enum
 import hashlib
 import json
-import os
 import pickle
-import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.backends import (
+    CacheBackend,
+    LocalDirectoryBackend,
+    open_backend,
+)
 
 #: Bump when the cache layout / metadata schema changes incompatibly.
 CACHE_LAYOUT_VERSION = 1
@@ -210,9 +223,9 @@ class PruneReport:
 
 
 class ArtifactCache:
-    """Content-addressed on-disk store of stage artifacts.
+    """Content-addressed store of stage artifacts over a backend.
 
-    Layout::
+    Default (directory backend) layout::
 
         <root>/
           cache-index.json       # last-access times (LRU eviction order)
@@ -220,9 +233,9 @@ class ArtifactCache:
             <fingerprint>.pkl    # pickled payload
             <fingerprint>.json   # ArtifactRecord sidecar (payload hash)
 
-    Writes are atomic (temp file + rename) so a crashed run never leaves
-    a half-written payload that a later run would trust; loads verify
-    the payload hash against the sidecar before unpickling.
+    Writes are atomic (the backend contract) so a crashed run never
+    leaves a half-written payload that a later run would trust; loads
+    verify the payload hash against the sidecar before unpickling.
     """
 
     PAYLOAD_SUFFIX = ".pkl"
@@ -231,19 +244,50 @@ class ArtifactCache:
     #: Class-level: every ArtifactCache instance over any root shares it
     #: (sweep executors build one instance per scenario over the same
     #: root, so a per-instance lock would never serialize anything).
+    #: Cross-*process* exclusion is the backend lock's job.
     _index_lock = threading.Lock()
 
-    def __init__(self, root: Path) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self,
+        root: Union[str, Path, CacheBackend, None] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if backend is None:
+            if root is None:
+                raise ValueError("ArtifactCache needs a root path or a backend")
+            backend = (
+                root if isinstance(root, CacheBackend) else LocalDirectoryBackend(root)
+            )
+        self.backend = backend
+        #: The backend location as a path.  For the directory backend
+        #: this is the cache root the ``payload_path``/``meta_path``
+        #: helpers resolve under; for other backends it is the store
+        #: file and the path helpers are meaningless (the artifacts are
+        #: not files).
+        self.root = Path(backend.location)
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, Path, CacheBackend]) -> "ArtifactCache":
+        """Open a cache from a spec string: a directory path (the
+        default layout), ``sqlite://PATH`` / a ``*.sqlite`` path / an
+        existing file (the SQLite object store), or a ready backend."""
+        return cls(backend=open_backend(spec))
 
     # ------------------------------------------------------------------
-    # paths
+    # keys and (directory-layout) paths
     # ------------------------------------------------------------------
+    def _payload_key(self, stage: str, fingerprint: str) -> str:
+        return f"{stage}/{fingerprint}{self.PAYLOAD_SUFFIX}"
+
+    def _meta_key(self, stage: str, fingerprint: str) -> str:
+        return f"{stage}/{fingerprint}{self.META_SUFFIX}"
+
     def payload_path(self, stage: str, fingerprint: str) -> Path:
+        """The payload file of the *directory* backend layout."""
         return self.root / stage / f"{fingerprint}{self.PAYLOAD_SUFFIX}"
 
     def meta_path(self, stage: str, fingerprint: str) -> Path:
+        """The sidecar file of the *directory* backend layout."""
         return self.root / stage / f"{fingerprint}{self.META_SUFFIX}"
 
     # ------------------------------------------------------------------
@@ -257,15 +301,16 @@ class ArtifactCache:
         self, stage: str, fingerprint: str
     ) -> Optional[Tuple[bytes, ArtifactRecord]]:
         """One read + one hash: the payload bytes iff they verify."""
-        payload_path = self.payload_path(stage, fingerprint)
-        meta_path = self.meta_path(stage, fingerprint)
-        if not payload_path.exists() or not meta_path.exists():
+        meta = self.backend.get(self._meta_key(stage, fingerprint))
+        if meta is None:
             return None
         try:
-            record = ArtifactRecord.from_json(meta_path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, KeyError, TypeError):
+            record = ArtifactRecord.from_json(meta.decode("utf-8"))
+        except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
             return None
-        payload = payload_path.read_bytes()
+        payload = self.backend.get(self._payload_key(stage, fingerprint))
+        if payload is None:
+            return None
         if hashlib.sha256(payload).hexdigest() != record.payload_sha256:
             return None
         return payload, record
@@ -307,9 +352,15 @@ class ArtifactCache:
     def store(
         self, stage: str, fingerprint: str, value: object, code_version: str
     ) -> ArtifactRecord:
-        """Persist one artifact atomically; returns its metadata record."""
-        directory = self.root / stage
-        directory.mkdir(parents=True, exist_ok=True)
+        """Persist one artifact atomically; returns its metadata record.
+
+        The payload goes through the backend's **put-if-absent**: when a
+        concurrent worker already published this fingerprint, the
+        existing entry is adopted if it verifies (bit-identical by
+        construction — same fingerprint, same deterministic pipeline)
+        and the duplicate write is skipped.  A present-but-corrupt entry
+        (the defect :meth:`load` reports as a miss) is overwritten.
+        """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         record = ArtifactRecord(
             stage=stage,
@@ -319,42 +370,41 @@ class ArtifactCache:
             code_version=code_version,
             created_at=_dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
         )
-        self._write_atomic(self.payload_path(stage, fingerprint), payload)
-        self._write_atomic(
-            self.meta_path(stage, fingerprint), record.to_json().encode("utf-8")
-        )
+        payload_key = self._payload_key(stage, fingerprint)
+        meta_key = self._meta_key(stage, fingerprint)
+        if not self.backend.put_if_absent(payload_key, payload):
+            existing = self._verified_bytes(stage, fingerprint)
+            if (
+                existing is not None
+                and existing[1].payload_sha256 == record.payload_sha256
+            ):
+                # Another worker won the race with the same bytes:
+                # dedupe — adopt its record instead of rewriting.
+                self._touch(stage, fingerprint, stored=True)
+                return existing[1]
+            self.backend.put(payload_key, payload)
+        self.backend.put(meta_key, record.to_json().encode("utf-8"))
         self._touch(stage, fingerprint, stored=True)
         return record
-
-    @staticmethod
-    def _write_atomic(path: Path, data: bytes) -> None:
-        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
-        try:
-            with os.fdopen(handle, "wb") as stream:
-                stream.write(data)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def _payload_keys(self) -> List[Tuple[str, str]]:
+        """Every stored ``(stage, fingerprint)`` pair, sorted."""
+        pairs: List[Tuple[str, str]] = []
+        for key in self.backend.list():
+            if "/" not in key or not key.endswith(self.PAYLOAD_SUFFIX):
+                continue  # the index, locks, foreign top-level objects
+            stage, name = key.split("/", 1)
+            pairs.append((stage, name[: -len(self.PAYLOAD_SUFFIX)]))
+        return sorted(pairs)
+
     def entries(self) -> Dict[str, List[str]]:
         """Stage name -> stored fingerprints (for reports and tests)."""
         result: Dict[str, List[str]] = {}
-        for stage_dir in sorted(self.root.iterdir()):
-            if not stage_dir.is_dir():
-                continue
-            fingerprints = sorted(
-                path.name[: -len(self.PAYLOAD_SUFFIX)]
-                for path in stage_dir.glob(f"*{self.PAYLOAD_SUFFIX}")
-            )
-            if fingerprints:
-                result[stage_dir.name] = fingerprints
+        for stage, fingerprint in self._payload_keys():
+            result.setdefault(stage, []).append(fingerprint)
         return result
 
     # ------------------------------------------------------------------
@@ -367,8 +417,14 @@ class ArtifactCache:
     def _read_index(self) -> Dict[str, float]:
         """``"stage/fingerprint" -> last-used epoch seconds`` (best effort)."""
         try:
-            data = json.loads(self.index_path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            raw = self.backend.get(INDEX_FILENAME)
+        except OSError:
+            return {}
+        if raw is None:
+            return {}
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
             return {}
         entries = data.get("entries") if isinstance(data, dict) else None
         if not isinstance(entries, dict):
@@ -385,70 +441,73 @@ class ArtifactCache:
             indent=2,
             sort_keys=True,
         )
-        self._write_atomic(self.index_path, payload.encode("utf-8"))
+        self.backend.put(INDEX_FILENAME, payload.encode("utf-8"))
 
     def _touch(self, stage: str, fingerprint: str, stored: bool = False) -> None:
         """Record an access for LRU ordering.
 
-        A plain read access is an O(1) ``os.utime`` bump of the payload
-        file — cheap enough for every warm cache hit, visible across
-        processes.  Only a *store* rewrites the sidecar index (stores
-        are amortized by the stage computation they follow); the
-        read-modify-write runs under the class-level lock, and
-        concurrent processes race last-writer-wins, which is fine for
-        advisory access times — a lost touch only makes the entry look
-        slightly colder to a later ``prune``.
+        A plain read access is an O(1) backend ``touch`` (an
+        ``os.utime`` bump for the directory backend) — cheap enough for
+        every warm cache hit, visible across processes.  Only a *store*
+        rewrites the sidecar index (stores are amortized by the stage
+        computation they follow); the read-modify-write runs under the
+        class-level thread lock **and** the backend's cross-process
+        lock, so concurrent workers and prunes never interleave their
+        index rewrites (a worker/prune race used to be able to resurrect
+        just-pruned index entries or drop a fresh store's).
         """
         try:
             if not stored:
-                os.utime(self.payload_path(stage, fingerprint))
+                self.backend.touch(self._payload_key(stage, fingerprint))
                 return
-            with self._index_lock:
+            with self._index_lock, self.backend.lock():
                 entries = self._read_index()
                 entries[f"{stage}/{fingerprint}"] = time.time()
                 self._write_index(entries)
         except OSError:
-            # A read-only or vanished cache directory must never break
-            # the run the touch was bookkeeping for.
+            # A read-only or vanished cache must never break the run the
+            # touch was bookkeeping for (BackendError subclasses OSError).
             pass
 
     def _scan_entries(self) -> List[CacheEntry]:
-        """Every stored artifact with its on-disk size and last use.
+        """Every stored artifact with its actual size and last use.
 
-        ``last_used`` is the newer of the sidecar-index entry (written
-        at store time) and the payload mtime (bumped by :meth:`_touch`
-        on every read).  Entries whose files vanish mid-scan — another
-        process pruning the same cache — are silently skipped: hygiene
-        is best-effort by contract, never an error.
+        Sizes always come from the backend's ``stat`` of the object
+        itself — never from the advisory index — so artifacts the index
+        has no entry for (written by another process or backend, index
+        lost or stale) are reported at their true size instead of being
+        miscounted.  A missing metadata sidecar only loses the sidecar's
+        own bytes from the total.  ``last_used`` is the newer of the
+        index entry (written at store time) and the object's mtime
+        (bumped by :meth:`_touch` on every read).  Entries that vanish
+        mid-scan — another process pruning the same cache — are silently
+        skipped: hygiene is best-effort by contract, never an error.
         """
         index = self._read_index()
+        try:
+            stats = dict(self.backend.scan())
+        except OSError:
+            return []
         entries: List[CacheEntry] = []
-        for stage_dir in sorted(self.root.iterdir()):
-            if not stage_dir.is_dir():
-                continue
-            for payload_path in sorted(stage_dir.glob(f"*{self.PAYLOAD_SUFFIX}")):
-                fingerprint = payload_path.name[: -len(self.PAYLOAD_SUFFIX)]
-                meta_path = self.meta_path(stage_dir.name, fingerprint)
-                try:
-                    size = payload_path.stat().st_size
-                    mtime = payload_path.stat().st_mtime
-                except OSError:
-                    continue  # unlinked between glob and stat
-                try:
-                    size += meta_path.stat().st_size
-                except OSError:
-                    pass
-                last_used = max(
-                    index.get(f"{stage_dir.name}/{fingerprint}", 0.0), mtime
+        for key in sorted(stats):
+            if "/" not in key or not key.endswith(self.PAYLOAD_SUFFIX):
+                continue  # the index, locks, foreign top-level objects
+            stage, name = key.split("/", 1)
+            fingerprint = name[: -len(self.PAYLOAD_SUFFIX)]
+            payload_stat = stats[key]
+            size = payload_stat.size
+            meta_stat = stats.get(self._meta_key(stage, fingerprint))
+            if meta_stat is not None:
+                size += meta_stat.size
+            last_used = max(index.get(f"{stage}/{fingerprint}", 0.0), payload_stat.mtime)
+            entries.append(
+                CacheEntry(
+                    stage=stage,
+                    fingerprint=fingerprint,
+                    size_bytes=size,
+                    last_used=last_used,
                 )
-                entries.append(
-                    CacheEntry(
-                        stage=stage_dir.name,
-                        fingerprint=fingerprint,
-                        size_bytes=size,
-                        last_used=last_used,
-                    )
-                )
+            )
         return entries
 
     def stats(self) -> CacheStats:
@@ -515,28 +574,26 @@ class ArtifactCache:
         ]
         if not dry_run and doomed:
             for entry in doomed:
-                for path in (
-                    self.payload_path(entry.stage, entry.fingerprint),
-                    self.meta_path(entry.stage, entry.fingerprint),
+                for key in (
+                    self._payload_key(entry.stage, entry.fingerprint),
+                    self._meta_key(entry.stage, entry.fingerprint),
                 ):
                     try:
-                        path.unlink()
+                        self.backend.delete(key)
                     except OSError:
                         # Already gone, or undeletable (permissions,
                         # read-only mount): hygiene is best-effort —
                         # keep evicting the rest.
                         pass
-                stage_dir = self.root / entry.stage
-                try:
-                    stage_dir.rmdir()  # only succeeds when empty
-                except OSError:
-                    pass
-            with self._index_lock:
-                index = self._read_index()
-                kept = {f"{e.stage}/{e.fingerprint}" for e in survivors}
-                self._write_index(
-                    {key: value for key, value in index.items() if key in kept}
-                )
+            try:
+                with self._index_lock, self.backend.lock():
+                    index = self._read_index()
+                    kept = {f"{e.stage}/{e.fingerprint}" for e in survivors}
+                    self._write_index(
+                        {key: value for key, value in index.items() if key in kept}
+                    )
+            except OSError:
+                pass  # advisory metadata only — eviction already happened
         freed = sum(entry.size_bytes for entry in doomed)
         return PruneReport(
             removed=sorted(doomed, key=lambda e: (e.stage, e.fingerprint)),

@@ -9,13 +9,18 @@ as the unit of work:
 * :mod:`repro.sweep.planner` — fingerprint-level dedup: shared upstream
   slices are identified before execution and scheduled into waves so
   each is computed exactly once,
-* :mod:`repro.sweep.executor` — serial/thread/process execution with
-  per-scenario failure isolation and resume-from-cache on rerun,
+* :mod:`repro.sweep.executor` — serial/thread/process/cluster
+  execution with per-scenario failure isolation, resume-from-cache on
+  rerun, and optional post-wave cache-budget pruning (the distributed
+  ``cluster`` executor lives in :mod:`repro.cluster`),
 * :mod:`repro.sweep.report` — cross-scenario delta tables and
-  seed-variance flags (JSON + markdown).
+  seed-variance statistics with t-based confidence intervals
+  (JSON + markdown).
 
-CLI entry point: ``repro sweep --grid grid.json --cache-dir DIR``.
-See the "Sweeps" section of ``docs/architecture.md``.
+CLI entry point: ``repro sweep --grid grid.json --cache-dir DIR``
+(add ``--distributed --queue-dir DIR --local-workers N`` to fan the
+waves out to worker processes).  See the "Sweeps" and "Distributed
+sweeps" sections of ``docs/architecture.md``.
 """
 
 from repro.sweep.executor import ScenarioResult, SweepResult, run_sweep
@@ -31,8 +36,10 @@ from repro.sweep.planner import DEFAULT_TARGETS, ScenarioPlan, SweepPlan, plan_s
 from repro.sweep.report import (
     SWEEP_REPORT_SCHEMA_VERSION,
     build_report,
+    confidence_interval,
     render_markdown,
     scenario_metrics,
+    t_critical_95,
     write_json_report,
 )
 
@@ -50,9 +57,11 @@ __all__ = [
     "SweepResult",
     "apply_overrides",
     "build_report",
+    "confidence_interval",
     "plan_sweep",
     "render_markdown",
     "run_sweep",
     "scenario_metrics",
+    "t_critical_95",
     "write_json_report",
 ]

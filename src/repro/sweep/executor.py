@@ -26,6 +26,18 @@ Executors:
   which is what makes cross-process reuse safe (atomic writes,
   hash-verified reads).  Requires the default stage DAG (a custom
   ``stages`` list may close over unpicklable state).
+* ``"cluster"`` — scenarios run on cooperating worker *processes*
+  coordinated through a durable task queue (``queue_dir``); see
+  :mod:`repro.cluster`.  Requires a shared ``cache_dir`` and the
+  default stage DAG.  ``workers`` spawns that many local drain-mode
+  workers; external ``repro worker`` processes can join the same queue.
+
+Cache hygiene: ``cache_budget_bytes`` prunes the shared cache down to
+the budget after every wave (age-then-LRU, the ``repro cache prune``
+logic), so long campaigns stay inside a disk quota.  A budget tight
+enough to evict artifacts a *later* wave still needs trades the
+exactly-once guarantee for the quota — the recompute shows up in the
+per-fingerprint counters, never as an error.
 
 Failure isolation: a scenario that raises is recorded as ``"failed"``
 with its error message; every other scenario still runs.  A rerun of
@@ -49,7 +61,7 @@ from repro.pipeline.stages import propagation_parallelism
 from repro.sweep.grid import Scenario, SweepGrid
 from repro.sweep.planner import DEFAULT_TARGETS, ScenarioPlan, SweepPlan, plan_sweep
 
-_EXECUTORS = ("serial", "thread", "process")
+_EXECUTORS = ("serial", "thread", "process", "cluster")
 
 
 @dataclass
@@ -243,6 +255,10 @@ def run_sweep(
     workers: Optional[int] = None,
     stages: Optional[Sequence[StageSpec]] = None,
     propagation_workers: Optional[int] = None,
+    queue_dir: Optional[str] = None,
+    cache_budget_bytes: Optional[int] = None,
+    lease_seconds: float = 30.0,
+    wave_timeout: Optional[float] = None,
 ) -> SweepResult:
     """Run every scenario of a grid over one shared artifact cache.
 
@@ -255,12 +271,17 @@ def run_sweep(
     Without ``cache_dir`` nothing can be shared: the sweep degenerates
     to independent full runs (one wave), which is exactly the baseline
     the ``sweep_grid`` benchmark measures the cache against.
+
+    ``executor="cluster"`` hands the waves to the durable task queue in
+    ``queue_dir`` (see :mod:`repro.cluster`); ``workers`` then counts
+    spawned local worker processes.  ``cache_budget_bytes`` prunes the
+    cache to the budget after every wave barrier.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
-    if executor == "process" and stages is not None:
+    if executor in ("process", "cluster") and stages is not None:
         raise ValueError(
-            "executor='process' supports only the default stage DAG "
+            f"executor={executor!r} supports only the default stage DAG "
             "(custom stage lists may not survive pickling)"
         )
     if executor != "serial" and propagation_workers:
@@ -272,6 +293,31 @@ def run_sweep(
         raise ValueError(
             "propagation_workers requires executor='serial' (scenario-level "
             "parallelism cannot nest per-scenario process pools)"
+        )
+    if queue_dir is not None and executor != "cluster":
+        raise ValueError("queue_dir only applies to executor='cluster'")
+    if cache_budget_bytes is not None and cache_dir is None:
+        raise ValueError("cache_budget_bytes requires a cache_dir to prune")
+    if executor == "cluster":
+        if queue_dir is None:
+            raise ValueError("executor='cluster' requires a queue_dir")
+        if cache_dir is None:
+            raise ValueError(
+                "executor='cluster' requires a shared cache_dir (workers "
+                "exchange artifacts through it)"
+            )
+        # Imported lazily: the cluster package imports this module back.
+        from repro.cluster.coordinator import run_distributed_sweep
+
+        return run_distributed_sweep(
+            grid,
+            queue_dir=queue_dir,
+            cache_dir=cache_dir,
+            targets=targets,
+            local_workers=workers,
+            lease_seconds=lease_seconds,
+            cache_budget_bytes=cache_budget_bytes,
+            wave_timeout=wave_timeout,
         )
     if isinstance(grid, SweepPlan):
         plan = grid
@@ -292,6 +338,10 @@ def run_sweep(
     with propagation_context:
         for wave in waves:
             _run_wave(wave, cache_str, plan.targets, executor, workers, stages, outcomes)
+            if cache_budget_bytes is not None and cache_str is not None:
+                from repro.pipeline import ArtifactCache
+
+                ArtifactCache.from_spec(cache_str).prune(max_bytes=cache_budget_bytes)
     elapsed = time.perf_counter() - started
 
     results = [outcomes[p.scenario_id] for p in plan.plans]

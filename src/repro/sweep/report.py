@@ -7,11 +7,13 @@ cross-scenario report:
 * a **delta table** per metric — min, max, spread and the per-scenario
   values — separating the metrics that actually respond to the swept
   axes from the ones that stay constant,
-* **seed-variance flags** — scenarios that differ *only* in a seed axis
-  (``seed`` or any ``*.seed`` field) are grouped, and every metric that
-  varies within such a group is flagged: at fixed configuration those
-  numbers are sampling noise, and any claim built on them needs more
-  seeds, and
+* **seed-variance statistics** — scenarios that differ *only* in a seed
+  axis (``seed`` or any ``*.seed`` field) are grouped; every metric that
+  varies within such a group is flagged (at fixed configuration those
+  numbers are sampling noise) and reported as a **t-based 95%
+  confidence interval** (mean ± t·s/√n across the repeated-seed cells),
+  so a claim like "metric X responds to axis Y" can be checked against
+  the interval instead of a yes/no flag, and
 * the **cache accounting** of the execution (computed vs cached stage
   invocations, duplicate-compute check).
 
@@ -30,7 +32,63 @@ from repro.sweep.executor import ScenarioResult, SweepResult
 from repro.sweep.grid import SweepGrid
 
 #: Bump when the sweep report JSON layout changes incompatibly.
-SWEEP_REPORT_SCHEMA_VERSION = 1
+#: v2: seed-variance groups gained per-metric t-based confidence
+#: intervals (``metrics`` mapping inside each group).
+SWEEP_REPORT_SCHEMA_VERSION = 2
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+#: Seed groups are small (a handful of repeats), exactly where the
+#: normal approximation is badly anti-conservative — hence t.
+_T_95: Dict[int, float] = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """The two-sided 95% t quantile for ``df`` degrees of freedom.
+
+    Between table rows the quantile of the largest tabulated df *not
+    exceeding* the request is used — t decreases in df, so rounding the
+    df down rounds the quantile (and every interval built from it)
+    **up**: never anti-conservative.  df beyond the table keeps the
+    df=120 value (1.980, a hair above the 1.960 normal tail).
+    """
+    if df < 1:
+        raise ValueError("confidence intervals need at least 2 samples")
+    if df in _T_95:
+        return _T_95[df]
+    floor = max(bound for bound in _T_95 if bound <= df)
+    return _T_95[floor]
+
+
+def confidence_interval(values: Sequence[float]) -> Dict[str, float]:
+    """t-based mean ± 95% CI of one metric across repeated-seed cells.
+
+    Returns ``{n, mean, stddev, ci95_half_width, ci95_low, ci95_high}``
+    with the *sample* standard deviation (n-1 denominator).  Needs at
+    least two values — one seed is a point estimate, not a sample.
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("confidence intervals need at least 2 samples")
+    mean = sum(values) / n
+    variance = sum((value - mean) ** 2 for value in values) / (n - 1)
+    stddev = variance ** 0.5
+    half_width = t_critical_95(n - 1) * stddev / n ** 0.5
+    return {
+        "n": n,
+        "mean": mean,
+        "stddev": stddev,
+        "ci95_half_width": half_width,
+        "ci95_low": mean - half_width,
+        "ci95_high": mean + half_width,
+    }
 
 
 def scenario_metrics(result: ScenarioResult) -> Dict[str, float]:
@@ -102,12 +160,22 @@ def _seed_variance(
             if len({metrics.get(name) for metrics in metric_sets}) > 1
         ]
         varying_union.update(varying)
+        intervals: Dict[str, Dict[str, float]] = {}
+        for name in names:
+            values = [
+                metrics[name]
+                for metrics in metric_sets
+                if isinstance(metrics.get(name), (int, float))
+            ]
+            if len(values) >= 2:
+                intervals[name] = confidence_interval(values)
         reported.append(
             {
                 "fixed": {field: value for field, value in fixed},
                 "scenario_ids": [m.scenario_id for m in members],
                 "varying_metrics": varying,
                 "stable_metric_count": len(names) - len(varying),
+                "metrics": intervals,
             }
         )
     return {
@@ -197,8 +265,8 @@ def render_markdown(report: Dict[str, object]) -> str:
         # design; only a cached sweep promises exactly-once.
         lines.append(
             f"**Warning:** {len(cache['duplicate_computes'])} fingerprints "
-            "were computed more than once (a scenario failure broke the "
-            "exactly-once schedule)."
+            "were computed more than once (a scenario failure or a "
+            "cache-budget eviction broke the exactly-once schedule)."
         )
     if cache["fully_cached"]:
         lines.append("Fully cached: nothing was recomputed.")
@@ -261,10 +329,10 @@ def render_markdown(report: Dict[str, object]) -> str:
         )
     else:
         lines.append(
-            "Metrics that change when **only the seed** changes (sampling "
-            "noise — conclusions about them need more seeds):"
+            "Metrics that change when **only the seed** changes are sampling "
+            "noise; across the repeated-seed cells they are estimated as "
+            "t-based mean ± 95% CI:"
         )
-        lines.append("")
         for group in variance["groups"]:
             if not group["varying_metrics"]:
                 continue
@@ -275,10 +343,28 @@ def render_markdown(report: Dict[str, object]) -> str:
                 )
                 or "(base config)"
             )
-            lines.append(
-                f"- at {fixed}: "
-                + ", ".join(f"`{name}`" for name in group["varying_metrics"])
-            )
+            lines.append("")
+            lines.append(f"At {fixed} ({len(group['scenario_ids'])} seeds):")
+            lines.append("")
+            lines.append("| metric | n | mean | ± 95% CI | interval |")
+            lines.append("|---|---:|---:|---:|---:|")
+            for name in group["varying_metrics"]:
+                interval = group["metrics"].get(name)
+                if interval is None:
+                    continue
+                lines.append(
+                    f"| `{name}` | {interval['n']} "
+                    f"| {_format_value(interval['mean'])} "
+                    f"| {_format_value(interval['ci95_half_width'])} "
+                    f"| [{_format_value(interval['ci95_low'])}, "
+                    f"{_format_value(interval['ci95_high'])}] |"
+                )
+            stable = group["stable_metric_count"]
+            if stable:
+                lines.append("")
+                lines.append(
+                    f"{stable} further metrics are seed-stable in this group."
+                )
     lines.append("")
 
     failures: Dict[str, str] = report["failures"]

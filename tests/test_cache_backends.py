@@ -1,0 +1,424 @@
+"""CacheBackend conformance suite + ArtifactCache over every backend.
+
+Every backend must satisfy the same contract
+(:mod:`repro.cluster.backends`): atomic ``put``, atomic test-and-set
+``put_if_absent`` (the distributed dedupe primitive), truthful ``stat``
+sizes, prefix ``list``, advisory ``touch`` and a store-scoped ``lock``.
+The suite runs identically against the directory backend, the SQLite
+object store and the in-memory reference — a new backend earns its
+place by passing it unchanged.
+
+On top of the raw contract, the ArtifactCache must behave identically
+over any backend (store/load/verify/stats/prune, warm pipeline runs),
+and the hygiene commands must tolerate caches whose advisory index is
+stale, missing or written by someone else — sizes always come from
+``stat`` of the object itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.backends import (
+    LocalDirectoryBackend,
+    MemoryBackend,
+    SQLiteObjectStoreBackend,
+    open_backend,
+)
+from repro.pipeline import ArtifactCache
+from repro.pipeline.artifacts import INDEX_FILENAME
+
+BACKENDS = ("directory", "sqlite", "memory")
+
+
+def make_backend(kind: str, tmp_path):
+    if kind == "directory":
+        return LocalDirectoryBackend(tmp_path / "store")
+    if kind == "sqlite":
+        return SQLiteObjectStoreBackend(tmp_path / "store.sqlite")
+    return MemoryBackend()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    return make_backend(request.param, tmp_path)
+
+
+class TestConformance:
+    def test_get_missing_is_none(self, backend):
+        assert backend.get("alpha/missing.pkl") is None
+        assert backend.stat("alpha/missing.pkl") is None
+        assert not backend.exists("alpha/missing.pkl")
+
+    def test_put_get_roundtrip(self, backend):
+        backend.put("alpha/a.pkl", b"payload")
+        assert backend.get("alpha/a.pkl") == b"payload"
+        assert backend.exists("alpha/a.pkl")
+        assert backend.stat("alpha/a.pkl").size == len(b"payload")
+
+    def test_put_overwrites(self, backend):
+        backend.put("alpha/a.pkl", b"one")
+        backend.put("alpha/a.pkl", b"two-longer")
+        assert backend.get("alpha/a.pkl") == b"two-longer"
+        assert backend.stat("alpha/a.pkl").size == len(b"two-longer")
+
+    def test_put_if_absent_first_wins(self, backend):
+        assert backend.put_if_absent("alpha/a.pkl", b"winner")
+        assert not backend.put_if_absent("alpha/a.pkl", b"loser")
+        assert backend.get("alpha/a.pkl") == b"winner"
+
+    def test_put_if_absent_after_delete_stores_again(self, backend):
+        backend.put_if_absent("alpha/a.pkl", b"one")
+        assert backend.delete("alpha/a.pkl")
+        assert backend.put_if_absent("alpha/a.pkl", b"two")
+        assert backend.get("alpha/a.pkl") == b"two"
+
+    def test_delete_reports_existence(self, backend):
+        backend.put("alpha/a.pkl", b"x")
+        assert backend.delete("alpha/a.pkl")
+        assert not backend.delete("alpha/a.pkl")
+        assert backend.get("alpha/a.pkl") is None
+
+    def test_list_prefix_and_sorting(self, backend):
+        backend.put("beta/b.pkl", b"x")
+        backend.put("alpha/a.pkl", b"x")
+        backend.put("alpha/a.json", b"x")
+        backend.put("top-level.json", b"x")
+        assert backend.list() == [
+            "alpha/a.json", "alpha/a.pkl", "beta/b.pkl", "top-level.json",
+        ]
+        assert backend.list(prefix="alpha/") == ["alpha/a.json", "alpha/a.pkl"]
+
+    def test_touch_bumps_mtime(self, backend):
+        backend.put("alpha/a.pkl", b"x")
+        before = backend.stat("alpha/a.pkl").mtime
+        # Force a visible clock difference regardless of fs granularity.
+        if isinstance(backend, LocalDirectoryBackend):
+            import os
+
+            old = before - 3600
+            os.utime(backend.root / "alpha" / "a.pkl", (old, old))
+            before = backend.stat("alpha/a.pkl").mtime
+            backend.touch("alpha/a.pkl")
+            assert backend.stat("alpha/a.pkl").mtime > before + 1800
+        else:
+            backend.touch("alpha/a.pkl")
+            assert backend.stat("alpha/a.pkl").mtime >= before
+
+    def test_key_validation(self, backend):
+        for bad in ("", "/abs.pkl", "a//b.pkl", "../escape.pkl", "a/../b.pkl",
+                    "a\\b.pkl", "./a.pkl", "a/./b.pkl", "."):
+            with pytest.raises(ValueError):
+                backend.put(bad, b"x")
+
+    def test_scan_matches_list_plus_stat(self, backend):
+        backend.put("alpha/a.pkl", b"x" * 10)
+        backend.put("alpha/a.json", b"y" * 5)
+        backend.put("beta/b.pkl", b"z" * 20)
+        scanned = backend.scan()
+        assert [key for key, _ in scanned] == backend.list()
+        for key, stat in scanned:
+            assert stat == backend.stat(key)
+        assert [key for key, _ in backend.scan(prefix="alpha/")] == [
+            "alpha/a.json", "alpha/a.pkl",
+        ]
+
+    def test_list_prefix_is_literal_not_a_pattern(self, backend):
+        """SQL-wildcard characters in a prefix must match literally."""
+        backend.put("a%b/x.pkl", b"x")
+        backend.put("axb/y.pkl", b"y")
+        assert backend.list(prefix="a%b/") == ["a%b/x.pkl"]
+        assert [key for key, _ in backend.scan(prefix="a%b/")] == ["a%b/x.pkl"]
+
+    def test_concurrent_put_if_absent_single_winner(self, backend):
+        """The dedupe primitive: N racing writers, exactly one victory,
+        and the stored bytes are the winner's."""
+        results = {}
+        barrier = threading.Barrier(8)
+
+        def contender(index: int) -> None:
+            barrier.wait()
+            results[index] = backend.put_if_absent(
+                "alpha/contested.pkl", f"writer-{index}".encode()
+            )
+
+        threads = [
+            threading.Thread(target=contender, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [index for index, won in results.items() if won]
+        assert len(winners) == 1
+        assert backend.get("alpha/contested.pkl") == f"writer-{winners[0]}".encode()
+
+    def test_lock_serializes_read_modify_write(self, backend):
+        """Unlocked RMW of one object loses updates; under the backend
+        lock every increment must survive."""
+        backend.put("counter.json", b"0")
+
+        def bump() -> None:
+            for _ in range(25):
+                with backend.lock():
+                    value = int(backend.get("counter.json"))
+                    backend.put("counter.json", str(value + 1).encode())
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert backend.get("counter.json") == b"100"
+
+
+class TestSqliteTouchDebounce:
+    def test_stale_entries_bump_fresh_entries_stay_read_only(self, tmp_path):
+        import time
+
+        backend = SQLiteObjectStoreBackend(tmp_path / "store.sqlite")
+        backend.put("alpha/x.pkl", b"v")
+        fresh = backend.stat("alpha/x.pkl").mtime
+        backend.touch("alpha/x.pkl")  # debounced: no write
+        assert backend.stat("alpha/x.pkl").mtime == fresh
+        old = time.time() - 10 * backend.TOUCH_DEBOUNCE_SECONDS
+        with backend._connect() as conn:
+            conn.execute("UPDATE objects SET last_used = ?", (old,))
+        backend.touch("alpha/x.pkl")  # stale: really bumps
+        assert backend.stat("alpha/x.pkl").mtime > old + backend.TOUCH_DEBOUNCE_SECONDS
+
+
+class TestHardlinkFreeFallback:
+    def test_put_if_absent_without_os_link(self, tmp_path, monkeypatch):
+        """Filesystems without hardlink support (exFAT, some mounts)
+        must keep the single-winner put-if-absent semantics through the
+        exclusive-create fallback — a plain store must not regress into
+        BackendError."""
+        import repro.cluster.backends as backends_module
+
+        def no_link(src, dst, **kwargs):
+            raise OSError(1, "Operation not permitted")  # EPERM
+
+        monkeypatch.setattr(backends_module.os, "link", no_link)
+        backend = LocalDirectoryBackend(tmp_path / "store")
+        assert backend.put_if_absent("alpha/a.pkl", b"winner")
+        assert not backend.put_if_absent("alpha/a.pkl", b"loser")
+        assert backend.get("alpha/a.pkl") == b"winner"
+        # The ArtifactCache store path (put_if_absent + adoption) works.
+        cache = ArtifactCache(backend=backend)
+        cache.store("beta", "b" * 64, {"x": 1}, code_version="1")
+        assert cache.load("beta", "b" * 64)[0] == {"x": 1}
+
+
+class TestOrphanedTempFileCollection:
+    def test_stale_temp_files_are_collected_by_scan(self, tmp_path):
+        """A writer SIGKILLed mid-put leaves a dot-prefixed temp file
+        that list() hides; the hygiene scan must collect old ones so a
+        budgeted cache cannot leak invisible disk — while in-flight
+        (recent) temp files and the lock file are untouched."""
+        import os
+        import time
+
+        backend = LocalDirectoryBackend(tmp_path / "store")
+        backend.put("alpha/a.pkl", b"x")
+        with backend.lock():
+            pass  # materialize the lock file
+        stage_dir = backend.root / "alpha"
+        stale = stage_dir / ".a.pkl.orphan"
+        stale.write_bytes(b"big orphan payload")
+        old = time.time() - 2 * backend.TEMP_GC_AGE_SECONDS
+        os.utime(stale, (old, old))
+        fresh = stage_dir / ".b.pkl.inflight"
+        fresh.write_bytes(b"in-flight write")
+        lock = backend.root / backend.LOCK_FILENAME
+        assert lock.exists()
+
+        backend.scan()
+        assert not stale.exists()
+        assert fresh.exists()
+        assert lock.exists()
+        assert backend.get("alpha/a.pkl") == b"x"
+
+
+class TestOpenBackend:
+    def test_directory_spec(self, tmp_path):
+        backend = open_backend(tmp_path / "cache")
+        assert isinstance(backend, LocalDirectoryBackend)
+
+    def test_sqlite_suffix_spec(self, tmp_path):
+        backend = open_backend(tmp_path / "cache.sqlite")
+        assert isinstance(backend, SQLiteObjectStoreBackend)
+
+    def test_sqlite_url_spec(self, tmp_path):
+        backend = open_backend(f"sqlite://{tmp_path / 'store.db'}")
+        assert isinstance(backend, SQLiteObjectStoreBackend)
+        assert backend.path == tmp_path / "store.db"
+
+    def test_existing_file_is_sniffed_as_sqlite(self, tmp_path):
+        """A cache written by the sqlite backend under an extension-less
+        name must still open as sqlite (tolerating the other backend)."""
+        path = tmp_path / "store.db"
+        SQLiteObjectStoreBackend(path).put("alpha/a.pkl", b"x")
+        backend = open_backend(path)
+        assert isinstance(backend, SQLiteObjectStoreBackend)
+        assert backend.get("alpha/a.pkl") == b"x"
+
+    def test_backend_instance_passes_through(self):
+        backend = MemoryBackend()
+        assert open_backend(backend) is backend
+
+
+@pytest.fixture(params=("directory", "sqlite", "memory"))
+def cache(request, tmp_path):
+    return ArtifactCache(backend=make_backend(request.param, tmp_path))
+
+
+class TestArtifactCacheOverBackends:
+    def test_store_load_verify(self, cache):
+        record = cache.store("alpha", "f" * 64, {"x": 1}, code_version="1")
+        assert cache.contains("alpha", "f" * 64)
+        loaded = cache.load("alpha", "f" * 64)
+        assert loaded[0] == {"x": 1}
+        assert loaded[1].payload_sha256 == record.payload_sha256
+
+    def test_concurrent_identical_store_dedupes(self, cache):
+        """Two workers publishing the same fingerprint: the second store
+        adopts the first write (same payload hash) instead of rewriting."""
+        first = cache.store("alpha", "a" * 64, {"x": 1}, code_version="1")
+        second = cache.store("alpha", "a" * 64, {"x": 1}, code_version="1")
+        assert second.payload_sha256 == first.payload_sha256
+        assert second.created_at == first.created_at  # adopted, not rewritten
+        assert cache.load("alpha", "a" * 64)[0] == {"x": 1}
+
+    def test_corrupt_entry_is_repaired_by_store(self, cache):
+        cache.store("alpha", "a" * 64, {"x": 1}, code_version="1")
+        cache.backend.put(f"alpha/{'a' * 64}.pkl", b"corrupted!")
+        assert cache.load("alpha", "a" * 64) is None
+        cache.store("alpha", "a" * 64, {"x": 2}, code_version="1")
+        assert cache.load("alpha", "a" * 64)[0] == {"x": 2}
+
+    def test_stats_and_prune(self, cache):
+        cache.store("alpha", "a" * 64, b"x" * 100, code_version="1")
+        cache.store("beta", "b" * 64, b"y" * 1000, code_version="1")
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert set(stats.per_stage) == {"alpha", "beta"}
+        assert stats.total_bytes > 1100  # payloads + sidecars, stat'd
+        report = cache.prune(max_bytes=0)
+        assert report.remaining_entries == 0
+        assert cache.stats().entries == 0
+
+    def test_entries_listing(self, cache):
+        cache.store("alpha", "a" * 64, b"x", code_version="1")
+        cache.store("alpha", "b" * 64, b"x", code_version="1")
+        assert cache.entries() == {"alpha": ["a" * 64, "b" * 64]}
+
+
+class TestStaleIndexTolerance:
+    """`repro cache stats|prune` must survive advisory-index rot
+    (entries for artifacts that no longer exist, artifacts the index
+    never heard of, missing sidecars) with true stat-based sizes."""
+
+    def test_index_entries_for_missing_artifacts_are_ignored(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("alpha", "a" * 64, b"x" * 100, code_version="1")
+        index = {
+            "layout_version": 1,
+            "entries": {f"ghost/{'0' * 64}": 1.0, f"alpha/{'a' * 64}": 2.0},
+        }
+        (tmp_path / INDEX_FILENAME).write_text(json.dumps(index))
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert "ghost" not in stats.per_stage
+        report = cache.prune(max_bytes=0)  # must not crash on the ghost
+        assert report.remaining_entries == 0
+
+    def test_artifacts_unknown_to_index_get_statted_sizes(self, tmp_path):
+        """An artifact written by another process/backend (index never
+        updated) is sized by stat, not treated as zero bytes."""
+        cache = ArtifactCache(tmp_path)
+        cache.store("alpha", "a" * 64, b"x" * 500, code_version="1")
+        (tmp_path / INDEX_FILENAME).unlink()  # the whole index is lost
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.per_stage["alpha"]["bytes"] >= 500
+        assert stats.total_bytes >= 500
+
+    def test_payload_without_sidecar_is_still_counted(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("alpha", "a" * 64, b"x" * 300, code_version="1")
+        cache.meta_path("alpha", "a" * 64).unlink()
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.per_stage["alpha"]["bytes"] >= 300
+        # And pruning the sidecar-less entry works.
+        report = cache.prune(max_bytes=0)
+        assert report.remaining_entries == 0
+
+    def test_cli_stats_on_non_database_file_errors_cleanly(self, tmp_path, capsys):
+        """A regular file that is not a SQLite store must produce the
+        CLI's clean error contract, not a BackendError traceback."""
+        from repro.cli import main
+
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("not a database")
+        assert main(["cache", "stats", "--cache-dir", str(bogus)]) == 2
+        assert "cannot open cache" in capsys.readouterr().err
+
+    def test_pruned_sqlite_store_releases_disk(self, tmp_path):
+        """--cache-budget-bytes must bound the actual file size: with
+        FULL auto-vacuum a pruned store shrinks instead of keeping its
+        peak size forever."""
+        spec = tmp_path / "cache.sqlite"
+        cache = ArtifactCache.from_spec(spec)
+        for index in range(20):
+            cache.store("alpha", f"{index:064x}", b"x" * 50_000, code_version="1")
+        peak = spec.stat().st_size
+        assert peak > 20 * 50_000
+        cache.prune(max_bytes=0)
+        assert cache.stats().entries == 0
+        assert spec.stat().st_size < peak / 4
+
+    def test_cli_stats_and_prune_on_sqlite_cache(self, tmp_path, capsys):
+        """The hygiene CLI auto-detects the object-store backend."""
+        from repro.cli import main
+
+        spec = str(tmp_path / "cache.sqlite")
+        cache = ArtifactCache.from_spec(spec)
+        cache.store("alpha", "a" * 64, b"x" * 100, code_version="1")
+        assert main(["cache", "stats", "--cache-dir", spec, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 100
+        assert main(["cache", "prune", "--cache-dir", spec, "--max-bytes", "0"]) == 0
+        assert "removed 1 artifacts" in capsys.readouterr().out
+        assert ArtifactCache.from_spec(spec).stats().entries == 0
+
+
+class TestPipelineOverSqliteBackend:
+    def test_warm_rerun_fully_cached_and_identical(self, tmp_path):
+        """The staged pipeline over the object-store backend: cold run
+        computes, warm run reuses everything, reports bit-identical."""
+        from repro.datasets import DatasetConfig
+        from repro.pipeline import PipelineConfig, run_pipeline
+        from repro.topology.generator import TopologyConfig
+
+        config = PipelineConfig(
+            dataset=DatasetConfig(
+                topology=TopologyConfig(
+                    seed=5, tier1_count=3, tier2_count=8, tier3_count=20
+                ),
+                seed=5,
+                vantage_points=4,
+            ),
+            top=2,
+            max_sources=10,
+        )
+        spec = str(tmp_path / "cache.sqlite")
+        cold = run_pipeline(config, cache_dir=spec, targets=("section3",))
+        warm = run_pipeline(config, cache_dir=spec, targets=("section3",))
+        assert warm.computed_stages() == []
+        assert warm.value("section3").as_dict() == cold.value("section3").as_dict()

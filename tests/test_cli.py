@@ -193,7 +193,9 @@ class TestSweepCommand:
         assert "shared" in output
         text = json_path.read_text()
         report = json.loads(text)
-        assert report["schema_version"] == 1
+        from repro.sweep import SWEEP_REPORT_SCHEMA_VERSION
+
+        assert report["schema_version"] == SWEEP_REPORT_SCHEMA_VERSION
         assert len(report["scenarios"]) == 4
         assert report["cache"]["duplicate_computes"] == {}
         # Stable serialization: sorted keys, trailing newline.
@@ -228,6 +230,94 @@ class TestSweepCommand:
             ["sweep", "--grid", grid, "--cache-dir", cache_dir, "--executor", "serial"]
         ) == 0
         assert "fully cached: nothing was recomputed" in capsys.readouterr().out
+
+
+class TestDistributedSweepOptions:
+    def test_worker_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_distributed_requires_queue_dir(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(
+            ["sweep", "--grid", grid, "--distributed",
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 2
+        assert "queue_dir" in capsys.readouterr().err
+
+    def test_distributed_requires_cache_dir(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(
+            ["sweep", "--grid", grid, "--distributed",
+             "--queue-dir", str(tmp_path / "queue")]
+        ) == 2
+        assert "cache_dir" in capsys.readouterr().err
+
+    def test_distributed_conflicts_with_other_executor(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(
+            ["sweep", "--grid", grid, "--distributed", "--executor", "serial",
+             "--queue-dir", str(tmp_path / "q"), "--cache-dir", str(tmp_path / "c")]
+        ) == 2
+        assert "--distributed conflicts" in capsys.readouterr().err
+
+    def test_budget_requires_cache_dir(self, tmp_path, capsys):
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(
+            ["sweep", "--grid", grid, "--executor", "serial",
+             "--cache-budget-bytes", "100"]
+        ) == 2
+        assert "cache_budget_bytes" in capsys.readouterr().err
+
+    def test_workers_flag_rejected_for_distributed(self, tmp_path, capsys):
+        """--workers silently meaning 'zero local workers' would hang
+        the coordinator forever; it must be an explicit error."""
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(
+            ["sweep", "--grid", grid, "--distributed",
+             "--queue-dir", str(tmp_path / "q"),
+             "--cache-dir", str(tmp_path / "c"), "--workers", "2"]
+        ) == 2
+        assert "--local-workers" in capsys.readouterr().err
+
+    def test_cluster_flags_rejected_for_local_executors(self, tmp_path, capsys):
+        """The symmetric silent drop: cluster-only flags on a local
+        executor must error, not be ignored."""
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        assert main(
+            ["sweep", "--grid", grid, "--executor", "serial",
+             "--local-workers", "2"]
+        ) == 2
+        assert "--distributed" in capsys.readouterr().err
+        assert main(
+            ["sweep", "--grid", grid, "--executor", "serial",
+             "--lease-seconds", "10"]
+        ) == 2
+        assert "--distributed" in capsys.readouterr().err
+
+    def test_distributed_sweep_end_to_end(self, tmp_path, capsys):
+        """The CLI spelling of the acceptance run: --distributed with a
+        spawned local worker, report identical in shape to the serial
+        one and exactly-once intact."""
+        grid = _tiny_grid(tmp_path, tops=(2,))
+        json_path = tmp_path / "dist.json"
+        assert main(
+            [
+                "sweep", "--grid", grid, "--distributed",
+                "--queue-dir", str(tmp_path / "queue"),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--local-workers", "1",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "2 scenarios" in output
+        report = json.loads(json_path.read_text())
+        assert report["executor"] == "cluster"
+        assert report["cache"]["duplicate_computes"] == {}
+        assert all(
+            cell["status"] == "ok" for cell in report["scenarios"].values()
+        )
 
 
 class TestCacheCommands:

@@ -1,0 +1,228 @@
+"""Task-queue semantics: claims, leases, heartbeats, retries, drain.
+
+The queue's contract (see :mod:`repro.cluster.queue`): exactly one
+worker holds a task at a time, a dead worker's lease lapses and the
+task is re-claimed with ``attempts`` incremented, attempts are capped
+(``dead``), and every owner-guarded transition rejects a zombie whose
+lease moved on without it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.queue import QueueError, TaskQueue, TaskSpec
+
+
+def spec(task_id: str, wave: int = 0, max_attempts: int = 3) -> TaskSpec:
+    return TaskSpec(
+        task_id=task_id,
+        sweep_id="sweep",
+        wave=wave,
+        scenario_id=f"scenario-{task_id}",
+        config=b"pickled-config",
+        targets=json.dumps(["section3"]),
+        cache_spec="/tmp/cache",
+        max_attempts=max_attempts,
+    )
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    return TaskQueue(tmp_path / "queue.sqlite")
+
+
+class TestLifecycle:
+    def test_claim_complete_roundtrip(self, queue):
+        queue.enqueue([spec("t1")])
+        task = queue.claim("w1", lease_seconds=30)
+        assert task.task_id == "t1"
+        assert task.status == "running"
+        assert task.owner == "w1"
+        assert task.attempts == 1
+        assert task.targets_tuple() == ("section3",)
+        assert queue.claim("w2", lease_seconds=30) is None  # exclusive
+        assert queue.complete("t1", "w1", {"status": "ok"})
+        done = queue.get("t1")
+        assert done.status == "done"
+        assert done.terminal
+        assert done.result == {"status": "ok"}
+
+    def test_claim_order_is_wave_then_fifo(self, queue):
+        queue.enqueue([spec("b", wave=1), spec("a", wave=0), spec("c", wave=0)])
+        claimed = [queue.claim(f"w{i}", 30).task_id for i in range(3)]
+        assert claimed == ["a", "c", "b"]
+
+    def test_duplicate_enqueue_rejected(self, queue):
+        queue.enqueue([spec("t1")])
+        with pytest.raises(QueueError, match="already enqueued"):
+            queue.enqueue([spec("t1")])
+
+    def test_counts_and_tasks_filters(self, queue):
+        queue.enqueue([spec("t1", wave=0), spec("t2", wave=1)])
+        queue.claim("w1", 30)
+        assert queue.counts() == {"pending": 1, "running": 1}
+        assert queue.counts(wave=1) == {"pending": 1}
+        assert [t.task_id for t in queue.tasks(sweep_id="sweep", wave=0)] == ["t1"]
+        assert queue.tasks(sweep_id="other") == []
+
+
+class TestLeases:
+    def test_expired_lease_is_reclaimed_with_attempt_bump(self, queue):
+        queue.enqueue([spec("t1")])
+        first = queue.claim("w1", lease_seconds=30, now=1000.0)
+        assert first.attempts == 1
+        # Within the lease nothing is claimable ...
+        assert queue.claim("w2", lease_seconds=30, now=1010.0) is None
+        # ... after expiry the next claim gets the task back.
+        second = queue.claim("w2", lease_seconds=30, now=1031.0)
+        assert second.task_id == "t1"
+        assert second.owner == "w2"
+        assert second.attempts == 2
+
+    def test_heartbeat_extends_the_lease(self, queue):
+        queue.enqueue([spec("t1")])
+        queue.claim("w1", lease_seconds=5, now=1000.0)
+        assert queue.heartbeat("t1", "w1", lease_seconds=1000)
+        # Far past the original lease, still not claimable.
+        assert queue.claim("w2", lease_seconds=5, now=1500.0) is None
+
+    def test_zombie_cannot_complete_heartbeat_or_fail(self, queue):
+        """A worker that lost its lease must be rejected everywhere."""
+        queue.enqueue([spec("t1")])
+        queue.claim("w1", lease_seconds=30, now=1000.0)
+        reclaimed = queue.claim("w2", lease_seconds=30, now=2000.0)
+        assert reclaimed.owner == "w2"
+        assert not queue.heartbeat("t1", "w1", 30)
+        assert not queue.complete("t1", "w1", {"status": "ok"})
+        assert queue.fail("t1", "w1", "boom") == "lost"
+        # The heir is unaffected.
+        assert queue.complete("t1", "w2", {"status": "ok"})
+
+    def test_attempts_exhaustion_marks_dead(self, queue):
+        queue.enqueue([spec("t1", max_attempts=2)])
+        queue.claim("w1", lease_seconds=10, now=1000.0)
+        queue.claim("w2", lease_seconds=10, now=2000.0)  # attempt 2
+        # Second lease expires too: attempts are exhausted -> dead.
+        assert queue.claim("w3", lease_seconds=10, now=3000.0) is None
+        task = queue.get("t1")
+        assert task.status == "dead"
+        assert task.terminal
+        assert "lease expired" in task.error
+
+    def test_fail_retries_until_attempts_exhausted(self, queue):
+        queue.enqueue([spec("t1", max_attempts=2)])
+        queue.claim("w1", 30)
+        assert queue.fail("t1", "w1", "transient") == "pending"
+        queue.claim("w1", 30)
+        assert queue.fail("t1", "w1", "transient again") == "dead"
+        assert queue.get("t1").status == "dead"
+
+
+class TestControl:
+    def test_open_close_reopen(self, queue):
+        assert queue.state() == "open"
+        queue.close()
+        assert queue.state() == "closed"
+        queue.reopen()
+        assert queue.state() == "open"
+
+    def test_purge_abandoned_keeps_own_rows_and_foreign_dead_only(self, queue):
+        queue.enqueue([spec("mine"), spec("orphan-pending")])
+        # A foreign sweep's rows: done, pending->running, pending, dead.
+        for task_id in ("done-t", "pend-t", "run-t", "dead-t"):
+            queue.enqueue(
+                [TaskSpec(task_id=task_id, sweep_id="old", wave=0,
+                          scenario_id=task_id, config=b"c",
+                          targets=json.dumps(["section3"]), max_attempts=1)]
+            )
+        # drive the rows into a status mix (claims go wave/rowid order)
+        assert queue.claim("w", 30).task_id == "mine"
+        assert queue.claim("w", 30).task_id == "orphan-pending"
+        assert queue.claim("w", 30).task_id == "done-t"
+        queue.complete("done-t", "w", {"status": "ok"})
+        assert queue.claim("w2", 30).task_id == "pend-t"  # now running
+        assert queue.claim("w3", 30).task_id == "run-t"
+        assert queue.fail("run-t", "w3", "boom") == "dead"  # max_attempts=1
+        assert queue.claim("w4", 30).task_id == "dead-t"
+        assert queue.fail("dead-t", "w4", "boom") == "dead"
+        queue.fail("mine", "w", "release")  # back to pending (attempts<max)
+        queue.fail("orphan-pending", "w", "release")
+        # purge as the "sweep" coordinator: its own rows survive;
+        # the foreign sweep keeps only its dead rows (post-mortems) —
+        # done-t (collected long ago), pend-t (running by a worker of
+        # the dead sweep) and nothing else remain to starve the barrier.
+        removed = queue.purge_abandoned("sweep")
+        assert removed == 2  # done-t + pend-t
+        statuses = {t.task_id: t.status for t in queue.tasks()}
+        assert statuses == {
+            "mine": "pending", "orphan-pending": "pending",
+            "run-t": "dead", "dead-t": "dead",
+        }
+
+    def test_closed_queue_still_drains(self, queue):
+        """Close is a drain signal, not an abort: enqueued work still
+        gets claimed and completed."""
+        queue.enqueue([spec("t1")])
+        queue.close()
+        task = queue.claim("w1", 30)
+        assert task is not None
+        assert queue.complete("t1", "w1", {"status": "ok"})
+
+
+class TestWorkerIdleSemantics:
+    def test_running_tasks_block_idle_exit(self, queue, tmp_path):
+        """A sweep in progress (a sibling holding a running task) must
+        not count as idle — long waves cannot shed their worker pool —
+        while an empty queue trips the idle bound promptly."""
+        import threading
+        import time as _time
+
+        from repro.cluster.worker import Worker
+
+        queue.enqueue([spec("t1")])
+        assert queue.claim("sibling", lease_seconds=300).task_id == "t1"
+        worker = Worker(queue, worker_id="idler", poll_interval=0.02)
+        done = threading.Event()
+
+        def run() -> None:
+            worker.run(exit_when_closed=False, max_idle_seconds=0.2)
+            done.set()
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        # Well past the idle bound: the sibling's running task keeps
+        # the idler alive.
+        assert not done.wait(1.0)
+        queue.complete("t1", "sibling", {"status": "ok"})
+        # With no live work left the idle bound fires.
+        assert done.wait(10.0)
+        thread.join()
+
+
+class TestConcurrency:
+    def test_parallel_claims_hand_out_distinct_tasks(self, queue):
+        queue.enqueue([spec(f"t{i}") for i in range(8)])
+        claimed = []
+        claimed_lock = threading.Lock()
+
+        def worker(owner: str) -> None:
+            while True:
+                task = queue.claim(owner, 30)
+                if task is None:
+                    return
+                with claimed_lock:
+                    claimed.append(task.task_id)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == [f"t{i}" for i in range(8)]
+        assert len(set(claimed)) == 8  # nothing claimed twice

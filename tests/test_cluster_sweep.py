@@ -1,0 +1,435 @@
+"""Distributed sweeps: golden parity, exactly-once, crash recovery.
+
+The acceptance criteria of the cluster subsystem:
+
+* a multi-worker distributed run of the golden 2x2 grid is
+  **bit-identical** to the serial sweep, with **exactly-once** stage
+  computation asserted via the cache counters,
+* a worker killed mid-task loses its lease, the task is re-claimed and
+  resumed from the dead worker's cached stages, and the final result is
+  still bit-identical,
+* the wave barrier + durable queue compose with external workers
+  (processes the coordinator did not spawn), and
+* ``cache_budget_bytes`` prunes the shared cache after each wave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.coordinator import queue_path, run_distributed_sweep
+from repro.cluster.queue import TaskQueue, TaskSpec
+from repro.cluster.worker import Worker
+from repro.datasets import DatasetConfig
+from repro.pipeline import ArtifactCache, PipelineConfig, run_pipeline
+from repro.sweep import GridAxis, SweepGrid, run_sweep
+from repro.topology.generator import TopologyConfig
+
+
+def tiny_base(seed: int = 5) -> PipelineConfig:
+    return PipelineConfig(
+        dataset=DatasetConfig(
+            topology=TopologyConfig(
+                seed=seed, tier1_count=3, tier2_count=8, tier3_count=20
+            ),
+            seed=seed,
+            vantage_points=4,
+        ),
+        top=3,
+        max_sources=10,
+    )
+
+
+def two_by_two() -> SweepGrid:
+    """2 seeds x 2 correction depths — the acceptance-criteria grid."""
+    return SweepGrid(
+        tiny_base(),
+        [GridAxis("dataset.seed", (1, 2)), GridAxis("top", (2, 3))],
+    )
+
+
+def cells(result):
+    return {r.scenario_id: (r.section3, r.correction) for r in result.results}
+
+
+class TestDistributedGolden2x2:
+    def test_two_worker_run_matches_serial_with_exactly_once(self, tmp_path):
+        """The acceptance criterion: 2 spawned worker processes, golden
+        2x2 grid, bit-identical cells, exactly-once via counters."""
+        grid = two_by_two()
+        serial = run_sweep(grid, cache_dir=tmp_path / "serial-cache", executor="serial")
+        distributed = run_distributed_sweep(
+            grid,
+            queue_dir=tmp_path / "queue",
+            cache_dir=tmp_path / "cluster-cache",
+            local_workers=2,
+            lease_seconds=30.0,
+            poll_interval=0.05,
+        )
+        assert [r.status for r in distributed.results] == ["ok"] * 4
+        assert distributed.executor == "cluster"
+        assert cells(distributed) == cells(serial)
+        # Exactly-once: no fingerprint computed twice, and the computed
+        # count equals the planner's distinct count.
+        assert distributed.duplicate_computes() == {}
+        counters = distributed.cache_counters()
+        assert counters["computed"] == distributed.plan.distinct_stage_invocations()
+        assert (
+            counters["computed"] + counters["cached"]
+            == distributed.plan.total_stage_invocations()
+        )
+        # Every task was processed on the first attempt (no lease churn)
+        # and every wave respected the barrier ordering.
+        tasks = TaskQueue(queue_path(tmp_path / "queue")).tasks()
+        assert [t.status for t in tasks] == ["done"] * 4
+        assert all(t.attempts == 1 for t in tasks)
+        assert distributed.waves == [[p.scenario_id for p in w] for w in distributed.plan.waves]
+
+    def test_run_sweep_cluster_executor_round_trip(self, tmp_path):
+        """The run_sweep(executor='cluster') wiring: same grid, one
+        spawned worker, warm rerun over the **same queue directory**
+        (the resume workflow — the first run closed the queue, the
+        second must reopen it) and the same cache is fully cached."""
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2, 3))])
+        cold = run_sweep(
+            grid,
+            cache_dir=tmp_path / "cache",
+            executor="cluster",
+            queue_dir=tmp_path / "queue",
+            workers=1,
+        )
+        assert not cold.failed()
+        warm = run_sweep(
+            grid,
+            cache_dir=tmp_path / "cache",
+            executor="cluster",
+            queue_dir=tmp_path / "queue",
+            workers=1,
+        )
+        assert warm.fully_cached()
+        assert cells(warm) == cells(cold)
+
+    def test_orphaned_tasks_of_dead_coordinator_are_purged(self, tmp_path):
+        """A coordinator that died without cleanup leaves non-terminal
+        tasks behind; the next coordinator must purge them instead of
+        letting workers burn scenario runtimes on results nobody will
+        collect — while keeping terminal rows as post-mortems."""
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        queue = TaskQueue(queue_path(queue_dir))
+        queue.enqueue(
+            [
+                TaskSpec(
+                    task_id="dead-sweep/0/ghost",
+                    sweep_id="dead-sweep",
+                    wave=0,
+                    scenario_id="ghost",
+                    config=pickle.dumps(tiny_base()),
+                    targets=json.dumps(["section3"]),
+                    cache_spec=str(tmp_path / "cache"),
+                )
+            ]
+        )
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        result = run_distributed_sweep(
+            grid,
+            queue_dir=queue_dir,
+            cache_dir=tmp_path / "cache",
+            local_workers=1,
+            poll_interval=0.05,
+        )
+        assert not result.failed()
+        # The orphan is gone (never executed), the live sweep's row is
+        # kept as a terminal post-mortem record.
+        remaining = queue.tasks()
+        assert [t.status for t in remaining] == ["done"]
+        assert remaining[0].sweep_id != "dead-sweep"
+
+
+class TestSpawnedWorkerIdentity:
+    def test_worker_ids_unique_across_coordinator_generations(
+        self, tmp_path, monkeypatch
+    ):
+        """An orphan of a SIGKILLed coordinator must never share a
+        worker id with a successor's worker — the queue's owner guards
+        fence zombies by id."""
+        import repro.cluster.coordinator as coordinator_module
+
+        captured = []
+
+        class FakeProcess:
+            def poll(self):
+                return 0
+
+            def wait(self, timeout=None):
+                return 0
+
+        def fake_popen(cmd, **kwargs):
+            captured.append(cmd[cmd.index("--worker-id") + 1])
+            return FakeProcess()
+
+        monkeypatch.setattr(coordinator_module.subprocess, "Popen", fake_popen)
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        for _ in range(2):  # two coordinator generations
+            coordinator_module.spawn_local_worker(queue_dir, 0, 30.0)
+        assert len(captured) == 2
+        assert captured[0] != captured[1]
+        assert all(worker_id.startswith("local-0-") for worker_id in captured)
+
+
+class TestExternalWorkers:
+    def test_coordinator_with_in_process_workers(self, tmp_path):
+        """local_workers=0: the coordinator only enqueues and waits;
+        externally started workers (two in-process threads here, the
+        'other machines' shape) drain the queue."""
+        import threading
+
+        grid = SweepGrid(tiny_base(), [GridAxis("dataset.seed", (1, 2))])
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        queue = TaskQueue(queue_path(queue_dir))
+        workers = [
+            Worker(queue, worker_id=f"external-{i}", lease_seconds=30.0,
+                   poll_interval=0.02)
+            for i in range(2)
+        ]
+        threads = [
+            threading.Thread(target=worker.run, kwargs={"exit_when_closed": True})
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        result = run_distributed_sweep(
+            grid,
+            queue_dir=queue_dir,
+            cache_dir=tmp_path / "cache",
+            local_workers=0,
+            poll_interval=0.02,
+        )
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert [r.status for r in result.results] == ["ok", "ok"]
+        assert result.duplicate_computes() == {}
+
+
+_CRASHY_WORKER_SCRIPT = """
+import dataclasses
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, {source_root!r})
+
+from repro.cluster.worker import Worker
+from repro.pipeline import full_stages
+
+flag = Path({flag!r})
+marker = Path({marker!r})
+
+
+def slow_stages():
+    stages = []
+    for spec in full_stages():
+        if spec.name == "views":
+            original = spec.compute
+
+            def compute(run, _original=original):
+                if flag.exists():
+                    marker.touch()   # tell the test we are mid-task
+                    time.sleep(300)  # ... and hang until SIGKILLed
+                return _original(run)
+
+            spec = dataclasses.replace(spec, compute=compute)
+        stages.append(spec)
+    return stages
+
+
+Worker(
+    {queue!r},
+    worker_id="crashy",
+    lease_seconds=2.0,
+    poll_interval=0.05,
+    stages=slow_stages(),
+).run(max_tasks=1, exit_when_closed=False, max_idle_seconds=60.0)
+"""
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_lease_expires_and_task_is_resumed(self, tmp_path):
+        """Kill a worker mid-task (SIGKILL, no cleanup): the lease must
+        expire, the task must be re-claimed with attempts=2, the heir
+        must resume from the dead worker's cached stages, and the final
+        report must be bit-identical to a standalone run — with no
+        duplicate computes in the heir's accounting."""
+        import repro
+
+        source_root = str(Path(repro.__file__).resolve().parent.parent)
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        queue_file = queue_path(queue_dir)
+        cache_dir = tmp_path / "cache"
+        flag = tmp_path / "hang.flag"
+        marker = tmp_path / "mid-task.marker"
+        flag.touch()
+
+        config = tiny_base()
+        queue = TaskQueue(queue_file)
+        queue.enqueue(
+            [
+                TaskSpec(
+                    task_id="sweep/0/cell",
+                    sweep_id="sweep",
+                    wave=0,
+                    scenario_id="cell",
+                    config=pickle.dumps(config),
+                    targets=json.dumps(["section3"]),
+                    cache_spec=str(cache_dir),
+                    max_attempts=3,
+                )
+            ]
+        )
+
+        script = _CRASHY_WORKER_SCRIPT.format(
+            source_root=source_root,
+            flag=str(flag),
+            marker=str(marker),
+            queue=str(queue_file),
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = source_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while not marker.exists():
+                assert time.monotonic() < deadline, "worker never reached the stage"
+                assert process.poll() is None, "crashy worker exited prematurely"
+                time.sleep(0.05)
+            # Mid-task by construction: claimed, upstream stages cached,
+            # the views stage hanging.  Kill without any cleanup.
+            running = queue.get("sweep/0/cell")
+            assert running.status == "running"
+            assert running.owner == "crashy"
+            assert running.attempts == 1
+            process.send_signal(signal.SIGKILL)
+            process.wait()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        flag.unlink()  # the heir must not hang
+
+        # The dead worker published its completed prefix to the cache.
+        cached_before_recovery = ArtifactCache(cache_dir).entries()
+        assert "store" in cached_before_recovery
+        assert "views" not in cached_before_recovery  # died inside views
+
+        # A healthy worker re-claims after lease expiry and finishes.
+        heir = Worker(queue, worker_id="heir", lease_seconds=30.0, poll_interval=0.05)
+        processed = heir.run(max_tasks=1, exit_when_closed=False, max_idle_seconds=30.0)
+        assert processed == 1
+
+        task = queue.get("sweep/0/cell")
+        assert task.status == "done"
+        assert task.attempts == 2  # the retry, not a silent first run
+        payload = task.result
+        assert payload["status"] == "ok"
+        # Resume, not recompute: everything the dead worker cached was
+        # reused; only the in-flight suffix was computed — exactly once.
+        assert payload["stage_statuses"]["topology"] == "cached"
+        assert payload["stage_statuses"]["store"] == "cached"
+        assert payload["stage_statuses"]["views"] == "computed"
+        assert payload["stage_statuses"]["section3"] == "computed"
+
+        # And the final grid is bit-identical to a standalone run.
+        reference = run_pipeline(config, targets=("section3",))
+        assert payload["section3"] == reference.value("section3").as_dict()
+
+
+class TestCacheBudget:
+    def test_budget_prunes_after_each_wave(self, tmp_path):
+        """--cache-budget-bytes automation: after the sweep the cache
+        fits the budget; scenarios still all succeed (evictions are
+        misses, never errors)."""
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2, 3))])
+        cache_dir = tmp_path / "cache"
+        result = run_sweep(
+            grid, cache_dir=cache_dir, executor="serial", cache_budget_bytes=1
+        )
+        assert [r.status for r in result.results] == ["ok", "ok"]
+        assert ArtifactCache(cache_dir).stats().total_bytes <= 1
+
+    def test_generous_budget_preserves_exactly_once(self, tmp_path):
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2, 3))])
+        result = run_sweep(
+            grid,
+            cache_dir=tmp_path / "cache",
+            executor="serial",
+            cache_budget_bytes=10 ** 9,
+        )
+        assert result.duplicate_computes() == {}
+        stats = ArtifactCache(tmp_path / "cache").stats()
+        assert 0 < stats.total_bytes <= 10 ** 9
+
+    def test_budget_works_distributed(self, tmp_path):
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        result = run_sweep(
+            grid,
+            cache_dir=tmp_path / "cache",
+            executor="cluster",
+            queue_dir=tmp_path / "queue",
+            workers=1,
+            cache_budget_bytes=1,
+        )
+        assert not result.failed()
+        assert ArtifactCache(tmp_path / "cache").stats().total_bytes <= 1
+
+
+class TestValidation:
+    def test_cluster_requires_queue_dir(self, tmp_path):
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        with pytest.raises(ValueError, match="queue_dir"):
+            run_sweep(grid, cache_dir=tmp_path, executor="cluster")
+
+    def test_cluster_requires_cache_dir(self, tmp_path):
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        with pytest.raises(ValueError, match="cache_dir"):
+            run_sweep(grid, executor="cluster", queue_dir=tmp_path)
+
+    def test_cluster_rejects_custom_stages(self, tmp_path):
+        from repro.pipeline import full_stages
+
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        with pytest.raises(ValueError, match="default stage DAG"):
+            run_sweep(
+                grid,
+                cache_dir=tmp_path / "cache",
+                executor="cluster",
+                queue_dir=tmp_path / "queue",
+                stages=full_stages(),
+            )
+
+    def test_queue_dir_rejected_for_local_executors(self, tmp_path):
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        with pytest.raises(ValueError, match="queue_dir"):
+            run_sweep(grid, executor="serial", queue_dir=tmp_path)
+
+    def test_budget_requires_cache(self):
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2,))])
+        with pytest.raises(ValueError, match="cache_budget_bytes"):
+            run_sweep(grid, executor="serial", cache_budget_bytes=100)
