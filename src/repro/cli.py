@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Six subcommands cover the common workflows without writing any code::
+Seven subcommands cover the common workflows without writing any code::
 
     python -m repro section3  [--small | --paper-scale] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
@@ -10,11 +10,13 @@ Six subcommands cover the common workflows without writing any code::
     python -m repro sweep     --grid grid.json [--cache-dir DIR]
                               [--executor serial|thread|process|cluster]
                               [--distributed --queue-dir DIR
-                               --local-workers N]
+                               --local-workers N --task-timeout S]
                               [--cache-budget-bytes N]
                               [--json PATH] [--markdown PATH]
     python -m repro worker    --queue-dir DIR [--worker-id ID]
                               [--lease-seconds S] [--max-idle-seconds S]
+                              [--task-timeout S]
+    python -m repro queue     status --queue-dir DIR [--json]
     python -m repro cache     stats | prune  --cache-dir DIR
 
 ``section3`` prints the Section-3 statistics table, ``figure2`` prints
@@ -34,7 +36,14 @@ reused — then prints/writes a cross-scenario report.  With
 can join the same queue.  The queue is a SQLite file (WAL mode), so
 sharing it across *machines* requires a filesystem with coherent
 SQLite locking — typical NFS is not; multi-host fan-out beyond that is
-the networked-backend item on the roadmap.  ``cache stats``
+the networked-backend item on the roadmap.  ``queue status`` snapshots
+a live (or finished) queue: per-state counts, running-task lease ages,
+and the dead-letter records of quarantined tasks.  A ``repro worker``
+drains gracefully on SIGTERM — it finishes its current task and exits
+0; a second SIGTERM also releases the in-flight task back to the queue
+(attempt refunded) for an immediate exit.  ``--task-timeout`` arms the
+per-task watchdog that aborts stuck-but-heartbeating attempts (see
+``docs/robustness.md``).  ``cache stats``
 and ``cache prune`` keep those caches from growing unbounded —
 ``--cache-budget-bytes`` automates the prune after every sweep wave.
 Every ``--cache-dir`` is a cache *spec*: a directory (the default
@@ -293,12 +302,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.local_workers is not None
         or args.lease_seconds is not None
         or args.wave_timeout is not None
+        or args.task_timeout is not None
     ):
         # The symmetric silent drop: cluster-only flags on a local
         # executor would be ignored, which reads like they worked.
         print(
-            "error: --local-workers/--lease-seconds/--wave-timeout require "
-            "--distributed (or --executor cluster)",
+            "error: --local-workers/--lease-seconds/--wave-timeout/"
+            "--task-timeout require --distributed (or --executor cluster)",
             file=sys.stderr,
         )
         return 2
@@ -324,6 +334,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache_budget_bytes=args.cache_budget_bytes,
             lease_seconds=args.lease_seconds if args.lease_seconds is not None else 30.0,
             wave_timeout=args.wave_timeout,
+            task_timeout_seconds=args.task_timeout,
         )
     except (ValueError, ClusterError, BackendError) as exc:
         # Invalid option combinations, a cluster that cannot make
@@ -341,6 +352,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         else:
             print(f"[sweep] {scenario.scenario_id:<40} FAILED  {scenario.error}")
+    if result.dead_letters:
+        print(
+            f"[sweep] {len(result.dead_letters)} task(s) quarantined "
+            "(dead letters; full per-attempt history via "
+            "'repro queue status'):"
+        )
+        for letter in result.dead_letters:
+            print(
+                f"[sweep]   {letter['task_id']} after {letter['attempts']} "
+                f"attempt(s): {letter['error']}"
+            )
     counters = result.cache_counters()
     print(
         f"[sweep] {len(result.results)} scenarios in {result.seconds:.2f}s: "
@@ -376,24 +398,100 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
     from repro.cluster.coordinator import queue_path
     from repro.cluster.worker import Worker, default_worker_id
+    from repro.faults.plan import WORKER_ID_ENV
 
     queue_file = queue_path(args.queue_dir)
     worker_id = args.worker_id or default_worker_id()
+    # Exported so fault plans (fault:// cache specs) can target one
+    # worker of a pool deterministically by its id.
+    os.environ[WORKER_ID_ENV] = worker_id
     worker = Worker(
         queue_file,
         worker_id=worker_id,
         lease_seconds=args.lease_seconds,
         poll_interval=args.poll_interval,
+        task_timeout=args.task_timeout,
     )
+
+    def _drain(signum: int, frame: object) -> None:
+        # First SIGTERM: finish the in-flight task, then exit 0.
+        # Second SIGTERM: release the in-flight task back to the queue
+        # (attempt refunded) and exit 0 as soon as it is handed over.
+        if worker.draining:
+            print(
+                f"[worker {worker_id}] second SIGTERM: releasing current task",
+                flush=True,
+            )
+            worker.request_drain(release_current=True)
+        else:
+            print(
+                f"[worker {worker_id}] SIGTERM: draining "
+                "(finishing current task, claiming no more)",
+                flush=True,
+            )
+            worker.request_drain()
+
+    previous = signal.signal(signal.SIGTERM, _drain)
     print(f"[worker {worker_id}] polling {queue_file}", flush=True)
-    processed = worker.run(
-        max_tasks=args.max_tasks,
-        exit_when_closed=not args.keep_alive,
-        max_idle_seconds=args.max_idle_seconds,
-    )
-    print(f"[worker {worker_id}] done: {processed} tasks processed", flush=True)
+    try:
+        processed = worker.run(
+            max_tasks=args.max_tasks,
+            exit_when_closed=not args.keep_alive,
+            max_idle_seconds=args.max_idle_seconds,
+        )
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    verb = "drained" if worker.draining else "done"
+    print(f"[worker {worker_id}] {verb}: {processed} tasks processed", flush=True)
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from repro.cluster.coordinator import queue_path
+    from repro.cluster.queue import TaskQueue
+
+    queue_file = queue_path(args.queue_dir)
+    if not queue_file.exists():
+        # Opening a TaskQueue would *create* an empty queue file — a
+        # read-only status command must not.
+        print(f"error: no task queue at {queue_file}", file=sys.stderr)
+        return 2
+    report = TaskQueue(queue_file).status_report()
+    if args.json:
+        print(
+            json.dumps(
+                {"schema_version": REPORT_SCHEMA_VERSION, **report},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"task queue at {queue_file}")
+    print(f"  state: {report['state']}, {report['total_tasks']} tasks")
+    for status in sorted(report["counts"]):
+        print(f"  {status:<8} {report['counts'][status]}")
+    for row in report["running"]:
+        print(
+            f"  running {row['task_id']} (owner {row['owner']}, attempt "
+            f"{row['attempts']}): {row['seconds_since_update']:.1f}s since "
+            f"last heartbeat, lease expires in "
+            f"{row['lease_seconds_remaining']:.1f}s"
+        )
+    for letter in report["dead_letters"]:
+        print(
+            f"  dead    {letter['task_id']} after {letter['attempts']} "
+            f"attempt(s): {letter['error']}"
+        )
+        for entry in letter["attempts_log"]:
+            print(
+                f"          attempt {entry.get('attempt')} "
+                f"({entry.get('owner')}): {entry.get('error')}"
+            )
     return 0
 
 
@@ -460,6 +558,12 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
         f"{report.remaining_entries} artifacts "
         f"({report.remaining_bytes:,} bytes) remain"
     )
+    if report.temp_files_removed:
+        swept = "would sweep" if args.dry_run else "swept"
+        print(
+            f"{swept} {report.temp_files_removed} orphaned temp file(s) "
+            "left by crashed writers"
+        )
     listed = report.removed[:20]
     for entry in listed:
         print(f"  {entry.stage}/{entry.fingerprint[:12]}  {entry.size_bytes:,} bytes")
@@ -573,6 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
         "late; set a bound when relying on external workers that could die)",
     )
     sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt watchdog for distributed tasks: an attempt still "
+        "running after this many seconds is aborted and retried (or "
+        "quarantined once attempts are exhausted), even if its worker is "
+        "still heartbeating (default: no watchdog)",
+    )
+    sweep.add_argument(
         "--cache-budget-bytes",
         type=int,
         default=None,
@@ -617,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between claim attempts when the queue is empty",
     )
     worker.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-attempt watchdog: abort an attempt still running after "
+        "this many seconds even while heartbeating (a task's own "
+        "timeout_seconds takes precedence; default: no watchdog)",
+    )
+    worker.add_argument(
         "--max-tasks", type=int, default=None,
         help="exit after processing this many tasks (default: unbounded)",
     )
@@ -633,6 +752,24 @@ def build_parser() -> argparse.ArgumentParser:
         "ideally with --max-idle-seconds as a safety bound",
     )
     worker.set_defaults(handler=_cmd_worker)
+
+    queue = subparsers.add_parser(
+        "queue", help="inspect a distributed-sweep task queue"
+    )
+    queue_commands = queue.add_subparsers(dest="queue_command", required=True)
+    queue_status = queue_commands.add_parser(
+        "status",
+        help="queue state, per-state task counts, running-task lease ages "
+        "and dead-letter records",
+    )
+    queue_status.add_argument(
+        "--queue-dir", required=True,
+        help="queue directory of the sweep (same as 'repro sweep/worker')",
+    )
+    queue_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    queue_status.set_defaults(handler=_cmd_queue_status)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or prune an artifact cache (directory or "

@@ -31,10 +31,19 @@ from repro.cluster.backends import (
     LocalDirectoryBackend,
     MemoryBackend,
     ObjectStat,
+    PersistentBackendError,
     SQLiteObjectStoreBackend,
+    TransientBackendError,
     open_backend,
 )
 from repro.cluster.queue import Task, TaskQueue, TaskSpec
+from repro.cluster.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryExhausted,
+    RetryingBackend,
+    RetryPolicy,
+    with_retries,
+)
 
 _LAZY = {
     "run_distributed_sweep": ("repro.cluster.coordinator", "run_distributed_sweep"),
@@ -46,16 +55,23 @@ __all__ = [
     "BackendError",
     "CacheBackend",
     "ClusterError",
+    "DEFAULT_RETRY_POLICY",
     "LocalDirectoryBackend",
     "MemoryBackend",
     "ObjectStat",
+    "PersistentBackendError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RetryingBackend",
     "SQLiteObjectStoreBackend",
     "Task",
     "TaskQueue",
     "TaskSpec",
+    "TransientBackendError",
     "Worker",
     "open_backend",
     "run_distributed_sweep",
+    "with_retries",
 ]
 
 

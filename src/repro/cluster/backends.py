@@ -59,6 +59,20 @@ class BackendError(OSError):
     backend with the same except-clause."""
 
 
+class TransientBackendError(BackendError):
+    """A storage fault that may succeed on retry (a momentary I/O
+    hiccup, a briefly locked database, an NFS blip).  The
+    :class:`~repro.cluster.retry.RetryPolicy` retries these; raising
+    the plain :class:`BackendError` base is treated the same way
+    (unknown faults default to retryable — a wasted retry is cheap, a
+    spuriously failed sweep wave is not)."""
+
+
+class PersistentBackendError(BackendError):
+    """A storage fault no retry can fix (permission denied, disk full,
+    corrupt store).  Retry policies re-raise these immediately."""
+
+
 class ObjectStat(NamedTuple):
     """Size and advisory last-use time of one stored object."""
 
@@ -98,15 +112,43 @@ class _FileLock:
     read-modify-write and release it.  Where ``fcntl`` is unavailable
     the lock degrades to an in-process ``threading.Lock`` (documented
     limitation: no cross-process exclusion on such platforms).
+
+    With a ``timeout``, a lock that stays busy raises
+    :class:`TransientBackendError` instead of blocking forever — the
+    escape hatch for *advisory* critical sections (index bookkeeping)
+    that must not inherit the fate of whoever is wedged inside the
+    lock (e.g. a watchdog-abandoned thread stalled mid-IO).
     """
 
     def __init__(self, path: Path) -> None:
         self._path = Path(path)
         self._thread_lock = threading.Lock()
 
+    def _flock(self, handle: int, timeout: Optional[float]) -> None:
+        if timeout is None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            return
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise TransientBackendError(
+                        f"lock {self._path} still held after {timeout:g}s"
+                    )
+                time.sleep(0.01)
+
     @contextlib.contextmanager
-    def acquire(self) -> Iterator[None]:
-        with self._thread_lock:
+    def acquire(self, timeout: Optional[float] = None) -> Iterator[None]:
+        if not self._thread_lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        ):
+            raise TransientBackendError(
+                f"lock {self._path} still held in-process after {timeout:g}s"
+            )
+        try:
             if fcntl is None:  # pragma: no cover - non-POSIX platform
                 yield
                 return
@@ -116,13 +158,15 @@ class _FileLock:
             except OSError as exc:
                 raise BackendError(f"cannot open lock file {self._path}: {exc}") from exc
             try:
-                fcntl.flock(handle, fcntl.LOCK_EX)
+                self._flock(handle, timeout)
                 try:
                     yield
                 finally:
                     fcntl.flock(handle, fcntl.LOCK_UN)
             finally:
                 os.close(handle)
+        finally:
+            self._thread_lock.release()
 
 
 class CacheBackend(abc.ABC):
@@ -189,9 +233,24 @@ class CacheBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def lock(self) -> contextlib.AbstractContextManager:
+    def lock(self, timeout: Optional[float] = None) -> contextlib.AbstractContextManager:
         """A mutex over the whole store for shared-metadata RMW;
-        cross-process wherever the platform allows."""
+        cross-process wherever the platform allows.
+
+        ``timeout`` bounds the wait: past it, acquisition raises
+        :class:`TransientBackendError` instead of blocking — callers
+        whose critical section is advisory (index bookkeeping) pass one
+        so a wedged lock holder cannot stall them.  ``None`` blocks.
+        """
+
+    def collect_orphans(
+        self, max_age_seconds: Optional[float] = None, dry_run: bool = False
+    ) -> int:
+        """Remove (or with ``dry_run`` just count) debris left by
+        crashed writers — e.g. a temp file orphaned by a worker killed
+        mid ``put_if_absent``.  Returns how many orphans were found.
+        Backends whose writes cannot leave debris return 0."""
+        return 0
 
     def exists(self, key: str) -> bool:
         return self.stat(key) is not None
@@ -345,20 +404,25 @@ class LocalDirectoryBackend(CacheBackend):
             raise BackendError(f"cannot list {self.root}: {exc}") from exc
         return sorted(keys)
 
-    def scan(self, prefix: str = "") -> List[Tuple[str, ObjectStat]]:
-        self._collect_orphaned_temp_files()
-        return super().scan(prefix)
-
-    def _collect_orphaned_temp_files(self) -> None:
+    def collect_orphans(
+        self, max_age_seconds: Optional[float] = None, dry_run: bool = False
+    ) -> int:
         """Unlink temp files left by crashed writers (best effort).
 
         A writer SIGKILLed between ``mkstemp`` and ``replace``/``link``
         leaves a full-size dot-prefixed temp file that ``list`` hides —
         without collection, budgeted caches would leak invisible disk
-        on every worker crash.  Age-gated so in-flight writes are never
-        touched; runs on every hygiene scan (``stats``/``prune``).
+        on every worker crash.  Age-gated (default
+        :data:`TEMP_GC_AGE_SECONDS`) so in-flight writes are never
+        touched; the cache hygiene entry points (``stats``/``prune``)
+        call it explicitly — never implicitly from ``scan``, so a
+        ``dry_run`` prune truly deletes nothing.  Returns how many
+        orphans were found (and, unless ``dry_run``, removed).
         """
-        cutoff = time.time() - self.TEMP_GC_AGE_SECONDS
+        if max_age_seconds is None:
+            max_age_seconds = self.TEMP_GC_AGE_SECONDS
+        cutoff = time.time() - max_age_seconds
+        collected = 0
         try:
             for directory, _dirnames, filenames in os.walk(self.root):
                 for name in filenames:
@@ -367,11 +431,14 @@ class LocalDirectoryBackend(CacheBackend):
                     path = Path(directory, name)
                     try:
                         if path.stat().st_mtime < cutoff:
-                            path.unlink()
+                            if not dry_run:
+                                path.unlink()
+                            collected += 1
                     except OSError:
                         continue  # vanished or undeletable: not our problem
         except OSError:
             pass
+        return collected
 
     def touch(self, key: str) -> None:
         try:
@@ -379,8 +446,8 @@ class LocalDirectoryBackend(CacheBackend):
         except OSError as exc:
             raise BackendError(f"cannot touch {key!r}: {exc}") from exc
 
-    def lock(self) -> contextlib.AbstractContextManager:
-        return self._lock.acquire()
+    def lock(self, timeout: Optional[float] = None) -> contextlib.AbstractContextManager:
+        return self._lock.acquire(timeout)
 
 
 # ----------------------------------------------------------------------
@@ -559,8 +626,8 @@ class SQLiteObjectStoreBackend(CacheBackend):
                 "UPDATE objects SET last_used = ? WHERE key = ?", (now, key)
             )
 
-    def lock(self) -> contextlib.AbstractContextManager:
-        return self._lock.acquire()
+    def lock(self, timeout: Optional[float] = None) -> contextlib.AbstractContextManager:
+        return self._lock.acquire(timeout)
 
 
 # ----------------------------------------------------------------------
@@ -627,12 +694,18 @@ class MemoryBackend(CacheBackend):
                 self._objects[key] = (entry[0], time.time())
 
     @contextlib.contextmanager
-    def _locked(self) -> Iterator[None]:
-        with self._shared:
+    def _locked(self, timeout: Optional[float] = None) -> Iterator[None]:
+        if not self._shared.acquire(timeout=-1 if timeout is None else timeout):
+            raise TransientBackendError(
+                f"memory backend lock still held after {timeout:g}s"
+            )
+        try:
             yield
+        finally:
+            self._shared.release()
 
-    def lock(self) -> contextlib.AbstractContextManager:
-        return self._locked()
+    def lock(self, timeout: Optional[float] = None) -> contextlib.AbstractContextManager:
+        return self._locked(timeout)
 
 
 # ----------------------------------------------------------------------
@@ -640,12 +713,33 @@ class MemoryBackend(CacheBackend):
 # ----------------------------------------------------------------------
 SQLITE_SPEC_PREFIX = "sqlite://"
 
+#: ``fault://PLAN.json!INNER_SPEC`` wraps the inner backend in a
+#: deterministic fault injector (see :mod:`repro.faults`) — the spec
+#: form exists so chaos runs can thread injection through everything
+#: that already passes cache specs around (queue rows, spawned workers).
+FAULT_SPEC_PREFIX = "fault://"
+FAULT_SPEC_SEPARATOR = "!"
+
+
+def _split_fault_spec(text: str) -> Tuple[str, str]:
+    body = text[len(FAULT_SPEC_PREFIX):]
+    plan_path, separator, inner = body.partition(FAULT_SPEC_SEPARATOR)
+    if not separator or not plan_path or not inner:
+        raise ValueError(
+            f"malformed fault spec {text!r}: expected "
+            f"'{FAULT_SPEC_PREFIX}PLAN.json{FAULT_SPEC_SEPARATOR}INNER_SPEC'"
+        )
+    return plan_path, inner
+
 
 def spec_path(spec: Union[str, Path]) -> Path:
     """The filesystem path a cache spec points at (directory root or
     object-store file) — the single place the spec grammar is parsed,
-    shared by :func:`open_backend` and existence checks in the CLI."""
+    shared by :func:`open_backend` and existence checks in the CLI.
+    A ``fault://`` spec resolves to its *inner* store's path."""
     text = str(spec)
+    if text.startswith(FAULT_SPEC_PREFIX):
+        return spec_path(_split_fault_spec(text)[1])
     if text.startswith(SQLITE_SPEC_PREFIX):
         return Path(text[len(SQLITE_SPEC_PREFIX):])
     return Path(text)
@@ -655,6 +749,9 @@ def open_backend(spec: Union[str, Path, CacheBackend]) -> CacheBackend:
     """Open a backend from a cache spec.
 
     * an existing :class:`CacheBackend` passes through,
+    * ``fault://PLAN.json!INNER`` wraps the backend ``INNER`` opens in a
+      :class:`~repro.faults.FaultInjectingBackend` driven by the JSON
+      fault plan (chaos testing; see :mod:`repro.faults`),
     * ``sqlite://PATH`` (or a path ending in ``.sqlite``, or an existing
       regular file) opens the SQLite object store,
     * anything else is a cache *directory* (created on demand) — the
@@ -665,8 +762,17 @@ def open_backend(spec: Union[str, Path, CacheBackend]) -> CacheBackend:
     """
     if isinstance(spec, CacheBackend):
         return spec
+    text = str(spec)
+    if text.startswith(FAULT_SPEC_PREFIX):
+        # Imported lazily: repro.faults imports this module.
+        from repro.faults import FaultInjectingBackend, FaultPlan
+
+        plan_path, inner = _split_fault_spec(text)
+        return FaultInjectingBackend(
+            open_backend(inner), FaultPlan.from_json_file(plan_path)
+        )
     path = spec_path(spec)
-    if str(spec).startswith(SQLITE_SPEC_PREFIX):
+    if text.startswith(SQLITE_SPEC_PREFIX):
         return SQLiteObjectStoreBackend(path)
     if path.suffix == ".sqlite" or path.is_file():
         return SQLiteObjectStoreBackend(path)

@@ -87,6 +87,7 @@ def task_spec_for(
     targets: Sequence[str],
     cache_spec: Optional[str],
     max_attempts: int,
+    timeout_seconds: Optional[float] = None,
 ) -> TaskSpec:
     """One scenario of one wave as a durable task.
 
@@ -104,6 +105,7 @@ def task_spec_for(
         targets=json.dumps(list(targets)),
         cache_spec=cache_spec,
         max_attempts=max_attempts,
+        timeout_seconds=timeout_seconds,
     )
 
 
@@ -191,11 +193,20 @@ def _reap_workers(workers: List[subprocess.Popen]) -> None:
 # the coordinator
 # ----------------------------------------------------------------------
 def _dead_task_result(plan: ScenarioPlan, task: Task) -> ScenarioResult:
+    error = task.error or f"task died after {task.attempts} attempts"
+    if task.attempts_log:
+        # The one-line summary names every attempt; the machine-readable
+        # history travels in SweepResult.dead_letters.
+        history = "; ".join(
+            f"attempt {entry.get('attempt')}: {entry.get('error')}"
+            for entry in task.attempts_log
+        )
+        error = f"{error} [{history}]"
     return ScenarioResult(
         scenario_id=plan.scenario_id,
         overrides=plan.scenario.overrides_dict(),
         status="failed",
-        error=task.error or f"task died after {task.attempts} attempts",
+        error=error,
         fingerprints=dict(plan.fingerprints),
     )
 
@@ -269,6 +280,7 @@ def run_distributed_sweep(
     max_attempts: int = 3,
     cache_budget_bytes: Optional[int] = None,
     wave_timeout: Optional[float] = None,
+    task_timeout_seconds: Optional[float] = None,
 ) -> SweepResult:
     """Run a sweep's waves through the durable queue; workers compute.
 
@@ -278,8 +290,12 @@ def run_distributed_sweep(
     sharing the queue and cache paths).  ``cache_dir`` is mandatory: a
     distributed sweep without a shared cache would recompute every
     shared prefix per scenario *and* violate the wave schedule's
-    premise.  Results, counters and reports are shaped exactly like
-    every other executor's (``executor="cluster"``).
+    premise.  ``task_timeout_seconds`` stamps every task with a
+    per-attempt watchdog budget (workers abort attempts that exceed
+    it even while heartbeating).  Results, counters and reports are
+    shaped exactly like every other executor's (``executor="cluster"``)
+    — plus ``dead_letters``: the post-mortem records of quarantined
+    tasks, one per scenario that exhausted its attempts.
     """
     if cache_dir is None:
         raise ValueError("a distributed sweep requires a shared cache_dir")
@@ -317,6 +333,7 @@ def run_distributed_sweep(
                     task_spec_for(
                         sweep_id, wave_index, scenario_plan, plan.targets,
                         cache_spec, max_attempts,
+                        timeout_seconds=task_timeout_seconds,
                     )
                     for scenario_plan in wave
                 ]
@@ -352,4 +369,5 @@ def run_distributed_sweep(
         executor="cluster",
         cache_dir=cache_spec,
         waves=[[p.scenario_id for p in wave] for wave in plan.waves],
+        dead_letters=queue.dead_letters(sweep_id=sweep_id),
     )

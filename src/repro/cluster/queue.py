@@ -32,6 +32,12 @@ Lifecycle of a task::
   *assignment* per attempt; exactly-once *compute* is the artifact
   cache's job (re-claimed tasks resume from cached stages, and the
   backend's atomic put-if-absent dedupes the zombie-vs-heir write race).
+* **Dead letters.**  Every failure — ``fail``, lease expiry, drain
+  ``release`` — appends a ``{"attempt", "owner", "error", "at"}`` entry
+  to the task's ``attempts_log``, so a ``dead`` task is a post-mortem
+  record (:meth:`TaskQueue.dead_letters`), not just a status.  A
+  drain's ``release`` gives the attempt back: being asked to stop is
+  not the task's fault.
 
 The ``control`` table carries the coordinator's open/closed state:
 workers started with ``--exit-when-closed`` drain the queue and exit
@@ -44,12 +50,15 @@ import contextlib
 import json
 import sqlite3
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
-#: Bump when the queue schema changes incompatibly.
-QUEUE_SCHEMA_VERSION = 1
+#: Bump when the queue schema changes.  Version 2 added
+#: ``timeout_seconds`` (per-task watchdog budget) and ``attempts_log``
+#: (the per-attempt failure history behind dead-letter records); v1
+#: files are migrated in place on open (``ALTER TABLE ADD COLUMN``).
+QUEUE_SCHEMA_VERSION = 2
 
 #: Queue statuses that will never change again.
 TERMINAL_STATUSES = ("done", "dead")
@@ -71,7 +80,9 @@ CREATE TABLE IF NOT EXISTS tasks (
     result       TEXT,
     error        TEXT,
     enqueued_at  REAL NOT NULL,
-    updated_at   REAL NOT NULL
+    updated_at   REAL NOT NULL,
+    timeout_seconds REAL,
+    attempts_log TEXT NOT NULL DEFAULT '[]'
 );
 CREATE INDEX IF NOT EXISTS idx_tasks_claim ON tasks (status, wave);
 CREATE TABLE IF NOT EXISTS control (
@@ -80,11 +91,31 @@ CREATE TABLE IF NOT EXISTS control (
 );
 """
 
+#: Columns added after schema v1, with their ADD COLUMN clauses — the
+#: in-place migration for queue files created by older code.
+_MIGRATIONS = (
+    ("timeout_seconds", "timeout_seconds REAL"),
+    ("attempts_log", "attempts_log TEXT NOT NULL DEFAULT '[]'"),
+)
+
 _TASK_COLUMNS = (
     "task_id, sweep_id, wave, scenario_id, config, targets, cache_spec, "
     "status, attempts, max_attempts, owner, lease_expires, result, error, "
-    "enqueued_at, updated_at"
+    "enqueued_at, updated_at, timeout_seconds, attempts_log"
 )
+
+
+def _appended_log(log_json: Optional[str], entry: Dict[str, object]) -> str:
+    """The ``attempts_log`` JSON with one more entry (tolerant of a
+    corrupt existing value — history is diagnostic, never load-bearing)."""
+    try:
+        log = json.loads(log_json) if log_json else []
+        if not isinstance(log, list):
+            log = []
+    except json.JSONDecodeError:
+        log = []
+    log.append(entry)
+    return json.dumps(log, sort_keys=True)
 
 
 class QueueError(RuntimeError):
@@ -110,6 +141,11 @@ class TaskSpec:
     targets: str
     cache_spec: Optional[str] = None
     max_attempts: int = 3
+    #: Per-attempt wall-clock budget enforced by the worker's watchdog
+    #: (distinct from the lease: a stuck worker keeps heartbeating, so
+    #: only a deadline on the *work itself* catches it).  ``None`` means
+    #: no watchdog.
+    timeout_seconds: Optional[float] = None
 
 
 @dataclass
@@ -132,6 +168,10 @@ class Task:
     error: Optional[str]
     enqueued_at: float
     updated_at: float
+    timeout_seconds: Optional[float] = None
+    #: Per-attempt failure history: ``{"attempt", "owner", "error",
+    #: "at"}`` dicts appended on fail / lease expiry / release.
+    attempts_log: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def terminal(self) -> bool:
@@ -159,6 +199,8 @@ def _task_from_row(row: tuple) -> Task:
         error=row[13],
         enqueued_at=row[14],
         updated_at=row[15],
+        timeout_seconds=row[16],
+        attempts_log=json.loads(row[17]) if row[17] else [],
     )
 
 
@@ -171,11 +213,17 @@ class TaskQueue:
         with self._connect() as conn:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.executescript(_SCHEMA)
+            # CREATE IF NOT EXISTS leaves pre-existing (v1) tables
+            # untouched; add the columns newer code expects in place.
+            columns = {row[1] for row in conn.execute("PRAGMA table_info(tasks)")}
+            for column, clause in _MIGRATIONS:
+                if column not in columns:
+                    conn.execute(f"ALTER TABLE tasks ADD COLUMN {clause}")
             conn.execute(
                 "INSERT OR IGNORE INTO control (key, value) VALUES ('state', 'open')"
             )
             conn.execute(
-                "INSERT OR IGNORE INTO control (key, value) VALUES "
+                "INSERT OR REPLACE INTO control (key, value) VALUES "
                 "('schema_version', ?)",
                 (str(QUEUE_SCHEMA_VERSION),),
             )
@@ -214,8 +262,9 @@ class TaskQueue:
                 try:
                     conn.execute(
                         "INSERT INTO tasks (task_id, sweep_id, wave, scenario_id, "
-                        "config, targets, cache_spec, max_attempts, enqueued_at, "
-                        "updated_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        "config, targets, cache_spec, max_attempts, "
+                        "timeout_seconds, enqueued_at, updated_at) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                         (
                             spec.task_id,
                             spec.sweep_id,
@@ -225,6 +274,7 @@ class TaskQueue:
                             spec.targets,
                             spec.cache_spec,
                             spec.max_attempts,
+                            spec.timeout_seconds,
                             now,
                             now,
                         ),
@@ -291,19 +341,38 @@ class TaskQueue:
         if now is None:
             now = time.time()
         with self._transaction() as conn:
-            conn.execute(
-                "UPDATE tasks SET status = 'dead', owner = NULL, "
-                "error = COALESCE(error, 'lease expired; attempts exhausted'), "
-                "updated_at = ? "
-                "WHERE status = 'running' AND lease_expires < ? "
-                "AND attempts >= max_attempts",
-                (now, now),
-            )
-            conn.execute(
-                "UPDATE tasks SET status = 'pending', owner = NULL, updated_at = ? "
-                "WHERE status = 'running' AND lease_expires < ?",
-                (now, now),
-            )
+            # Row-wise sweep (instead of two bulk UPDATEs) so each
+            # expiry is recorded in the task's attempts_log — the
+            # dead-letter history must name every vanished owner.
+            expired = conn.execute(
+                "SELECT task_id, attempts, max_attempts, owner, attempts_log "
+                "FROM tasks WHERE status = 'running' AND lease_expires < ?",
+                (now,),
+            ).fetchall()
+            for task_id, attempts, max_attempts, prev_owner, log_json in expired:
+                log = _appended_log(
+                    log_json,
+                    {
+                        "attempt": attempts,
+                        "owner": prev_owner,
+                        "error": "lease expired (worker died or stopped heartbeating)",
+                        "at": now,
+                    },
+                )
+                if attempts >= max_attempts:
+                    conn.execute(
+                        "UPDATE tasks SET status = 'dead', owner = NULL, "
+                        "error = COALESCE(error, "
+                        "'lease expired; attempts exhausted'), "
+                        "attempts_log = ?, updated_at = ? WHERE task_id = ?",
+                        (log, now, task_id),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE tasks SET status = 'pending', owner = NULL, "
+                        "attempts_log = ?, updated_at = ? WHERE task_id = ?",
+                        (log, now, task_id),
+                    )
             row = conn.execute(
                 f"SELECT {_TASK_COLUMNS} FROM tasks WHERE status = 'pending' "
                 "ORDER BY wave, rowid LIMIT 1"
@@ -363,20 +432,61 @@ class TaskQueue:
         now = time.time()
         with self._transaction() as conn:
             row = conn.execute(
-                "SELECT attempts, max_attempts FROM tasks "
+                "SELECT attempts, max_attempts, attempts_log FROM tasks "
                 "WHERE task_id = ? AND owner = ? AND status = 'running'",
                 (task_id, owner),
             ).fetchone()
             if row is None:
                 return "lost"
-            attempts, max_attempts = row
+            attempts, max_attempts, log_json = row
             status = "dead" if attempts >= max_attempts else "pending"
+            log = _appended_log(
+                log_json,
+                {"attempt": attempts, "owner": owner, "error": error, "at": now},
+            )
             conn.execute(
                 "UPDATE tasks SET status = ?, owner = NULL, error = ?, "
-                "updated_at = ? WHERE task_id = ?",
-                (status, error, now, task_id),
+                "attempts_log = ?, updated_at = ? WHERE task_id = ?",
+                (status, error, log, now, task_id),
             )
             return status
+
+    def release(self, task_id: str, owner: str, reason: str = "released") -> bool:
+        """Hand a claimed task back *without burning an attempt*.
+
+        The graceful-drain path: a worker told to stop mid-task returns
+        the lease immediately (instead of letting it expire) and the
+        attempt counter is decremented — being asked to drain is not a
+        failure of the task, and a task drained ``max_attempts`` times
+        must not be quarantined for it.  Owner-guarded like every lease
+        transition; ``False`` means the lease had already moved on.
+        """
+        now = time.time()
+        with self._transaction() as conn:
+            row = conn.execute(
+                "SELECT attempts, attempts_log FROM tasks "
+                "WHERE task_id = ? AND owner = ? AND status = 'running'",
+                (task_id, owner),
+            ).fetchone()
+            if row is None:
+                return False
+            attempts, log_json = row
+            log = _appended_log(
+                log_json,
+                {
+                    "attempt": attempts,
+                    "owner": owner,
+                    "error": f"released: {reason}",
+                    "at": now,
+                },
+            )
+            conn.execute(
+                "UPDATE tasks SET status = 'pending', owner = NULL, "
+                "attempts = ?, attempts_log = ?, updated_at = ? "
+                "WHERE task_id = ?",
+                (max(attempts - 1, 0), log, now, task_id),
+            )
+            return True
 
     # ------------------------------------------------------------------
     # observers
@@ -423,3 +533,78 @@ class TaskQueue:
                 f"SELECT {_TASK_COLUMNS} FROM tasks WHERE task_id = ?", (task_id,)
             ).fetchone()
         return _task_from_row(row) if row is not None else None
+
+    def dead_letters(
+        self, sweep_id: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Post-mortem records of quarantined (``dead``) tasks: the
+        final error plus the full per-attempt history — which workers
+        tried, what each attempt died of, and when."""
+        letters: List[Dict[str, object]] = []
+        for task in self.tasks(sweep_id=sweep_id):
+            if task.status != "dead":
+                continue
+            letters.append(
+                {
+                    "task_id": task.task_id,
+                    "sweep_id": task.sweep_id,
+                    "wave": task.wave,
+                    "scenario_id": task.scenario_id,
+                    "attempts": task.attempts,
+                    "max_attempts": task.max_attempts,
+                    "error": task.error,
+                    "attempts_log": task.attempts_log,
+                    "enqueued_at": task.enqueued_at,
+                    "quarantined_at": task.updated_at,
+                }
+            )
+        return letters
+
+    def status_report(self, now: Optional[float] = None) -> Dict[str, object]:
+        """One structured snapshot of the whole queue — what ``repro
+        queue status`` renders: open/closed state, per-state counts,
+        running-task lease ages, dead-letter records and the full task
+        roster (so "did that task retry?" is answerable from outside).
+        """
+        if now is None:
+            now = time.time()
+        tasks = self.tasks()
+        counts: Dict[str, int] = {}
+        running: List[Dict[str, object]] = []
+        roster: List[Dict[str, object]] = []
+        for task in tasks:
+            counts[task.status] = counts.get(task.status, 0) + 1
+            roster.append(
+                {
+                    "task_id": task.task_id,
+                    "sweep_id": task.sweep_id,
+                    "wave": task.wave,
+                    "scenario_id": task.scenario_id,
+                    "status": task.status,
+                    "attempts": task.attempts,
+                    "max_attempts": task.max_attempts,
+                }
+            )
+            if task.status == "running":
+                running.append(
+                    {
+                        "task_id": task.task_id,
+                        "scenario_id": task.scenario_id,
+                        "owner": task.owner,
+                        "attempts": task.attempts,
+                        # Time since the last owner-side sign of life
+                        # (claim or heartbeat) and until the lease lapses.
+                        "seconds_since_update": round(now - task.updated_at, 3),
+                        "lease_seconds_remaining": round(
+                            (task.lease_expires or now) - now, 3
+                        ),
+                    }
+                )
+        return {
+            "state": self.state(),
+            "total_tasks": len(tasks),
+            "counts": counts,
+            "running": running,
+            "dead_letters": self.dead_letters(),
+            "tasks": roster,
+        }

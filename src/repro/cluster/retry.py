@@ -1,0 +1,200 @@
+"""Retry with exponential backoff for flaky cache backends.
+
+A distributed sweep multiplies every storage operation by workers ×
+stages × scenarios; at that volume "the filesystem hiccuped once" stops
+being rare and starts being every run.  The policy here is the single
+place the stack decides *which* faults are worth retrying and *how*:
+
+* **Classification.**  :class:`~repro.cluster.backends.BackendError`
+  and its :class:`~repro.cluster.backends.TransientBackendError`
+  subclass are retryable — an unknown storage fault defaults to
+  retryable on purpose (a wasted retry costs milliseconds, a spuriously
+  failed sweep wave costs a whole scenario runtime).
+  :class:`~repro.cluster.backends.PersistentBackendError` (permission
+  denied, disk full, corrupt store) is re-raised immediately: retrying
+  it would only turn a crisp error into a slow one.  Anything that is
+  not a backend fault at all (a bug, a ``KeyboardInterrupt``) always
+  propagates untouched.
+* **Backoff.**  Exponential with full jitter: attempt *n* sleeps a
+  uniform random fraction of ``base_delay * multiplier**n`` capped at
+  ``max_delay``.  Jitter is drawn from a policy-owned seeded RNG so
+  chaos tests replay identical schedules; the default seed keeps
+  production runs deterministic per policy instance too (determinism is
+  this repository's house rule — results must not depend on timing).
+
+:class:`RetryingBackend` applies the policy to every operation of a
+wrapped :class:`~repro.cluster.backends.CacheBackend`.
+:class:`~repro.pipeline.ArtifactCache` wraps its backend in one by
+default, so *every* cache consumer — pipeline runs, sweeps, workers,
+hygiene commands — tolerates transient storage faults without any of
+them knowing retries exist.  The operations are safe to retry by
+construction: ``get``/``stat``/``list``/``scan``/``touch`` are
+read-only or idempotent, ``put`` atomically overwrites with identical
+bytes, ``delete`` tolerates already-deleted, and a ``put_if_absent``
+whose first attempt secretly succeeded simply loses the race to itself
+(the caller already treats losing as success — payloads under one key
+are bit-identical by construction).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from repro.cluster.backends import (
+    BackendError,
+    CacheBackend,
+    ObjectStat,
+    PersistentBackendError,
+)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient backend fault, and how long
+    to back off between attempts.
+
+    ``max_attempts`` counts *total* tries (1 = no retries).  Sleeps
+    follow full-jitter exponential backoff: ``uniform(0, base_delay *
+    multiplier**retry)`` capped at ``max_delay``.  ``seed`` fixes the
+    jitter sequence (per :class:`RetryingBackend` instance).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.02
+    multiplier: float = 4.0
+    max_delay: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Transient-vs-persistent classification (see module docs)."""
+        if isinstance(exc, PersistentBackendError):
+            return False
+        return isinstance(exc, BackendError)
+
+    def backoff_ceiling(self, retry_index: int) -> float:
+        """The jitter window's upper bound before the ``retry_index``-th
+        retry (0-based)."""
+        return min(self.base_delay * (self.multiplier ** retry_index), self.max_delay)
+
+
+#: The policy ArtifactCache applies when the caller does not choose one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class RetryExhausted(BackendError):
+    """Every attempt of one backend operation failed with a transient
+    fault.  Carries the per-attempt errors so a dead-letter record (or
+    a human) sees the whole story, with the last failure as
+    ``__cause__``."""
+
+    def __init__(self, operation: str, attempts: List[BaseException]) -> None:
+        history = "; ".join(
+            f"attempt {i + 1}: {type(exc).__name__}: {exc}"
+            for i, exc in enumerate(attempts)
+        )
+        super().__init__(
+            f"backend operation {operation!r} failed "
+            f"{len(attempts)} time(s) [{history}]"
+        )
+        self.operation = operation
+        self.attempts = attempts
+
+
+class RetryingBackend(CacheBackend):
+    """A :class:`CacheBackend` decorator retrying transient faults.
+
+    Wraps every operation in the policy's retry loop; everything else
+    (atomicity, key validation, semantics) is the inner backend's.
+    ``lock`` is deliberately *not* retried: re-entering a mutex acquire
+    that may or may not have succeeded is ambiguous, and lock faults
+    are already tolerated as advisory by their only caller.
+    """
+
+    def __init__(
+        self,
+        inner: CacheBackend,
+        policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy
+        self._sleep = sleep
+        self._rng = random.Random(policy.seed)
+        self.retries = 0  # transparent faults, made countable for tests
+
+    @property
+    def location(self) -> str:
+        return self.inner.location
+
+    def _call(self, operation: str, fn: Callable[[], T]) -> T:
+        failures: List[BaseException] = []
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not self.policy.is_retryable(exc):
+                    raise
+                failures.append(exc)
+                if len(failures) >= self.policy.max_attempts:
+                    raise RetryExhausted(operation, failures) from exc
+                self.retries += 1
+                ceiling = self.policy.backoff_ceiling(len(failures) - 1)
+                if ceiling > 0:
+                    self._sleep(self._rng.uniform(0.0, ceiling))
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._call("get", lambda: self.inner.get(key))
+
+    def put(self, key: str, data: bytes) -> None:
+        self._call("put", lambda: self.inner.put(key, data))
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        return self._call("put_if_absent", lambda: self.inner.put_if_absent(key, data))
+
+    def delete(self, key: str) -> bool:
+        return self._call("delete", lambda: self.inner.delete(key))
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        return self._call("stat", lambda: self.inner.stat(key))
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._call("list", lambda: self.inner.list(prefix))
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, ObjectStat]]:
+        return self._call("scan", lambda: self.inner.scan(prefix))
+
+    def touch(self, key: str) -> None:
+        self._call("touch", lambda: self.inner.touch(key))
+
+    def collect_orphans(
+        self, max_age_seconds: Optional[float] = None, dry_run: bool = False
+    ) -> int:
+        return self.inner.collect_orphans(max_age_seconds, dry_run)
+
+    def lock(self, timeout: Optional[float] = None) -> contextlib.AbstractContextManager:
+        return self.inner.lock(timeout)
+
+
+def with_retries(
+    backend: CacheBackend, policy: Optional[RetryPolicy] = None
+) -> CacheBackend:
+    """Wrap ``backend`` in a :class:`RetryingBackend` (idempotent: an
+    already-retrying backend passes through so stacked constructors
+    cannot nest retry loops and multiply attempt counts)."""
+    if isinstance(backend, RetryingBackend):
+        return backend
+    return RetryingBackend(backend, policy or DEFAULT_RETRY_POLICY)

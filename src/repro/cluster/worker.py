@@ -18,6 +18,30 @@ one :class:`~repro.cluster.queue.TaskQueue`:
    in-process sweep executors use (scenario pipeline failures travel
    *inside* that payload — they are results, not queue failures).
 
+Three hardening mechanisms guard the unhappy paths:
+
+* **Watchdog.**  The lease catches *dead* workers; it cannot catch a
+  *stuck* one, whose heartbeat thread cheerfully extends the lease of a
+  task that will never finish.  The scenario therefore runs on a
+  separate thread under a wall-clock deadline (the task's
+  ``timeout_seconds``, else the worker's ``task_timeout``); past it the
+  task is failed with a watchdog diagnostic — burning an attempt, so a
+  scenario that reliably hangs ends up quarantined (``dead``) — and the
+  abandoned thread is left to die with the process (Python cannot kill
+  a thread; its late cache writes are harmless by put-if-absent, and
+  its late result has no lease to land on).
+* **Heartbeat failure limit.**  A heartbeat that *raises* (queue file
+  unreachable) is tolerated transiently, but after
+  ``HEARTBEAT_FAILURE_LIMIT`` consecutive failures — a full lease
+  period of silence, after which the queue has re-assigned the task
+  anyway — the worker treats its lease as lost and stands down, instead
+  of computing a result nobody will accept.
+* **Graceful drain.**  :meth:`Worker.request_drain` (wired to SIGTERM
+  by the CLI) stops claiming; a second request — or
+  ``release_current=True`` — also hands the in-flight task back via the
+  queue's ``release`` (attempt refunded) so a preempted machine drains
+  in seconds, not a lease period.
+
 A worker that loses its lease mid-run (paused by the OS long enough for
 the lease to expire) discards its result: the queue's owner guard would
 reject the late ``complete`` anyway, and the heir recomputes nothing
@@ -32,13 +56,21 @@ import socket
 import threading
 import time
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.cluster.queue import Task, TaskQueue
 from repro.pipeline import StageSpec
 
 #: How many times per lease period the heartbeat fires.
 HEARTBEATS_PER_LEASE = 3
+
+#: Consecutive heartbeat *exceptions* after which the lease is presumed
+#: lost — one full lease period of failed extensions, the point at
+#: which the queue will have re-assigned the task to someone else.
+HEARTBEAT_FAILURE_LIMIT = HEARTBEATS_PER_LEASE
+
+#: How often the supervising loop checks its stop conditions.
+_WATCH_TICK_SECONDS = 0.05
 
 
 def default_worker_id() -> str:
@@ -50,7 +82,9 @@ class Worker:
 
     ``stages`` overrides the pipeline DAG for in-process/test use (the
     CLI always runs the default DAG — custom stage lists cannot cross a
-    process boundary).
+    process boundary).  ``task_timeout`` is the default per-task
+    watchdog budget in seconds (``None`` = none); a task's own
+    ``timeout_seconds`` takes precedence.
     """
 
     def __init__(
@@ -60,16 +94,44 @@ class Worker:
         lease_seconds: float = 30.0,
         poll_interval: float = 0.2,
         stages: Optional[Sequence[StageSpec]] = None,
+        task_timeout: Optional[float] = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        # Paths open a real queue; anything else is used as a queue
+        # object directly (TaskQueue, or a wrapper like
+        # repro.faults.FaultInjectingQueue with the same surface).
         self.queue = (
-            queue_path if isinstance(queue_path, TaskQueue) else TaskQueue(queue_path)
+            TaskQueue(queue_path)
+            if isinstance(queue_path, (str, Path))
+            else queue_path
         )
         self.worker_id = worker_id or default_worker_id()
         self.lease_seconds = float(lease_seconds)
         self.poll_interval = float(poll_interval)
+        self.task_timeout = task_timeout
         self._stages = list(stages) if stages is not None else None
+        #: Watchdog aborts performed by this worker (for tests/reports).
+        self.watchdog_trips = 0
+        self._drain = threading.Event()
+        self._release_current = threading.Event()
+
+    # ------------------------------------------------------------------
+    # drain control (signal handlers and tests call these)
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def request_drain(self, release_current: bool = False) -> None:
+        """Stop claiming new tasks; with ``release_current`` also hand
+        the in-flight task back (attempt refunded) instead of finishing
+        it.  Idempotent and safe from signal handlers/other threads."""
+        if release_current:
+            self._release_current.set()
+        self._drain.set()
 
     # ------------------------------------------------------------------
     # the loop
@@ -82,19 +144,21 @@ class Worker:
     ) -> int:
         """Process tasks until a stop condition; returns tasks processed.
 
-        Stop conditions: ``max_tasks`` processed; the queue is closed
-        and nothing is claimable (``exit_when_closed`` — the drain
-        handshake with the coordinator); the queue held no non-terminal
-        task at all for ``max_idle_seconds`` (a *sweep in progress* —
-        sibling workers holding running tasks — never counts as idle,
-        so a long wave cannot shed its idle pool members; the bound
-        catches coordinators that died without closing the queue).
-        With none of them the worker polls forever — that is what a
-        standing worker machine does.
+        Stop conditions: a drain request; ``max_tasks`` processed; the
+        queue is closed and nothing is claimable (``exit_when_closed``
+        — the drain handshake with the coordinator); the queue held no
+        non-terminal task at all for ``max_idle_seconds`` (a *sweep in
+        progress* — sibling workers holding running tasks — never
+        counts as idle, so a long wave cannot shed its idle pool
+        members; the bound catches coordinators that died without
+        closing the queue).  With none of them the worker polls forever
+        — that is what a standing worker machine does.
         """
         processed = 0
         idle_since: Optional[float] = None
         while True:
+            if self._drain.is_set():
+                break
             if max_tasks is not None and processed >= max_tasks:
                 break
             task = self.queue.claim(self.worker_id, self.lease_seconds)
@@ -123,19 +187,31 @@ class Worker:
     # ------------------------------------------------------------------
     def process(self, task: Task) -> bool:
         """Run one claimed task to a terminal report; ``True`` iff this
-        worker's completion was accepted (a lost lease returns False)."""
+        worker's completion was accepted (a lost lease, a watchdog
+        abort and a drain release all return ``False``)."""
         stop = threading.Event()
         lease_lost = threading.Event()
 
         def beat() -> None:
             interval = self.lease_seconds / HEARTBEATS_PER_LEASE
+            failures = 0
             while not stop.wait(interval):
                 try:
                     alive = self.queue.heartbeat(
                         task.task_id, self.worker_id, self.lease_seconds
                     )
                 except Exception:
-                    continue  # transient queue hiccup: keep trying
+                    # Transient queue hiccup: keep trying — but only for
+                    # a full lease of consecutive silence, after which
+                    # the lease has lapsed anyway and the result would
+                    # be rejected.  Working on regardless would waste a
+                    # whole scenario runtime.
+                    failures += 1
+                    if failures >= HEARTBEAT_FAILURE_LIMIT:
+                        lease_lost.set()
+                        return
+                    continue
+                failures = 0
                 if not alive:
                     lease_lost.set()
                     return
@@ -144,22 +220,74 @@ class Worker:
             target=beat, name=f"heartbeat-{task.task_id}", daemon=True
         )
         heartbeat_thread.start()
-        try:
-            payload = self._execute(task)
-        except Exception as exc:  # noqa: BLE001 - infra failure -> retry
-            stop.set()
-            heartbeat_thread.join()
-            self.queue.fail(
-                task.task_id, self.worker_id, f"{type(exc).__name__}: {exc}"
-            )
-            return False
+
+        # The scenario runs on its own (daemon) thread so this one can
+        # supervise: watchdog deadline, drain requests, lost leases.
+        done = threading.Event()
+        outcome: Dict[str, object] = {}
+
+        def execute() -> None:
+            try:
+                outcome["payload"] = self._execute(task)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                outcome["error"] = exc
+            finally:
+                done.set()
+
+        execute_thread = threading.Thread(
+            target=execute, name=f"execute-{task.task_id}", daemon=True
+        )
+        execute_thread.start()
+
+        timeout = (
+            task.timeout_seconds
+            if task.timeout_seconds is not None
+            else self.task_timeout
+        )
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        watchdog_fired = False
+        drain_release = False
+        while not done.wait(_WATCH_TICK_SECONDS):
+            if lease_lost.is_set():
+                break
+            if self._release_current.is_set():
+                drain_release = True
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                watchdog_fired = True
+                break
         stop.set()
         heartbeat_thread.join()
+
+        # Precedence mirrors severity; each guard re-checks ``done`` so
+        # a result that slipped in just before the abort still counts.
+        if watchdog_fired and not done.is_set():
+            self.watchdog_trips += 1
+            self.queue.fail(
+                task.task_id,
+                self.worker_id,
+                f"watchdog: attempt {task.attempts} exceeded {timeout:g}s "
+                f"timeout on {self.worker_id} (stuck, still heartbeating)",
+            )
+            return False
+        if drain_release and not done.is_set():
+            self.queue.release(task.task_id, self.worker_id, "graceful drain")
+            return False
         if lease_lost.is_set():
             # Another worker owns the task now; our cache writes were
             # deduplicated by put-if-absent, our result is redundant.
             return False
-        return self.queue.complete(task.task_id, self.worker_id, payload)
+        error = outcome.get("error")
+        if error is not None:
+            self.queue.fail(
+                task.task_id, self.worker_id, f"{type(error).__name__}: {error}"
+            )
+            return False
+        return self.queue.complete(
+            task.task_id, self.worker_id, outcome["payload"]  # type: ignore[arg-type]
+        )
 
     def _execute(self, task: Task) -> dict:
         # Imported here so the queue/backends layer stays importable

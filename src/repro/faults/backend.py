@@ -1,0 +1,145 @@
+"""A :class:`CacheBackend` decorator that executes a fault plan.
+
+Sits *under* the retry layer and *over* the real store::
+
+    RetryingBackend( FaultInjectingBackend( LocalDirectoryBackend ) )
+
+(the order :meth:`ArtifactCache.from_spec` produces for a
+``fault://PLAN!INNER`` spec), so injected transient faults exercise the
+same retry path a flaky filesystem would, corrupted payloads flow into
+the same hash verification a bit-flipped disk would, and nothing
+downstream can tell scripted misfortune from the real thing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import List, Optional, Tuple
+
+from repro.cluster.backends import (
+    CacheBackend,
+    ObjectStat,
+    PersistentBackendError,
+    TransientBackendError,
+)
+from repro.faults.plan import WORKER_ID_ENV, FaultPlan, FaultSpec, FaultState, shared_state
+
+
+def _corrupt(data: bytes) -> bytes:
+    """Flip the first byte — the smallest corruption a payload hash
+    must catch (an empty object has nothing to corrupt)."""
+    if not data:
+        return data
+    return bytes([data[0] ^ 0xFF]) + data[1:]
+
+
+class FaultInjectingBackend(CacheBackend):
+    """Wraps a backend; consults a :class:`FaultPlan` before every
+    operation (and corrupts ``get`` results after).
+
+    Counting happens even for non-matching calls — "the 40th put" means
+    the 40th put, not the 40th faulted put.  With a plan that has a
+    ``state_key`` the counters are process-wide (shared across every
+    injector opened from the same plan file); otherwise they are
+    private to this instance.
+    """
+
+    def __init__(
+        self,
+        inner: CacheBackend,
+        plan: FaultPlan,
+        state: Optional[FaultState] = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        if state is not None:
+            self.state = state
+        elif plan.state_key is not None:
+            self.state = shared_state(plan.state_key)
+        else:
+            self.state = FaultState()
+
+    @property
+    def location(self) -> str:
+        return self.inner.location
+
+    # ------------------------------------------------------------------
+    # the injection point
+    # ------------------------------------------------------------------
+    def _trip(self, operation: str, key: Optional[str] = None) -> List[FaultSpec]:
+        """Count the call, fire raising/stalling faults, and return any
+        remaining (post-operation) faults such as ``corrupt``."""
+        call = self.state.next_call(operation)
+        worker = os.environ.get(WORKER_ID_ENV, "")
+        deferred: List[FaultSpec] = []
+        for spec in self.plan.matching(operation, call, key, worker):
+            if spec.kind == "delay":
+                self.state.count_injection("delay")
+                time.sleep(spec.delay_seconds)
+            elif spec.kind == "crash":
+                self.state.count_injection("crash")
+                os._exit(3)  # no cleanup, no finally: a SIGKILL twin
+            elif spec.kind == "transient":
+                self.state.count_injection("transient")
+                raise TransientBackendError(
+                    f"injected transient fault: {operation} call #{call}"
+                    + (f" on {key!r}" if key else "")
+                )
+            elif spec.kind == "persistent":
+                self.state.count_injection("persistent")
+                raise PersistentBackendError(
+                    f"injected persistent fault: {operation} call #{call}"
+                    + (f" on {key!r}" if key else "")
+                )
+            else:  # corrupt: applied to the operation's result
+                deferred.append(spec)
+        return deferred
+
+    # ------------------------------------------------------------------
+    # the backend contract
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        deferred = self._trip("get", key)
+        data = self.inner.get(key)
+        if data is not None and any(spec.kind == "corrupt" for spec in deferred):
+            self.state.count_injection("corrupt")
+            return _corrupt(data)
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        self._trip("put", key)
+        self.inner.put(key, data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        self._trip("put_if_absent", key)
+        return self.inner.put_if_absent(key, data)
+
+    def delete(self, key: str) -> bool:
+        self._trip("delete", key)
+        return self.inner.delete(key)
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        self._trip("stat", key)
+        return self.inner.stat(key)
+
+    def list(self, prefix: str = "") -> List[str]:
+        self._trip("list")
+        return self.inner.list(prefix)
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, ObjectStat]]:
+        self._trip("scan")
+        return self.inner.scan(prefix)
+
+    def touch(self, key: str) -> None:
+        self._trip("touch", key)
+        self.inner.touch(key)
+
+    def collect_orphans(
+        self, max_age_seconds: Optional[float] = None, dry_run: bool = False
+    ) -> int:
+        return self.inner.collect_orphans(max_age_seconds, dry_run)
+
+    def lock(self, timeout: Optional[float] = None) -> contextlib.AbstractContextManager:
+        return self.inner.lock(timeout)

@@ -65,12 +65,19 @@ from repro.cluster.backends import (
     LocalDirectoryBackend,
     open_backend,
 )
+from repro.cluster.retry import RetryPolicy, with_retries
 
 #: Bump when the cache layout / metadata schema changes incompatibly.
 CACHE_LAYOUT_VERSION = 1
 
 #: Root-level sidecar recording last-access times for LRU eviction.
 INDEX_FILENAME = "cache-index.json"
+
+#: Bounded wait for the locks guarding advisory index maintenance.
+#: Past it the touch/cleanup is skipped — LRU recency degrades, the run
+#: proceeds.  Honest contention (one small read-modify-write) clears in
+#: well under this; only a wedged holder exhausts it.
+INDEX_LOCK_TIMEOUT_SECONDS = 0.25
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +211,9 @@ class PruneReport:
     remaining_entries: int
     remaining_bytes: int
     dry_run: bool
+    #: Orphaned temporary files swept (directory backend: leftovers of
+    #: writers that crashed mid ``put_if_absent``; 0 for other backends).
+    temp_files_removed: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -219,6 +229,7 @@ class PruneReport:
             "remaining_entries": self.remaining_entries,
             "remaining_bytes": self.remaining_bytes,
             "dry_run": self.dry_run,
+            "temp_files_removed": self.temp_files_removed,
         }
 
 
@@ -251,12 +262,20 @@ class ArtifactCache:
         self,
         root: Union[str, Path, CacheBackend, None] = None,
         backend: Optional[CacheBackend] = None,
+        retry: Union[RetryPolicy, bool, None] = None,
     ) -> None:
         if backend is None:
             if root is None:
                 raise ValueError("ArtifactCache needs a root path or a backend")
             backend = (
                 root if isinstance(root, CacheBackend) else LocalDirectoryBackend(root)
+            )
+        # Every cache tolerates transient storage faults by default —
+        # ``retry=False`` opts out (tests asserting exact backend call
+        # sequences), a RetryPolicy overrides attempt/backoff tuning.
+        if retry is not False:
+            backend = with_retries(
+                backend, retry if isinstance(retry, RetryPolicy) else None
             )
         self.backend = backend
         #: The backend location as a path.  For the directory backend
@@ -455,18 +474,31 @@ class ArtifactCache:
         lock, so concurrent workers and prunes never interleave their
         index rewrites (a worker/prune race used to be able to resurrect
         just-pruned index entries or drop a fresh store's).
+
+        Both locks are acquired with a *bounded* wait and the touch is
+        skipped when they stay busy: the section does backend IO, so a
+        wedged holder — e.g. a watchdog-abandoned worker thread stalled
+        inside its index read — would otherwise pass its fate on to
+        every healthy sibling that merely wanted to note a timestamp.
+        Recency is advisory by contract; stalling a run for it is not.
         """
         try:
             if not stored:
                 self.backend.touch(self._payload_key(stage, fingerprint))
                 return
-            with self._index_lock, self.backend.lock():
-                entries = self._read_index()
-                entries[f"{stage}/{fingerprint}"] = time.time()
-                self._write_index(entries)
+            if not self._index_lock.acquire(timeout=INDEX_LOCK_TIMEOUT_SECONDS):
+                return
+            try:
+                with self.backend.lock(timeout=INDEX_LOCK_TIMEOUT_SECONDS):
+                    entries = self._read_index()
+                    entries[f"{stage}/{fingerprint}"] = time.time()
+                    self._write_index(entries)
+            finally:
+                self._index_lock.release()
         except OSError:
-            # A read-only or vanished cache must never break the run the
-            # touch was bookkeeping for (BackendError subclasses OSError).
+            # A read-only or vanished cache (or a lock timeout —
+            # TransientBackendError) must never break the run the touch
+            # was bookkeeping for (BackendError subclasses OSError).
             pass
 
     def _scan_entries(self) -> List[CacheEntry]:
@@ -512,6 +544,12 @@ class ArtifactCache:
 
     def stats(self) -> CacheStats:
         """Per-stage entry counts and byte totals."""
+        try:
+            # Hygiene entry point: sweep crashed writers' stale temp
+            # files while we are here (best effort, like prune's).
+            self.backend.collect_orphans()
+        except OSError:
+            pass
         per_stage: Dict[str, Dict[str, int]] = {}
         total_bytes = 0
         count = 0
@@ -548,6 +586,13 @@ class ArtifactCache:
             raise ValueError("prune needs max_bytes and/or max_age_seconds")
         if now is None:
             now = time.time()
+        try:
+            # Count crashed writers' stale temp files before the entry
+            # scan (whose backend-side hygiene also collects them, but
+            # silently); best-effort like the rest of prune.
+            temp_files_removed = self.backend.collect_orphans(dry_run=dry_run)
+        except OSError:
+            temp_files_removed = 0
         entries = self._scan_entries()
         total = sum(entry.size_bytes for entry in entries)
         doomed: List[CacheEntry] = []
@@ -585,15 +630,21 @@ class ArtifactCache:
                         # read-only mount): hygiene is best-effort —
                         # keep evicting the rest.
                         pass
-            try:
-                with self._index_lock, self.backend.lock():
-                    index = self._read_index()
-                    kept = {f"{e.stage}/{e.fingerprint}" for e in survivors}
-                    self._write_index(
-                        {key: value for key, value in index.items() if key in kept}
-                    )
-            except OSError:
-                pass  # advisory metadata only — eviction already happened
+            # Bounded like _touch: eviction already happened, the index
+            # cleanup is advisory — a wedged lock holder must not stall
+            # the prune (stale index entries are ignored by _scan_entries).
+            if self._index_lock.acquire(timeout=INDEX_LOCK_TIMEOUT_SECONDS):
+                try:
+                    with self.backend.lock(timeout=INDEX_LOCK_TIMEOUT_SECONDS):
+                        index = self._read_index()
+                        kept = {f"{e.stage}/{e.fingerprint}" for e in survivors}
+                        self._write_index(
+                            {key: value for key, value in index.items() if key in kept}
+                        )
+                except OSError:
+                    pass
+                finally:
+                    self._index_lock.release()
         freed = sum(entry.size_bytes for entry in doomed)
         return PruneReport(
             removed=sorted(doomed, key=lambda e: (e.stage, e.fingerprint)),
@@ -601,4 +652,5 @@ class ArtifactCache:
             remaining_entries=len(survivors),
             remaining_bytes=total - freed,
             dry_run=dry_run,
+            temp_files_removed=temp_files_removed,
         )

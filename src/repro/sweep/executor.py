@@ -97,6 +97,9 @@ class SweepResult:
     executor: str
     cache_dir: Optional[str]
     waves: List[List[str]] = field(default_factory=list)
+    #: Post-mortem records of quarantined (``dead``) tasks — cluster
+    #: executor only; in-process executors have no queue, so always [].
+    dead_letters: List[Dict[str, object]] = field(default_factory=list)
 
     def by_id(self) -> Dict[str, ScenarioResult]:
         return {result.scenario_id: result for result in self.results}
@@ -259,6 +262,7 @@ def run_sweep(
     cache_budget_bytes: Optional[int] = None,
     lease_seconds: float = 30.0,
     wave_timeout: Optional[float] = None,
+    task_timeout_seconds: Optional[float] = None,
 ) -> SweepResult:
     """Run every scenario of a grid over one shared artifact cache.
 
@@ -296,6 +300,11 @@ def run_sweep(
         )
     if queue_dir is not None and executor != "cluster":
         raise ValueError("queue_dir only applies to executor='cluster'")
+    if task_timeout_seconds is not None and executor != "cluster":
+        raise ValueError(
+            "task_timeout_seconds only applies to executor='cluster' "
+            "(the watchdog lives in the queue workers)"
+        )
     if cache_budget_bytes is not None and cache_dir is None:
         raise ValueError("cache_budget_bytes requires a cache_dir to prune")
     if executor == "cluster":
@@ -318,6 +327,7 @@ def run_sweep(
             lease_seconds=lease_seconds,
             cache_budget_bytes=cache_budget_bytes,
             wave_timeout=wave_timeout,
+            task_timeout_seconds=task_timeout_seconds,
         )
     if isinstance(grid, SweepPlan):
         plan = grid

@@ -214,9 +214,9 @@ class TestHardlinkFreeFallback:
 
 
 class TestOrphanedTempFileCollection:
-    def test_stale_temp_files_are_collected_by_scan(self, tmp_path):
+    def test_stale_temp_files_are_collected(self, tmp_path):
         """A writer SIGKILLed mid-put leaves a dot-prefixed temp file
-        that list() hides; the hygiene scan must collect old ones so a
+        that list() hides; collect_orphans must remove old ones so a
         budgeted cache cannot leak invisible disk — while in-flight
         (recent) temp files and the lock file are untouched."""
         import os
@@ -236,11 +236,17 @@ class TestOrphanedTempFileCollection:
         lock = backend.root / backend.LOCK_FILENAME
         assert lock.exists()
 
-        backend.scan()
+        assert backend.collect_orphans() == 1
         assert not stale.exists()
         assert fresh.exists()
         assert lock.exists()
         assert backend.get("alpha/a.pkl") == b"x"
+        # scan itself stays read-only: no hidden deletion side effects.
+        fresh2 = stage_dir / ".c.pkl.orphan"
+        fresh2.write_bytes(b"x")
+        os.utime(fresh2, (old, old))
+        backend.scan()
+        assert fresh2.exists()
 
 
 class TestOpenBackend:

@@ -189,3 +189,45 @@ class TestPruneLiveCache:
         recomputed = run_pipeline(config, cache_dir=tmp_path, targets=("section3",))
         assert recomputed.cached_stages() == []
         assert recomputed.value("section3").as_dict() == reference
+
+
+class TestTempFileSweep:
+    """Orphaned temp files (crashed writers) are swept by prune and
+    surfaced in the report."""
+
+    def _plant_orphan(self, cache, age_seconds=7200.0):
+        import os
+        import time
+
+        orphan = cache.root / "alpha" / ".tmp-crashed-writer"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"half-written payload")
+        old = time.time() - age_seconds
+        os.utime(orphan, (old, old))
+        return orphan
+
+    def test_prune_counts_and_removes_aged_orphans(self, cache):
+        _store(cache, "alpha", 1)
+        orphan = self._plant_orphan(cache)
+        report = cache.prune(max_age_seconds=10**9)
+        assert report.temp_files_removed == 1
+        assert not orphan.exists()
+        assert cache.load("alpha", f"{1:064x}") is not None  # live entry kept
+
+    def test_fresh_temp_files_are_left_alone(self, cache):
+        """An in-flight write (young temp file) must never be swept."""
+        orphan = self._plant_orphan(cache, age_seconds=1.0)
+        report = cache.prune(max_age_seconds=10**9)
+        assert report.temp_files_removed == 0
+        assert orphan.exists()
+
+    def test_dry_run_counts_without_deleting(self, cache):
+        orphan = self._plant_orphan(cache)
+        report = cache.prune(max_age_seconds=10**9, dry_run=True)
+        assert report.temp_files_removed == 1
+        assert orphan.exists()
+
+    def test_report_dict_carries_the_count(self, cache):
+        self._plant_orphan(cache)
+        report = cache.prune(max_age_seconds=10**9)
+        assert report.to_dict()["temp_files_removed"] == 1

@@ -1,0 +1,404 @@
+"""Chaos suite: scripted fault storms against the distributed sweep.
+
+The acceptance criterion of the hardening work: the golden 2x2
+distributed sweep — under a seeded transient/corruption storm, one
+worker crash and one stuck-but-heartbeating task — completes
+**bit-identical to serial**, with the recoveries (retries, lease
+reclaims, watchdog aborts) visible in the queue's post-mortem records.
+Alongside it, the targeted unhappy paths: poison-task quarantine,
+heartbeat-failure stand-down, and graceful SIGTERM drain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.coordinator import queue_path, run_distributed_sweep
+from repro.cluster.queue import TaskQueue, TaskSpec
+from repro.cluster.worker import Worker
+from repro.datasets import DatasetConfig
+from repro.faults import (
+    FaultInjectingQueue,
+    FaultPlan,
+    FaultSpec,
+    intercept_stage,
+)
+from repro.pipeline import PipelineConfig
+from repro.sweep import GridAxis, SweepGrid, run_sweep
+from repro.topology.generator import TopologyConfig
+
+
+def tiny_base(seed: int = 5) -> PipelineConfig:
+    return PipelineConfig(
+        dataset=DatasetConfig(
+            topology=TopologyConfig(
+                seed=seed, tier1_count=3, tier2_count=8, tier3_count=20
+            ),
+            seed=seed,
+            vantage_points=4,
+        ),
+        top=3,
+        max_sources=10,
+    )
+
+
+def two_by_two() -> SweepGrid:
+    return SweepGrid(
+        tiny_base(),
+        [GridAxis("dataset.seed", (1, 2)), GridAxis("top", (2, 3))],
+    )
+
+
+def cells(result):
+    return {r.scenario_id: (r.section3, r.correction) for r in result.results}
+
+
+def task_spec(
+    task_id: str,
+    cache_dir,
+    max_attempts: int = 3,
+    timeout_seconds=None,
+    targets=("section3",),
+) -> TaskSpec:
+    return TaskSpec(
+        task_id=task_id,
+        sweep_id="chaos",
+        wave=0,
+        scenario_id=f"scenario-{task_id}",
+        config=pickle.dumps(tiny_base(), protocol=pickle.HIGHEST_PROTOCOL),
+        targets=json.dumps(list(targets)),
+        cache_spec=str(cache_dir),
+        max_attempts=max_attempts,
+        timeout_seconds=timeout_seconds,
+    )
+
+
+class TestGolden2x2UnderStorm:
+    def test_fault_storm_crash_and_stall_still_bit_identical(self, tmp_path):
+        """The tentpole acceptance test.  Storm ingredients:
+
+        * a seeded transient/corrupt/delay storm over every backend
+          operation of every worker (absorbed by retry + hash verify),
+        * worker ``local-0`` crashes (``os._exit``) on its first
+          payload publish — lease expiry hands its task to the survivor,
+        * worker ``local-1`` stalls 30s inside a backend read while its
+          heartbeat keeps the lease alive — only the watchdog can abort
+          it (the stuck-but-heartbeating scenario).
+
+        The sweep must still converge to the serial run's bytes, with
+        no dead letters and the recoveries on the queue record.
+        """
+        grid = two_by_two()
+        serial = run_sweep(
+            grid, cache_dir=tmp_path / "serial-cache", executor="serial"
+        )
+
+        storm = FaultPlan.seeded(
+            seed=11,
+            calls=150,
+            transient_rate=0.06,
+            corrupt_rate=0.02,
+            delay_rate=0.02,
+            delay_seconds=0.002,
+        )
+        scripted = (
+            # Deterministic crash: only worker local-0, first publish.
+            FaultSpec("put_if_absent", 1, "crash", worker_pattern="local-0-"),
+            # Deterministic stall, far longer than the watchdog budget:
+            # only worker local-1, mid-run.
+            FaultSpec(
+                "get", 25, "delay", delay_seconds=30.0, worker_pattern="local-1-"
+            ),
+        )
+        # Keep the scripted entries authoritative at their call slots:
+        # a storm fault firing first would consume the slot (a raise
+        # advances the counter past the crash/stall).
+        entries = tuple(
+            spec
+            for spec in storm.entries
+            if not (spec.operation == "put_if_absent" and spec.call <= 2)
+            and not (spec.operation == "get" and spec.call == 25)
+        ) + scripted
+        plan_path = tmp_path / "storm.json"
+        FaultPlan(entries).to_json_file(plan_path)
+
+        cache_dir = tmp_path / "cluster-cache"
+        distributed = run_distributed_sweep(
+            grid,
+            queue_dir=tmp_path / "queue",
+            cache_dir=f"fault://{plan_path}!{cache_dir}",
+            local_workers=2,
+            lease_seconds=5.0,
+            poll_interval=0.05,
+            max_attempts=4,
+            task_timeout_seconds=8.0,
+        )
+
+        # Bit-identical to serial, every scenario ok, nothing quarantined.
+        assert [r.status for r in distributed.results] == ["ok"] * 4
+        assert cells(distributed) == cells(serial)
+        assert distributed.dead_letters == []
+
+        # The recoveries really happened and are on the record.
+        tasks = TaskQueue(queue_path(tmp_path / "queue")).tasks()
+        assert [t.status for t in tasks] == ["done"] * 4
+        assert any(t.attempts > 1 for t in tasks)
+        log_errors = [
+            entry.get("error", "")
+            for task in tasks
+            for entry in task.attempts_log
+        ]
+        assert any("lease expired" in error for error in log_errors), log_errors
+        assert any("watchdog" in error for error in log_errors), log_errors
+
+
+class TestPoisonTaskQuarantine:
+    def test_reliably_stuck_task_becomes_a_dead_letter(self, tmp_path):
+        """A task that hangs on *every* attempt burns its attempts via
+        watchdog aborts and ends up quarantined with a per-attempt
+        post-mortem — instead of blocking the sweep forever."""
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue(
+            [
+                task_spec(
+                    "t-stuck",
+                    tmp_path / "cache",
+                    max_attempts=2,
+                    timeout_seconds=0.4,
+                )
+            ]
+        )
+        stall = threading.Event()  # never set: every attempt hangs;
+        # the abandoned daemon threads die with the interpreter.
+        stages = intercept_stage("topology", lambda: stall.wait(600))
+        worker = Worker(
+            queue,
+            worker_id="w-stuck",
+            lease_seconds=5.0,
+            poll_interval=0.02,
+            stages=stages,
+        )
+        processed = worker.run(max_tasks=2, exit_when_closed=False)
+
+        assert processed == 2
+        assert worker.watchdog_trips == 2
+        task = queue.get("t-stuck")
+        assert task.status == "dead"
+        assert "watchdog" in task.error
+        assert "still heartbeating" in task.error
+        assert [entry["attempt"] for entry in task.attempts_log] == [1, 2]
+        assert all("watchdog" in entry["error"] for entry in task.attempts_log)
+        assert all(entry["owner"] == "w-stuck" for entry in task.attempts_log)
+
+        letters = queue.dead_letters()
+        assert [letter["task_id"] for letter in letters] == ["t-stuck"]
+        assert letters[0]["attempts"] == 2
+        assert len(letters[0]["attempts_log"]) == 2
+
+    def test_task_timeout_beats_worker_default(self, tmp_path):
+        """A task's own ``timeout_seconds`` overrides the worker-level
+        default — and a worker default alone is enough to trip."""
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue(
+            [task_spec("t-default", tmp_path / "cache", max_attempts=1)]
+        )
+        stall = threading.Event()
+        stages = intercept_stage("topology", lambda: stall.wait(600))
+        worker = Worker(
+            queue,
+            worker_id="w-default",
+            lease_seconds=5.0,
+            poll_interval=0.02,
+            stages=stages,
+            task_timeout=0.3,  # no per-task timeout: this one applies
+        )
+        worker.run(max_tasks=1, exit_when_closed=False)
+        assert worker.watchdog_trips == 1
+        assert queue.get("t-default").status == "dead"
+
+
+class TestHeartbeatFailureLimit:
+    def test_persistent_heartbeat_failures_stand_the_worker_down(self, tmp_path):
+        """A worker whose heartbeats keep *raising* must stop working
+        after a full lease of silence — its lease has lapsed and the
+        queue would reject the result anyway."""
+        real = TaskQueue(tmp_path / "queue.sqlite")
+        real.enqueue([task_spec("t-hb", tmp_path / "cache")])
+        plan = FaultPlan(
+            tuple(FaultSpec("heartbeat", call, "transient") for call in range(1, 20))
+        )
+        flaky = FaultInjectingQueue(real, plan)
+        gate = threading.Event()  # never set: the attempt outlives the lease
+        stages = intercept_stage("topology", lambda: gate.wait(600))
+        worker = Worker(
+            flaky,
+            worker_id="w-hb",
+            lease_seconds=0.45,
+            poll_interval=0.02,
+            stages=stages,
+        )
+        task = flaky.claim("w-hb", 0.45)
+        assert task is not None
+
+        started = time.monotonic()
+        accepted = worker.process(task)
+        elapsed = time.monotonic() - started
+
+        assert accepted is False
+        # Stood down after ~one lease of failed heartbeats — it did not
+        # wait out the (much longer) stage stall.
+        assert elapsed < 5.0
+        assert flaky.injections()["transient"] >= 3
+        row = real.get("t-hb")
+        assert row.status == "running"  # abandoned; reclaimable on expiry
+        assert row.result is None
+
+    def test_single_heartbeat_hiccup_is_tolerated(self, tmp_path):
+        """One failed heartbeat must not stand the worker down: the
+        failure counter resets on the next success."""
+        real = TaskQueue(tmp_path / "queue.sqlite")
+        real.enqueue([task_spec("t-hic", tmp_path / "cache")])
+        plan = FaultPlan((FaultSpec("heartbeat", 1, "transient"),))
+        flaky = FaultInjectingQueue(real, plan)
+        gate = threading.Event()
+        stages = intercept_stage("topology", lambda: gate.wait(1.2) and None)
+        worker = Worker(
+            flaky,
+            worker_id="w-hic",
+            lease_seconds=0.9,
+            poll_interval=0.02,
+            stages=stages,
+        )
+        task = flaky.claim("w-hic", 0.9)
+        assert worker.process(task)  # completed despite the hiccup
+        assert real.get("t-hic").status == "done"
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_current_task_and_claims_no_more(self, tmp_path):
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue(
+            [task_spec("t1", tmp_path / "cache"), task_spec("t2", tmp_path / "cache")]
+        )
+        started = threading.Event()
+        gate = threading.Event()
+
+        def before() -> None:
+            started.set()
+            gate.wait(30)
+
+        worker = Worker(
+            queue,
+            worker_id="w-drain",
+            lease_seconds=10.0,
+            poll_interval=0.02,
+            stages=intercept_stage("topology", before),
+        )
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.setdefault(
+                "processed", worker.run(exit_when_closed=False)
+            )
+        )
+        thread.start()
+        assert started.wait(10.0)
+        worker.request_drain()  # first request: finish, then stop
+        gate.set()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+        assert outcome["processed"] == 1
+        assert queue.get("t1").status == "done"  # finished, not dropped
+        assert queue.get("t2").status == "pending"  # never claimed
+
+    def test_release_current_hands_the_task_back_with_attempt_refund(self, tmp_path):
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue([task_spec("t1", tmp_path / "cache")])
+        started = threading.Event()
+        gate = threading.Event()  # never set: only release can end this
+
+        def before() -> None:
+            started.set()
+            gate.wait(600)
+
+        worker = Worker(
+            queue,
+            worker_id="w-release",
+            lease_seconds=10.0,
+            poll_interval=0.02,
+            stages=intercept_stage("topology", before),
+        )
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.setdefault(
+                "processed", worker.run(exit_when_closed=False)
+            )
+        )
+        thread.start()
+        assert started.wait(10.0)
+        worker.request_drain(release_current=True)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+        task = queue.get("t1")
+        assert task.status == "pending"  # immediately reclaimable
+        assert task.attempts == 0  # the attempt was refunded
+        assert any(
+            "released: graceful drain" in entry["error"]
+            for entry in task.attempts_log
+        )
+
+    def test_cli_worker_sigterm_exits_zero(self, tmp_path):
+        """``repro worker`` + SIGTERM: an idle worker drains and exits
+        0; a worker with a task in flight finishes it first."""
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        queue = TaskQueue(queue_path(queue_dir))
+        queue.enqueue([task_spec("t1", tmp_path / "cache")])
+
+        source_root = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(source_root)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--queue-dir", str(queue_dir),
+                "--worker-id", "sigterm-worker",
+                "--lease-seconds", "30",
+                "--poll-interval", "0.05",
+                "--keep-alive",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                task = queue.get("t1")
+                if task.status != "pending":
+                    break
+                time.sleep(0.05)
+            assert queue.get("t1").status == "running"
+            process.send_signal(signal.SIGTERM)
+            stdout, _ = process.communicate(timeout=120.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        assert process.returncode == 0
+        assert "SIGTERM: draining" in stdout
+        assert "drained: 1 tasks processed" in stdout
+        assert queue.get("t1").status == "done"  # finished, not abandoned

@@ -226,3 +226,206 @@ class TestConcurrency:
             thread.join()
         assert sorted(claimed) == [f"t{i}" for i in range(8)]
         assert len(set(claimed)) == 8  # nothing claimed twice
+
+
+class TestRelease:
+    """The graceful-drain transition: hand the task back, refund the
+    attempt, leave a diagnostic trace."""
+
+    def test_release_returns_task_with_attempt_refund(self, queue):
+        queue.enqueue([spec("t1")])
+        task = queue.claim("w1", 30)
+        assert task.attempts == 1
+        assert queue.release("t1", "w1", "graceful drain")
+        released = queue.get("t1")
+        assert released.status == "pending"
+        assert released.attempts == 0  # refunded: draining is not a failure
+        assert released.owner is None
+        assert [entry["error"] for entry in released.attempts_log] == [
+            "released: graceful drain"
+        ]
+        # Immediately reclaimable, and the attempt count restarts at 1.
+        assert queue.claim("w2", 30).attempts == 1
+
+    def test_release_is_owner_guarded(self, queue):
+        queue.enqueue([spec("t1")])
+        queue.claim("w1", 30)
+        assert not queue.release("t1", "not-the-owner")
+        assert queue.get("t1").status == "running"
+        # A zombie whose lease moved on cannot release the heir's claim.
+        queue.release("t1", "w1")
+        queue.claim("w2", 30)
+        assert not queue.release("t1", "w1")
+
+    def test_repeated_releases_never_go_negative(self, queue):
+        queue.enqueue([spec("t1")])
+        for _ in range(3):
+            queue.claim("w1", 30)
+            assert queue.release("t1", "w1")
+        task = queue.get("t1")
+        assert task.attempts == 0
+        assert len(task.attempts_log) == 3
+
+
+class TestAttemptsLog:
+    def test_fail_appends_attempt_record(self, queue):
+        queue.enqueue([spec("t1")])
+        queue.claim("w1", 30)
+        queue.fail("t1", "w1", "stage exploded")
+        (entry,) = queue.get("t1").attempts_log
+        assert entry["attempt"] == 1
+        assert entry["owner"] == "w1"
+        assert entry["error"] == "stage exploded"
+        assert entry["at"] > 0
+
+    def test_lease_expiry_appends_attempt_record(self, queue):
+        queue.enqueue([spec("t1")])
+        queue.claim("w1", lease_seconds=10, now=1000.0)
+        queue.claim("w2", lease_seconds=10, now=2000.0)  # sweeps the expiry
+        log = queue.get("t1").attempts_log
+        assert [entry["owner"] for entry in log] == ["w1"]
+        assert "lease expired" in log[0]["error"]
+
+    def test_history_accumulates_across_attempts(self, queue):
+        queue.enqueue([spec("t1", max_attempts=3)])
+        queue.claim("w1", 30)
+        queue.fail("t1", "w1", "first")
+        queue.claim("w2", lease_seconds=10, now=5000.0)
+        queue.claim("w3", lease_seconds=10, now=6000.0)  # w2's lease expires
+        queue.fail("t1", "w3", "third")
+        task = queue.get("t1")
+        assert task.status == "dead"
+        assert [entry["attempt"] for entry in task.attempts_log] == [1, 2, 3]
+        assert [entry["owner"] for entry in task.attempts_log] == ["w1", "w2", "w3"]
+
+
+class TestDeadLetters:
+    def test_dead_letter_carries_the_post_mortem(self, queue):
+        queue.enqueue([spec("t1", max_attempts=2), spec("t2")])
+        queue.claim("w1", 30)
+        queue.fail("t1", "w1", "boom 1")
+        queue.claim("w1", 30)
+        queue.fail("t1", "w1", "boom 2")
+        (letter,) = queue.dead_letters()
+        assert letter["task_id"] == "t1"
+        assert letter["scenario_id"] == "scenario-t1"
+        assert letter["attempts"] == 2
+        assert letter["max_attempts"] == 2
+        assert letter["error"] == "boom 2"
+        assert [e["error"] for e in letter["attempts_log"]] == ["boom 1", "boom 2"]
+        assert letter["quarantined_at"] >= letter["enqueued_at"]
+
+    def test_sweep_filter(self, queue):
+        queue.enqueue([spec("t1", max_attempts=1)])
+        queue.claim("w1", 30)
+        queue.fail("t1", "w1", "boom")
+        assert queue.dead_letters(sweep_id="sweep")
+        assert queue.dead_letters(sweep_id="other-sweep") == []
+
+
+class TestStatusReport:
+    def test_report_shape_and_lease_math(self, queue):
+        queue.enqueue([spec("t1"), spec("t2"), spec("dead-t", max_attempts=1)])
+        queue.claim("w1", lease_seconds=30, now=1000.0)
+        queue.claim("w2", lease_seconds=30, now=1000.0)
+        queue.fail("t2", "w2", "boom")  # back to pending
+        queue.claim("w2", lease_seconds=30, now=1002.0)
+        assert queue.claim("w3", lease_seconds=30, now=1002.0).task_id == "dead-t"
+        queue.fail("dead-t", "w3", "poison")
+        report = queue.status_report(now=1010.0)
+        assert report["state"] == "open"
+        assert report["total_tasks"] == 3
+        assert report["counts"] == {"running": 2, "dead": 1}
+        running = {row["task_id"]: row for row in report["running"]}
+        assert set(running) == {"t1", "t2"}
+        assert running["t1"]["owner"] == "w1"
+        assert running["t1"]["seconds_since_update"] == pytest.approx(10.0)
+        assert running["t1"]["lease_seconds_remaining"] == pytest.approx(20.0)
+        assert running["t2"]["attempts"] == 2
+        assert [letter["task_id"] for letter in report["dead_letters"]] == ["dead-t"]
+        roster = {row["task_id"]: row for row in report["tasks"]}
+        assert roster["t2"]["attempts"] == 2  # retries visible from outside
+        assert roster["dead-t"]["status"] == "dead"
+
+
+class TestTimeoutColumn:
+    def test_timeout_seconds_round_trips(self, queue):
+        queue.enqueue([spec("plain"), TaskSpec(
+            task_id="budgeted", sweep_id="sweep", wave=0,
+            scenario_id="scenario-budgeted", config=b"c",
+            targets=json.dumps(["section3"]), timeout_seconds=12.5,
+        )])
+        assert queue.get("plain").timeout_seconds is None
+        assert queue.get("budgeted").timeout_seconds == 12.5
+        claimed = {queue.claim(f"w{i}", 30).task_id: t for i, t in enumerate("ab")}
+        assert queue.get("budgeted").timeout_seconds == 12.5  # survives claim
+
+
+class TestSchemaMigration:
+    V1_SCHEMA = """
+    CREATE TABLE tasks (
+        task_id      TEXT PRIMARY KEY,
+        sweep_id     TEXT NOT NULL,
+        wave         INTEGER NOT NULL,
+        scenario_id  TEXT NOT NULL,
+        config       BLOB NOT NULL,
+        targets      TEXT NOT NULL,
+        cache_spec   TEXT,
+        status       TEXT NOT NULL DEFAULT 'pending',
+        attempts     INTEGER NOT NULL DEFAULT 0,
+        max_attempts INTEGER NOT NULL DEFAULT 3,
+        owner        TEXT,
+        lease_expires REAL,
+        result       TEXT,
+        error        TEXT,
+        enqueued_at  REAL NOT NULL,
+        updated_at   REAL NOT NULL
+    );
+    CREATE INDEX idx_tasks_claim ON tasks (status, wave);
+    CREATE TABLE control (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+    INSERT INTO control VALUES ('state', 'open'), ('schema_version', '1');
+    """
+
+    def test_v1_file_is_migrated_in_place(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "queue.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.executescript(self.V1_SCHEMA)
+        conn.execute(
+            "INSERT INTO tasks (task_id, sweep_id, wave, scenario_id, config, "
+            "targets, enqueued_at, updated_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            ("old-task", "old-sweep", 0, "old-scenario", b"cfg",
+             json.dumps(["section3"]), 1000.0, 1000.0),
+        )
+        conn.commit()
+        conn.close()
+
+        queue = TaskQueue(path)  # opening migrates
+        with sqlite3.connect(str(path)) as conn:
+            columns = {row[1] for row in conn.execute("PRAGMA table_info(tasks)")}
+            version = conn.execute(
+                "SELECT value FROM control WHERE key = 'schema_version'"
+            ).fetchone()[0]
+        assert {"timeout_seconds", "attempts_log"} <= columns
+        assert version == "2"
+        # The v1 row reads back with the new fields defaulted ...
+        old = queue.get("old-task")
+        assert old.timeout_seconds is None
+        assert old.attempts_log == []
+        # ... and participates in the full v2 lifecycle.
+        task = queue.claim("w1", 30)
+        assert task.task_id == "old-task"
+        assert queue.fail("old-task", "w1", "first failure") == "pending"
+        assert queue.get("old-task").attempts_log[0]["error"] == "first failure"
+
+    def test_fresh_queue_records_current_schema_version(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "queue.sqlite"
+        TaskQueue(path)
+        with sqlite3.connect(str(path)) as conn:
+            version = conn.execute(
+                "SELECT value FROM control WHERE key = 'schema_version'"
+            ).fetchone()[0]
+        assert version == "2"
