@@ -17,6 +17,15 @@ Scenarios:
 * ``scale_1000``   — a 1060-AS topology, IPv4 plane, optimized only;
   the seed implementation is too slow to run here routinely, which is
   the point of the scenario.
+* ``engine_comparison`` — the pluggable propagation backends
+  (:mod:`repro.bgp.backends`: event vs array vs equilibrium) head to
+  head on the 1060-AS topology in the measurement configuration
+  (``keep_ribs_for`` a vantage sample); parity of reachable counts and
+  kept RIBs is asserted before any speedup is recorded.
+* ``scale_10k`` — the equilibrium solver on a 10,012-AS topology (an
+  order of magnitude past ``scale_1000``) against a committed
+  10-second wall-clock budget; runs even under ``--smoke`` (with a
+  smaller origin sample) so CI keeps the scenario alive.
 * ``extraction_inference`` (``BENCH_extraction.json``) — the
   collector→extraction→inference pipeline on ``paper_scale_config``:
   the indexed :class:`~repro.core.store.ObservationStore` path versus
@@ -544,6 +553,133 @@ def bench_scale(repeats: int) -> Dict:
     }
 
 
+def _vantage_sample(graph, count: int = 24):
+    """A deterministic spread of ~``count`` vantage-style ASes."""
+    return graph.ases[:: max(1, len(graph.ases) // count)][:count]
+
+
+def bench_engines(repeats: int, small: bool = False) -> Dict:
+    """Propagation backends head to head on one scale topology.
+
+    Event vs array vs equilibrium over the same origin set, in the
+    measurement configuration (``keep_ribs_for`` a vantage sample, like
+    the pipeline's propagation stage).  Parity — reachable counts and
+    the kept RIBs, route for route — is asserted before any speedup is
+    recorded; the event engine additionally cross-checks the array
+    event count.
+    """
+    from repro.bgp.engine import PropagationEngine
+
+    topology = generate_topology(SMOKE_TOPOLOGY if small else SCALE_TOPOLOGY)
+    graph = topology.graph
+    policies = default_policies(graph.ases)
+    origins = originate_one_prefix_per_as(graph, AFI.IPV4)
+    keep = _vantage_sample(graph)
+
+    engines = ("event", "array", "equilibrium")
+    best: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for name in engines:
+        best[name] = float("inf")
+        for _ in range(repeats):
+            elapsed, result = _time_once(
+                lambda: PropagationEngine(
+                    graph, policies, keep_ribs_for=keep, engine=name
+                ),
+                origins,
+            )
+            best[name] = min(best[name], elapsed)
+            results[name] = result
+
+    event = results["event"]
+    if results["array"].events != event.events:
+        raise AssertionError("array backend diverged from the event count")
+    for name in ("array", "equilibrium"):
+        candidate = results[name]
+        if candidate.reachable_counts != event.reachable_counts:
+            raise AssertionError(f"{name} reachable counts diverged from event")
+        for asn in keep:
+            if candidate.snapshot(asn).best_routes != event.snapshot(asn).best_routes:
+                raise AssertionError(
+                    f"{name} routes at AS{asn} diverged from event; refusing "
+                    "to record a speedup over non-identical results"
+                )
+
+    return {
+        "ases": len(graph),
+        "prefixes": len(origins),
+        "keep_ribs_for": len(keep),
+        "engines": {
+            name: {
+                "wall_seconds": round(best[name], 4),
+                "events": results[name].events,
+                "speedup_vs_event": round(best["event"] / best[name], 2),
+            }
+            for name in engines
+        },
+        "bit_identical": True,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+#: The 10k-AS scenario: an order of magnitude past ``SCALE_TOPOLOGY``,
+#: feasible routinely only because the equilibrium solver skips events.
+SCALE_10K_TOPOLOGY = TopologyConfig(
+    seed=2026,
+    tier1_count=12,
+    tier2_count=1200,
+    tier3_count=8800,
+    tier2_peering_probability=0.015,
+)
+
+#: The committed budget for the 10k-AS solve (ISSUE 7 acceptance).
+SCALE_10K_BUDGET_SECONDS = 10.0
+
+
+def bench_scale_10k(repeats: int, small: bool = False) -> Dict:
+    """Equilibrium solver on the 10k-AS topology, against a wall-clock
+    budget.
+
+    Topology generation is excluded from the timed section (it is a
+    one-off per dataset and dominated by the generator, not the
+    solver).  Smoke mode keeps the full 10k-AS graph but samples fewer
+    origins so CI exercises the real scenario shape in seconds.
+    """
+    from repro.bgp.engine import PropagationEngine
+
+    topology = generate_topology(SCALE_10K_TOPOLOGY)
+    graph = topology.graph
+    policies = default_policies(graph.ases)
+    full = originate_one_prefix_per_as(graph, AFI.IPV4)
+    prefixes = list(full)
+    sample = 16 if small else 128
+    step = max(1, len(prefixes) // sample)
+    origins = {prefix: full[prefix] for prefix in prefixes[::step][:sample]}
+    keep = _vantage_sample(graph)
+
+    measured = _measure(
+        lambda: PropagationEngine(
+            graph, policies, keep_ribs_for=keep, engine="equilibrium"
+        ),
+        origins,
+        repeats,
+    )
+    within_budget = measured["wall_seconds"] <= SCALE_10K_BUDGET_SECONDS
+    if not small and not within_budget:
+        raise AssertionError(
+            f"10k-AS equilibrium solve took {measured['wall_seconds']}s, "
+            f"budget is {SCALE_10K_BUDGET_SECONDS}s"
+        )
+    return {
+        "ases": len(graph),
+        "engine": "equilibrium",
+        "budget_seconds": SCALE_10K_BUDGET_SECONDS,
+        "within_budget": within_budget,
+        "planes": {str(AFI.IPV4): {"optimized": measured}},
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 def _report_envelope(results: Dict, schema_version: int = 1) -> Dict:
     return {
         "schema_version": schema_version,
@@ -605,6 +741,17 @@ def main(argv: Optional[list] = None) -> int:
         "--skip-scale",
         action="store_true",
         help="skip the 1000-AS scale scenario",
+    )
+    parser.add_argument(
+        "--skip-engines",
+        action="store_true",
+        help="skip the propagation-backend comparison scenario",
+    )
+    parser.add_argument(
+        "--skip-10k",
+        action="store_true",
+        help="skip the 10k-AS equilibrium scenario (runs even in --smoke, "
+        "with a smaller origin sample)",
     )
     parser.add_argument(
         "--skip-extraction",
@@ -812,10 +959,39 @@ def main(argv: Optional[list] = None) -> int:
         print(f"[bench] scale topology {SCALE_TOPOLOGY.total_ases} ASes ...")
         report["results"]["scale_1000"] = bench_scale(max(1, args.repeats - 1))
 
+    if not args.skip_engines:
+        scale = SMOKE_TOPOLOGY if args.smoke else SCALE_TOPOLOGY
+        print(f"[bench] engine comparison on {scale.total_ases} ASes ...")
+        comparison = bench_engines(max(1, args.repeats - 1), args.smoke)
+        report["results"]["engine_comparison"] = comparison
+        print(
+            "  engine_comparison: "
+            + ", ".join(
+                f"{name} {data['wall_seconds']}s ({data['speedup_vs_event']}x)"
+                for name, data in comparison["engines"].items()
+            )
+            + " (bit-identical)"
+        )
+
+    if not args.skip_10k:
+        print(
+            f"[bench] 10k-AS equilibrium scenario "
+            f"({SCALE_10K_TOPOLOGY.total_ases} ASes) ..."
+        )
+        ten_k = bench_scale_10k(max(1, args.repeats - 1), args.smoke)
+        report["results"]["scale_10k"] = ten_k
+        solved = ten_k["planes"][str(AFI.IPV4)]["optimized"]
+        print(
+            f"  scale_10k: {solved['prefixes']} prefixes in "
+            f"{solved['wall_seconds']}s "
+            f"(budget {ten_k['budget_seconds']}s, "
+            f"within_budget={ten_k['within_budget']})"
+        )
+
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.output}")
     for name, scenario in report["results"].items():
-        for plane, data in scenario["planes"].items():
+        for plane, data in scenario.get("planes", {}).items():
             optimized = data["optimized"]
             line = (
                 f"  {name}/{plane}: {optimized['wall_seconds']}s, "

@@ -1,0 +1,381 @@
+"""Array-native propagation core: the event loop over dense int ids.
+
+A faithful port of :class:`~repro.bgp.propagation.PropagationSimulator`
+that replaces every per-event Python object with flat per-AS state:
+
+* ASNs are interned to dense ids ``0..n-1`` in ascending-ASN order, so
+  id ordering is ASN ordering and the event engine's ASN-based
+  determinism (sorted withdrawal fan-out, sorted export plans, queue
+  admission order) carries over unchanged.
+* A route candidate is ``(packed key, path tuple, relationship code)``
+  instead of a :class:`~repro.bgp.messages.Route`; the decision key
+  ``(LOCAL_PREF, -path length, -sender ASN)`` packs into a single int
+  (monotonic for arbitrary LOCAL_PREF values), so the hot loop's route
+  comparisons are int comparisons and the inner loop allocates nothing
+  beyond the occasional path tuple on best-route change.
+* Best-route state lives in preallocated parallel lists indexed by id
+  (best sender, packed key, path, learned class), reset between
+  prefixes via a touched list.
+
+Route **attributes** are never computed during propagation.  Two routes
+at the same AS are equal iff their ``(sender, AS path)`` pairs are
+equal — attributes are a pure function of the export chain, by
+induction from the immutable origin route — so best-route *change*
+detection needs only the interned state.  Actual routes are
+materialized once per prefix at quiescence by the shared chain-walk
+materializer, which replays the real per-edge export/import transforms
+and therefore reproduces the event engine's routes bit for bit.
+
+The port preserves event-loop semantics exactly — same queue
+discipline, same incremental decision shortcuts, same withdrawal
+ordering — so its ``events`` count and converged state are identical
+to the event backend on *arbitrary* policies (including TE overrides,
+export relaxations, siblings and custom LOCAL_PREF hooks, which are
+consulted per import exactly when the event engine would consult
+them).  The golden suite pins this equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.relationships import AFI, Relationship
+from repro.bgp.backends.base import (
+    PropagationBackend,
+    install_converged_routes,
+    speakers_without_sessions,
+)
+from repro.bgp.policy import RoutingPolicy
+from repro.bgp.prefixes import Prefix
+from repro.bgp.results import ConvergenceError, PropagationResult
+
+#: Learned-relationship classes, in the event engine's plan order.
+#: Index 0 is the locally-originated class (learned relationship None).
+_LEARNED_CLASSES: Tuple[Optional[Relationship], ...] = (
+    None,
+    Relationship.P2C,
+    Relationship.C2P,
+    Relationship.P2P,
+    Relationship.SIBLING,
+)
+_CODE_OF_REL = {rel: code for code, rel in enumerate(_LEARNED_CLASSES)}
+
+_EMPTY_SET: frozenset = frozenset()
+
+#: best_sender sentinels.
+_NO_ROUTE = -1
+_LOCAL_ROUTE = -2
+
+
+class ArrayBackend(PropagationBackend):
+    """Allocation-light event propagation over interned arrays."""
+
+    name = "array"
+
+    def __init__(self, graph, policies=None, max_events_per_prefix=200_000, keep_ribs_for=None):
+        super().__init__(graph, policies, max_events_per_prefix, keep_ribs_for)
+        self._asns: List[int] = graph.ases  # sorted ascending
+        self._id_of: Dict[int, int] = {asn: i for i, asn in enumerate(self._asns)}
+        n = len(self._asns)
+        # Packing factors: path length < _LENF, sender id < _SENF.  Hop
+        # uniqueness (the loop check) bounds path length by n.
+        self._lenf = n + 2
+        self._senf = n + 1
+        # Per-AFI interned export plans and LOCAL_PREF tables (lazy).
+        self._plans: Dict[AFI, List] = {}
+        self._lp_tables: Dict[AFI, List] = {}
+        # One policy object per id; shared with the result speakers so
+        # per-import policy consults see exactly what the event engine's
+        # speakers would.
+        self._policy_of: List[RoutingPolicy] = [
+            self.policies.get(asn) or RoutingPolicy(asn=asn) for asn in self._asns
+        ]
+        for asn, policy in zip(self._asns, self._policy_of):
+            self.policies.setdefault(asn, policy)
+        # Per-prefix propagation state, reused across prefixes and reset
+        # through the touched list.
+        self._cand: List[Optional[dict]] = [None] * n
+        self._best_sender = [_NO_ROUTE] * n
+        self._best_key = [0] * n
+        self._best_path: List[Optional[Tuple[int, ...]]] = [None] * n
+        self._best_rel = [0] * n
+        self._announced: List[Optional[set]] = [None] * n
+        self._dirty = bytearray(n)
+        self._queued = bytearray(n)
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def _build_plane(self, afi: AFI) -> None:
+        """Intern export plans and import LOCAL_PREF tables for one AFI.
+
+        Mirrors ``PropagationSimulator._build_export_plans`` (policy
+        ``export_allowed`` consulted once per learned class × neighbour)
+        and ``BGPSpeaker._build_import_defaults`` (policies with custom
+        import hooks or TE overrides are consulted per import instead of
+        being snapshotted into a table).
+        """
+        id_of = self._id_of
+        plans: List = [None] * len(self._asns)
+        lp_tables: List = [None] * len(self._asns)
+        for x, asn in enumerate(self._asns):
+            policy = self._policy_of[x]
+            neighbors = self.graph.oriented_neighbors(asn, afi)
+            if neighbors:
+                per_learned = []
+                for learned in _LEARNED_CLASSES:
+                    allowed = tuple(
+                        (id_of[n], _CODE_OF_REL[rel.inverse])
+                        for n, rel in neighbors
+                        if policy.export_allowed(learned, rel, n, afi)
+                    )
+                    per_learned.append(
+                        (allowed, frozenset(pair[0] for pair in allowed))
+                    )
+                plans[x] = per_learned
+            cls = type(policy)
+            consult = (
+                cls.local_pref_for is not RoutingPolicy.local_pref_for
+                or bool(policy.te_overrides)
+            )
+            if not consult:
+                scheme = policy.local_pref
+                lp_tables[x] = (
+                    0,  # unused: code 0 is the locally-originated class
+                    scheme.for_relationship(Relationship.P2C),
+                    scheme.for_relationship(Relationship.C2P),
+                    scheme.for_relationship(Relationship.P2P),
+                    scheme.for_relationship(Relationship.SIBLING),
+                )
+        self._plans[afi] = plans
+        self._lp_tables[afi] = lp_tables
+
+    def _plane(self, afi: AFI):
+        if afi not in self._plans:
+            self._build_plane(afi)
+        return self._plans[afi], self._lp_tables[afi]
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, origins: Mapping[Prefix, int]) -> PropagationResult:
+        speakers = speakers_without_sessions(self.graph, self.policies)
+        asns = self._asns
+        id_of = self._id_of
+        best_sender = self._best_sender
+        best_rel = self._best_rel
+        keep = self.keep_ribs_for
+        reachable_counts: Dict[Prefix, int] = {}
+
+        def resolve(asn: int):
+            i = id_of[asn]
+            return asns[best_sender[i]], _LEARNED_CLASSES[best_rel[i]]
+
+        total_events = 0
+        for prefix, origin_asn in origins.items():
+            if origin_asn not in id_of:
+                raise KeyError(f"origin AS{origin_asn} is not in the topology")
+            if not self.graph.node(origin_asn).supports(prefix.afi):
+                raise ValueError(
+                    f"AS{origin_asn} does not participate in {prefix.afi} "
+                    f"but originates {prefix}"
+                )
+            events, touched = self._propagate_prefix(prefix, id_of[origin_asn])
+            total_events += events
+            routed = [i for i in touched if best_sender[i] != _NO_ROUTE]
+            reachable_counts[prefix] = len(routed)
+            if keep is None:
+                targets = [asns[i] for i in routed]
+            else:
+                targets = [asns[i] for i in routed if asns[i] in keep]
+            install_converged_routes(
+                speakers, prefix, origin_asn, targets, resolve
+            )
+            self._reset(touched)
+        return PropagationResult(
+            speakers=speakers,
+            origins=dict(origins),
+            events=total_events,
+            reachable_counts=reachable_counts,
+        )
+
+    def _reset(self, touched: List[int]) -> None:
+        cand = self._cand
+        best_sender = self._best_sender
+        best_path = self._best_path
+        best_rel = self._best_rel
+        announced = self._announced
+        dirty = self._dirty
+        for i in touched:
+            state = cand[i]
+            if state is not None:
+                state.clear()
+            state = announced[i]
+            if state is not None:
+                state.clear()
+            best_sender[i] = _NO_ROUTE
+            best_path[i] = None
+            best_rel[i] = 0
+            dirty[i] = 0
+
+    # ------------------------------------------------------------------
+    # the hot loop
+    # ------------------------------------------------------------------
+    def _propagate_prefix(self, prefix: Prefix, origin: int) -> Tuple[int, List[int]]:
+        """Event-faithful propagation of one prefix over interned state.
+
+        Keep in lockstep with ``PropagationSimulator._propagate_prefix``
+        (queue discipline, withdrawal ordering, incremental decision
+        shortcuts of ``BGPSpeaker.import_route``/``withdraw``) — the
+        golden suite asserts identical event counts and routes.
+        """
+        plans, lp_tables = self._plane(prefix.afi)
+        asns = self._asns
+        cand = self._cand
+        best_sender = self._best_sender
+        best_key = self._best_key
+        best_path = self._best_path
+        best_rel = self._best_rel
+        announced = self._announced
+        dirty = self._dirty
+        queued = self._queued
+        policy_of = self._policy_of
+        lenf = self._lenf
+        senf = self._senf
+        max_events = self.max_events_per_prefix
+
+        best_sender[origin] = _LOCAL_ROUTE
+        best_path[origin] = (origin,)
+        best_rel[origin] = 0
+        dirty[origin] = 1
+        touched = [origin]
+
+        queue = deque((origin,))
+        queued[origin] = 1
+        events = 0
+        while queue:
+            events += 1
+            if events > max_events:
+                raise ConvergenceError(
+                    f"prefix {prefix} did not converge within "
+                    f"{max_events} events"
+                )
+            x = queue.popleft()
+            queued[x] = 0
+            bs = best_sender[x]
+            if bs == _NO_ROUTE:
+                exportable: Tuple = ()
+                exportable_set: frozenset = _EMPTY_SET
+                learned_from = _NO_ROUTE
+            else:
+                plan = plans[x]
+                if plan is None:
+                    exportable, exportable_set = (), _EMPTY_SET
+                else:
+                    exportable, exportable_set = plan[best_rel[x]]
+                learned_from = bs if bs >= 0 else _NO_ROUTE
+            sent = announced[x]
+            if sent:
+                stale = sent - exportable_set
+                if learned_from >= 0 and learned_from in sent:
+                    stale.add(learned_from)
+                if stale:
+                    for nb in sorted(stale):
+                        sent.discard(nb)
+                        # --- BGPSpeaker.withdraw over interned state ---
+                        holders = cand[nb]
+                        if not holders or x not in holders:
+                            continue
+                        del holders[x]
+                        nb_best = best_sender[nb]
+                        if nb_best != x:
+                            # Withdrawn route was not the best (or the
+                            # best is local): nothing changes.
+                            continue
+                        old_path = best_path[nb]
+                        if holders:
+                            new_sender = None
+                            for s, entry in holders.items():
+                                if new_sender is None or entry[0] > k:
+                                    new_sender = s
+                                    k = entry[0]
+                            k, p, r = holders[new_sender]
+                            best_sender[nb] = new_sender
+                            best_key[nb] = k
+                            best_path[nb] = p
+                            best_rel[nb] = r
+                            changed = new_sender != x or p != old_path
+                        else:
+                            best_sender[nb] = _NO_ROUTE
+                            best_path[nb] = None
+                            best_rel[nb] = 0
+                            changed = True
+                        if changed:
+                            if not queued[nb]:
+                                queue.append(nb)
+                                queued[nb] = 1
+            if exportable:
+                bp = best_path[x]
+                path = bp if bs == _LOCAL_ROUTE else (x,) + bp
+                plen = len(path)
+                if sent is None:
+                    sent = announced[x] = set()
+                for nb, recv_rel in exportable:
+                    if nb == learned_from:
+                        continue
+                    sent.add(nb)
+                    # --- BGPSpeaker.import_route over interned state ---
+                    if nb in path:  # loop prevention, before any state write
+                        continue
+                    lp_table = lp_tables[nb]
+                    if lp_table is None:
+                        lp, _override = policy_of[nb].local_pref_for(
+                            asns[x], _LEARNED_CLASSES[recv_rel], prefix
+                        )
+                    else:
+                        lp = lp_table[recv_rel]
+                    key = ((lp * lenf) + (lenf - 1 - plen)) * senf + (senf - 1 - x)
+                    holders = cand[nb]
+                    if holders is None:
+                        holders = cand[nb] = {}
+                    if not dirty[nb]:
+                        dirty[nb] = 1
+                        touched.append(nb)
+                    holders[x] = (key, path, recv_rel)
+                    nb_best = best_sender[nb]
+                    if nb_best == _NO_ROUTE:
+                        best_sender[nb] = x
+                        best_key[nb] = key
+                        best_path[nb] = path
+                        best_rel[nb] = recv_rel
+                        changed = True
+                    elif nb_best == _LOCAL_ROUTE:
+                        changed = False
+                    elif nb_best == x:
+                        # The previous best came from this sender; the
+                        # replacement may be worse — full decision.
+                        old_path = best_path[nb]
+                        new_sender = None
+                        for s, entry in holders.items():
+                            if new_sender is None or entry[0] > new_key:
+                                new_sender = s
+                                new_key = entry[0]
+                        k, p, r = holders[new_sender]
+                        best_sender[nb] = new_sender
+                        best_key[nb] = k
+                        best_path[nb] = p
+                        best_rel[nb] = r
+                        changed = new_sender != x or p != old_path
+                    elif key > best_key[nb]:
+                        best_sender[nb] = x
+                        best_key[nb] = key
+                        best_path[nb] = path
+                        best_rel[nb] = recv_rel
+                        changed = True
+                    else:
+                        changed = False
+                    if changed and not queued[nb]:
+                        queue.append(nb)
+                        queued[nb] = 1
+        return events, touched

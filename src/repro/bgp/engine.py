@@ -5,9 +5,18 @@ state (Adj-RIB-In entries, Loc-RIB entries, locally originated routes)
 is keyed by prefix and the decision process only ever compares routes
 for the same prefix.  :class:`PropagationEngine` exploits that: it
 splits an origin set into contiguous batches, propagates each batch on
-its own :class:`~repro.bgp.propagation.PropagationSimulator` (optionally
-on a :mod:`concurrent.futures` executor) and merges the per-prefix state
-back into one combined :class:`~repro.bgp.propagation.PropagationResult`.
+its own backend instance (optionally on a :mod:`concurrent.futures`
+executor) and merges the per-prefix state back into one combined
+:class:`~repro.bgp.propagation.PropagationResult`.
+
+The engine is also where the pluggable backends of
+:mod:`repro.bgp.backends` become a configuration choice: ``engine``
+selects ``event`` (the default simulator), ``array`` (interned event
+loop), ``equilibrium`` (direct Gao-Rexford fixed point) or ``auto``
+(equilibrium when the policies qualify, event otherwise).  Selection
+happens once per :meth:`PropagationEngine.run_many` call on the full
+origin set and is pinned for every batch, so parallel runs can never
+mix backends.
 
 Because the batches are disjoint and each batch runs the same
 deterministic event loop a serial run would, the merged result is
@@ -43,6 +52,7 @@ import itertools
 import multiprocessing
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.bgp.backends import BACKENDS, ENGINE_CHOICES, EquilibriumBackend
 from repro.bgp.policy import RoutingPolicy
 from repro.bgp.prefixes import Prefix
 from repro.bgp.propagation import PropagationResult, PropagationSimulator
@@ -86,13 +96,30 @@ class PropagationEngine:
         policies: Optional[Mapping[int, RoutingPolicy]] = None,
         max_events_per_prefix: int = 200_000,
         keep_ribs_for: Optional[Iterable[int]] = None,
+        engine: str = "event",
     ) -> None:
+        """``engine`` picks the propagation backend (see
+        :mod:`repro.bgp.backends`): ``event`` (default), ``array``,
+        ``equilibrium`` or ``auto``.  ``equilibrium`` and ``auto`` fall
+        back to the event backend when the policies are not vanilla
+        Gao-Rexford (:meth:`select_backend` exposes the decision and the
+        reason).
+        """
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
+            )
         self.graph = graph
         self.policies = dict(policies) if policies is not None else None
         self.max_events_per_prefix = max_events_per_prefix
         self.keep_ribs_for = (
             sorted(keep_ribs_for) if keep_ribs_for is not None else None
         )
+        self.engine = engine
+        # Concrete backend pinned by run_many() so that every batch —
+        # including ones executed in forked/spawned worker processes —
+        # uses the backend resolved once on the *full* origin set.
+        self._forced_backend: Optional[str] = None
 
     # ------------------------------------------------------------------
     # internals
@@ -105,15 +132,59 @@ class PropagationEngine:
             keep_ribs_for=self.keep_ribs_for,
         )
 
+    def select_backend(
+        self, origins: Mapping[Prefix, int]
+    ) -> Tuple[str, Optional[str]]:
+        """Resolve the configured engine to ``(backend name, fallback reason)``.
+
+        ``event`` and ``array`` are unconditional.  ``equilibrium`` and
+        ``auto`` resolve to the equilibrium solver only when it is
+        applicable to every address family present in ``origins``;
+        otherwise they resolve to ``event`` and the second element
+        carries the (first) reason why.
+        """
+        if self.engine in ("event", "array"):
+            return self.engine, None
+        for afi in sorted({prefix.afi for prefix in origins}, key=lambda a: a.value):
+            reason = EquilibriumBackend.inapplicable_reason(
+                self.graph, self.policies, afi
+            )
+            if reason is not None:
+                return "event", reason
+        return "equilibrium", None
+
+    def _new_backend(self, name: str):
+        return BACKENDS[name](
+            self.graph,
+            self.policies,
+            max_events_per_prefix=self.max_events_per_prefix,
+            keep_ribs_for=self.keep_ribs_for,
+        )
+
     def _run_batch(self, batch: List[Tuple[Prefix, int]]) -> PropagationResult:
-        """Propagate one batch of origins on a fresh simulator."""
-        return self._new_simulator().run(dict(batch))
+        """Propagate one batch of origins on a fresh backend instance.
+
+        Inside run_many() the backend was resolved once on the full
+        origin set and pinned in ``_forced_backend`` (the attribute
+        travels to worker processes with the engine), so batches can
+        never disagree on the backend.
+        """
+        name = self._forced_backend
+        if name is None:
+            name, _reason = self.select_backend(dict(batch))
+        return self._new_backend(name).run(dict(batch))
 
     @staticmethod
     def _split(
         origins: Mapping[Prefix, int], batches: int
     ) -> List[List[Tuple[Prefix, int]]]:
-        """Deterministic contiguous split of the origin items."""
+        """Deterministic contiguous split of the origin items.
+
+        Never returns an empty batch: the batch count is clamped to the
+        item count, and any empty slice that would still slip through
+        (``batches`` asked for more workers than origins) is dropped so
+        no worker spins up a simulator just to propagate nothing.
+        """
         items = list(origins.items())
         batches = max(1, min(batches, len(items)))
         size, extra = divmod(len(items), batches)
@@ -121,7 +192,8 @@ class PropagationEngine:
         start = 0
         for index in range(batches):
             stop = start + size + (1 if index < extra else 0)
-            result.append(items[start:stop])
+            if stop > start:
+                result.append(items[start:stop])
             start = stop
         return result
 
@@ -154,8 +226,15 @@ class PropagationEngine:
     # public API
     # ------------------------------------------------------------------
     def run(self, origins: Mapping[Prefix, int]) -> PropagationResult:
-        """Serial propagation — identical to ``PropagationSimulator.run``."""
-        return self._new_simulator().run(origins)
+        """Serial propagation on the configured backend.
+
+        With the default ``engine="event"`` this is identical to
+        ``PropagationSimulator.run``.
+        """
+        name = self._forced_backend
+        if name is None:
+            name, _reason = self.select_backend(origins)
+        return self._new_backend(name).run(origins)
 
     def run_many(
         self,
@@ -180,18 +259,32 @@ class PropagationEngine:
         """
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        # Resolve the backend once, on the complete origin set, and pin
+        # it for every batch: auto/equilibrium selection looks at the
+        # address families present in the origins, and a batch that
+        # happens to contain only one AFI must not pick a different
+        # backend than the serial run would.
+        resolved, _reason = self.select_backend(origins)
         if not workers or workers <= 1 or len(origins) <= 1:
-            return self.run(origins)
+            self._forced_backend = resolved
+            try:
+                return self.run(origins)
+            finally:
+                self._forced_backend = None
         batches = self._split(origins, workers)
-        if len(batches) <= 1:
-            return self.run(origins)
-        if executor == "thread":
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=len(batches)
-            ) as pool:
-                partials = list(pool.map(self._run_batch, batches))
-            return self._merge(origins, partials)
-        return self._merge(origins, self._run_batches_in_processes(batches))
+        self._forced_backend = resolved
+        try:
+            if len(batches) <= 1:
+                return self.run(origins)
+            if executor == "thread":
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=len(batches)
+                ) as pool:
+                    partials = list(pool.map(self._run_batch, batches))
+                return self._merge(origins, partials)
+            return self._merge(origins, self._run_batches_in_processes(batches))
+        finally:
+            self._forced_backend = None
 
     def _run_batches_in_processes(
         self, batches: List[List[Tuple[Prefix, int]]]

@@ -42,21 +42,36 @@ The hot loop is profile-guided (see ``docs/performance.md``):
 The frozen seed implementation lives in :mod:`repro.bgp.reference`;
 golden-equivalence tests assert the two produce identical routes, and
 the benchmark harness measures the speedup between them.
+
+This simulator is also the ``event`` backend of the pluggable engine
+layer (:mod:`repro.bgp.backends`): the equilibrium solver and the
+array-native core are cross-validated against it as the oracle.  The
+result types it shares with the other backends live in
+:mod:`repro.bgp.results` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.core.relationships import AFI, Relationship
-from repro.bgp.messages import Route
 from repro.bgp.policy import RoutingPolicy
 from repro.bgp.prefixes import Prefix
-from repro.bgp.rib import RibSnapshot
+from repro.bgp.results import (
+    ConvergenceError,
+    PropagationResult,
+    originate_one_prefix_per_as,
+)
 from repro.bgp.router import BGPSpeaker
 from repro.topology.graph import ASGraph
+
+__all__ = [
+    "ConvergenceError",
+    "PropagationResult",
+    "PropagationSimulator",
+    "originate_one_prefix_per_as",
+]
 
 #: Learned-relationship classes an export decision can key off.
 _LEARNED_CLASSES: Tuple[Optional[Relationship], ...] = (
@@ -70,49 +85,6 @@ _LEARNED_CLASSES: Tuple[Optional[Relationship], ...] = (
 
 #: Shared empty export set for speakers with no plan in a plane.
 _EMPTY_SET: frozenset = frozenset()
-
-
-class ConvergenceError(RuntimeError):
-    """Raised when propagation does not quiesce within the event budget."""
-
-
-@dataclass
-class PropagationResult:
-    """Outcome of a propagation run.
-
-    Attributes:
-        speakers: The fully converged speakers, keyed by ASN.
-        origins: Which AS originated which prefix.
-        events: Number of best-route changes processed (a measure of
-            convergence work, reported by the benchmarks).
-        reachable_counts: For every propagated prefix, the number of ASes
-            that ended up with a route to it (including the origin).
-            Available even when per-AS RIBs were pruned to save memory.
-    """
-
-    speakers: Dict[int, BGPSpeaker]
-    origins: Dict[Prefix, int]
-    events: int = 0
-    reachable_counts: Dict[Prefix, int] = field(default_factory=dict)
-
-    def snapshot(self, asn: int) -> RibSnapshot:
-        """Frozen Loc-RIB of one AS."""
-        return self.speakers[asn].snapshot()
-
-    def best_route(self, asn: int, prefix: Prefix) -> Optional[Route]:
-        """Best route of ``asn`` towards ``prefix`` (``None`` if unreachable)."""
-        return self.speakers[asn].best_route(prefix)
-
-    def best_path(self, asn: int, prefix: Prefix) -> Optional[Tuple[int, ...]]:
-        """The full AS path (including ``asn``) towards ``prefix``."""
-        route = self.best_route(asn, prefix)
-        if route is None:
-            return None
-        return route.full_path()
-
-    def reachable_prefixes(self, asn: int, afi: Optional[AFI] = None) -> List[Prefix]:
-        """Prefixes for which ``asn`` holds a best route."""
-        return self.speakers[asn].loc_rib.prefixes(afi)
 
 
 class PropagationSimulator:
@@ -329,26 +301,3 @@ class PropagationSimulator:
                             queue.append(neighbor_asn)
                             queued.add(neighbor_asn)
         return events, reachable, announced_to
-
-
-def originate_one_prefix_per_as(
-    graph: ASGraph,
-    afi: AFI,
-    allocator=None,
-    ases: Optional[Iterable[int]] = None,
-) -> Dict[Prefix, int]:
-    """Convenience helper: every AS (in ``afi``) originates one prefix.
-
-    ``allocator`` defaults to a fresh
-    :class:`~repro.bgp.prefixes.PrefixAllocator`.
-    """
-    from repro.bgp.prefixes import PrefixAllocator
-
-    allocator = allocator or PrefixAllocator()
-    selected = list(ases) if ases is not None else graph.ases_in(afi)
-    origins: Dict[Prefix, int] = {}
-    for asn in selected:
-        if not graph.node(asn).supports(afi):
-            continue
-        origins[allocator.prefix(asn, afi)] = asn
-    return origins

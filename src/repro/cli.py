@@ -2,11 +2,14 @@
 
 Seven subcommands cover the common workflows without writing any code::
 
-    python -m repro section3  [--small | --paper-scale] [--json PATH]
+    python -m repro section3  [--small | --paper-scale] [--engine NAME]
+                              [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
-    python -m repro figure2   [--small | --paper-scale] [--top N] [--json PATH]
+    python -m repro figure2   [--small | --paper-scale] [--engine NAME]
+                              [--top N] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
     python -m repro snapshot  --output DIR [--small | --paper-scale]
+                              [--engine NAME]
     python -m repro sweep     --grid grid.json [--cache-dir DIR]
                               [--executor serial|thread|process|cluster]
                               [--distributed --queue-dir DIR
@@ -64,6 +67,14 @@ Two flags connect the single-run commands into a staged workflow:
 Every ``--json`` report is written with sorted keys and carries a
 ``schema_version`` field, so golden files and cross-run diffs stay
 stable.
+
+``--engine`` selects the propagation backend (``event`` | ``equilibrium``
+| ``array`` | ``auto``, see :mod:`repro.bgp.backends`).  Every engine
+produces bit-identical reports — CI diffs the ``--json`` output across
+engines — so the flag only trades build time, never results.  The engine
+participates in the propagation stage fingerprint, so switching it on a
+shared ``--cache-dir`` recomputes propagation instead of reusing a
+stale artifact.
 """
 
 from __future__ import annotations
@@ -90,7 +101,13 @@ from repro.datasets import (
     save_snapshot,
     small_config,
 )
-from repro.pipeline import ArtifactCache, PipelineConfig, run_pipeline, section3_artifacts
+from repro.pipeline import (
+    ArtifactCache,
+    PipelineConfig,
+    PropagationConfig,
+    run_pipeline,
+    section3_artifacts,
+)
 
 #: Schema version of the ``section3``/``figure2`` ``--json`` reports.
 REPORT_SCHEMA_VERSION = 1
@@ -120,6 +137,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--paper-scale", action="store_true", help="larger snapshot (minutes to build)"
     )
     parser.add_argument("--seed", type=int, default=7, help="snapshot seed")
+    parser.add_argument(
+        "--engine",
+        choices=("event", "equilibrium", "array", "auto"),
+        default="event",
+        help="propagation backend (all engines produce identical results; "
+        "'auto' picks the equilibrium solver when the policies qualify)",
+    )
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +166,7 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
         dataset=_config_from_args(args),
         top=getattr(args, "top", 20),
         max_sources=getattr(args, "max_sources", 60),
+        propagation=PropagationConfig(engine=getattr(args, "engine", "event")),
     )
 
 
@@ -241,7 +266,11 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.datasets import build_snapshot
 
-    snapshot = build_snapshot(_config_from_args(args), cache_dir=args.cache_dir)
+    snapshot = build_snapshot(
+        _config_from_args(args),
+        cache_dir=args.cache_dir,
+        engine=getattr(args, "engine", "event"),
+    )
     output = Path(args.output)
     summary = save_snapshot(snapshot, output)
     manifest = summary["manifest"]

@@ -315,7 +315,7 @@ def _select_origins(
 # the builder
 # ----------------------------------------------------------------------
 def build_snapshot(
-    config: Optional[DatasetConfig] = None, cache_dir=None
+    config: Optional[DatasetConfig] = None, cache_dir=None, engine: str = "event"
 ) -> SyntheticSnapshot:
     """Build a complete synthetic measurement snapshot.
 
@@ -325,13 +325,18 @@ def build_snapshot(
     :func:`repro.datasets.reference.reference_build_snapshot`, pinned by
     golden tests), so the result is bit-identical.  ``cache_dir``
     enables the on-disk artifact cache — a warm call skips every stage
-    whose fingerprint is unchanged.
+    whose fingerprint is unchanged.  ``engine`` selects the propagation
+    backend (see :mod:`repro.bgp.backends`); every engine must produce
+    the same snapshot bit for bit.
     """
     # Imported here: repro.pipeline.stages imports this module's
     # private stage helpers, so a module-level import would be circular.
-    from repro.pipeline.stages import PipelineConfig, run_pipeline
+    from repro.pipeline.stages import PipelineConfig, PropagationConfig, run_pipeline
 
-    pipeline_config = PipelineConfig(dataset=config or DatasetConfig())
+    pipeline_config = PipelineConfig(
+        dataset=config or DatasetConfig(),
+        propagation=PropagationConfig(engine=engine),
+    )
     run = run_pipeline(pipeline_config, cache_dir=cache_dir, targets=("snapshot",))
     return run.value("snapshot")
 

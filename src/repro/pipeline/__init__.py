@@ -32,6 +32,7 @@ from repro.pipeline.runner import (
 from repro.pipeline.stages import (
     GroundTruthArtifact,
     PipelineConfig,
+    PropagationConfig,
     ScenarioArtifact,
     analysis_stages,
     full_stages,
@@ -56,6 +57,7 @@ __all__ = [
     "StageSpec",
     "GroundTruthArtifact",
     "PipelineConfig",
+    "PropagationConfig",
     "ScenarioArtifact",
     "analysis_stages",
     "full_stages",

@@ -49,7 +49,7 @@ from repro.analysis.stats import (
 )
 from repro.bgp.policy import RoutingPolicy
 from repro.bgp.prefixes import Prefix, PrefixAllocator
-from repro.bgp.propagation import PropagationResult, PropagationSimulator
+from repro.bgp.propagation import PropagationResult
 from repro.collectors.archive import CollectorArchive
 from repro.collectors.collector import Collector, default_collectors
 from repro.core.annotation import ToRAnnotation
@@ -72,6 +72,32 @@ from repro.topology.generator import GeneratedTopology, generate_topology
 
 
 @dataclass(frozen=True)
+class PropagationConfig:
+    """How the propagation stages compute their results.
+
+    Attributes:
+        engine: Propagation backend (see :mod:`repro.bgp.backends`):
+            ``event`` (default), ``array``, ``equilibrium`` or ``auto``.
+            Every engine is pinned to produce identical routes (the
+            golden parity suite), so changing it changes wall time, the
+            reported event counts and — deliberately — the stage
+            fingerprints: a changed engine is a cache miss, and the
+            freshly computed result is still golden-identical.
+    """
+
+    engine: str = "event"
+
+    def __post_init__(self) -> None:
+        from repro.bgp.backends import ENGINE_CHOICES
+
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"propagation.engine must be one of {ENGINE_CHOICES}, "
+                f"got {self.engine!r}"
+            )
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Everything one end-to-end run is a function of.
 
@@ -80,11 +106,14 @@ class PipelineConfig:
         top: Figure-2 correction budget (links corrected).
         max_sources: Valley-free BFS sampling bound for the
             customer-tree metric (``None`` = exact).
+        propagation: Propagation-engine selection (sweepable as the
+            ``propagation.engine`` grid axis).
     """
 
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
     top: int = 20
     max_sources: Optional[int] = 60
+    propagation: PropagationConfig = field(default_factory=PropagationConfig)
 
 
 # ----------------------------------------------------------------------
@@ -212,24 +241,20 @@ def propagation_parallelism(workers: int, executor: str = "process") -> Iterator
 
 def _propagate(run: PipelineRun, afi: AFI) -> PropagationResult:
     scenario: ScenarioArtifact = run.value("scenario")
-    if _PROPAGATION_PARALLELISM is not None:
-        from repro.bgp.engine import PropagationEngine
+    from repro.bgp.engine import PropagationEngine
 
-        workers, executor = _PROPAGATION_PARALLELISM
-        engine = PropagationEngine(
-            scenario.topology.graph,
-            scenario.policies,
-            keep_ribs_for=scenario.vantage_asns,
-        )
-        return engine.run_many(
-            scenario.origins[afi], workers=workers, executor=executor
-        )
-    simulator = PropagationSimulator(
+    engine = PropagationEngine(
         scenario.topology.graph,
         scenario.policies,
         keep_ribs_for=scenario.vantage_asns,
+        engine=run.config.propagation.engine,
     )
-    return simulator.run(scenario.origins[afi])
+    if _PROPAGATION_PARALLELISM is not None:
+        workers, executor = _PROPAGATION_PARALLELISM
+        return engine.run_many(
+            scenario.origins[afi], workers=workers, executor=executor
+        )
+    return engine.run(scenario.origins[afi])
 
 
 def _stage_propagation_v4(run: PipelineRun) -> PropagationResult:
@@ -381,17 +406,24 @@ def snapshot_stages() -> List[StageSpec]:
             compute=_stage_scenario,
             config_slice=_scenario_slice,
         ),
+        # Version 2: pluggable propagation backends.  The engine choice
+        # participates in the fingerprint on purpose — a changed engine
+        # recomputes (and its descendants with it) even though a correct
+        # backend produces identical routes, so a cached artifact always
+        # states truthfully which engine built it.
         StageSpec(
             name="propagation_v4",
-            version="1",
+            version="2",
             dependencies=("scenario",),
             compute=_stage_propagation_v4,
+            config_slice=lambda config: config.propagation.engine,
         ),
         StageSpec(
             name="propagation_v6",
-            version="1",
+            version="2",
             dependencies=("scenario",),
             compute=_stage_propagation_v6,
+            config_slice=lambda config: config.propagation.engine,
         ),
         StageSpec(
             name="archive",

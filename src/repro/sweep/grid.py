@@ -3,7 +3,8 @@
 A sweep starts from a *base* :class:`~repro.pipeline.PipelineConfig`
 and a list of :class:`GridAxis` objects, each naming one configuration
 field by dotted path (``"dataset.seed"``, ``"top"``,
-``"dataset.topology.tier2_count"``, ...) and the values it takes.  The
+``"dataset.topology.tier2_count"``, ``"propagation.engine"``, ...) and
+the values it takes.  The
 cartesian product of the axes expands into concrete
 :class:`Scenario` objects — one fully-formed ``PipelineConfig`` per
 grid cell, carrying a **stable scenario id** derived from the axis

@@ -259,3 +259,32 @@ class TestRunManyDeterminism:
         lone = {prefix: origins[prefix]}
         result = engine.run_many(lone, workers=4)
         assert result.reachable_counts[prefix] == serial.reachable_counts[prefix]
+
+    def test_worker_count_fuzz_identical_to_serial(self, setup):
+        """Batch boundaries must never change the result — including when
+        ``workers`` exceeds the origin count and naive splitting would
+        hand some workers an empty batch."""
+        graph, origins, engine, serial = setup
+        n = len(origins)
+        sampled = graph.ases[:6]
+        for workers in (2, 3, 5, n - 1, n, n + 1, 2 * n, 10 * n):
+            result = engine.run_many(origins, workers=workers)
+            assert result.events == serial.events, f"workers={workers}"
+            assert result.reachable_counts == serial.reachable_counts
+            for asn in sampled:
+                for prefix in origins:
+                    assert result.best_path(asn, prefix) == serial.best_path(
+                        asn, prefix
+                    ), f"workers={workers} AS{asn} {prefix}"
+
+    def test_split_never_yields_empty_batches(self, setup):
+        """The splitter drops slices that would come out empty (more
+        workers than origins) and always preserves item order."""
+        _, origins, engine, _ = setup
+        items = list(origins.items())
+        for batches in (1, 2, 3, 7, len(items) - 1, len(items), len(items) + 5, 400):
+            split = engine._split(origins, batches)
+            assert all(split), f"empty batch with batches={batches}"
+            assert len(split) <= min(batches, len(items))
+            flattened = [pair for batch in split for pair in batch]
+            assert flattened == items
