@@ -43,6 +43,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.relationships import AFI, Relationship
 from repro.bgp.backends.base import (
     PropagationBackend,
+    ResolutionForest,
     install_converged_routes,
     speakers_without_sessions,
 )
@@ -72,9 +73,10 @@ class ArrayBackend(PropagationBackend):
     """Allocation-light event propagation over interned arrays."""
 
     name = "array"
+    supports_resolution = True
 
-    def __init__(self, graph, policies=None, max_events_per_prefix=200_000, keep_ribs_for=None):
-        super().__init__(graph, policies, max_events_per_prefix, keep_ribs_for)
+    def __init__(self, graph, policies=None, max_events_per_prefix=200_000, keep_ribs_for=None, record_resolution=False):
+        super().__init__(graph, policies, max_events_per_prefix, keep_ribs_for, record_resolution)
         self._asns: List[int] = graph.ases  # sorted ascending
         self._id_of: Dict[int, int] = {asn: i for i, asn in enumerate(self._asns)}
         n = len(self._asns)
@@ -160,13 +162,32 @@ class ArrayBackend(PropagationBackend):
     # running
     # ------------------------------------------------------------------
     def run(self, origins: Mapping[Prefix, int]) -> PropagationResult:
-        speakers = speakers_without_sessions(self.graph, self.policies)
+        keep = self.keep_ribs_for
+        # keep == empty set means "materialize nothing" (the quotient-graph
+        # path: the forest carries the decisions out) — skip building
+        # speakers that would only ever hold empty RIBs.
+        speakers = (
+            speakers_without_sessions(self.graph, self.policies)
+            if keep is None or keep
+            else {}
+        )
         asns = self._asns
         id_of = self._id_of
         best_sender = self._best_sender
         best_rel = self._best_rel
-        keep = self.keep_ribs_for
+        # Pruned mode: interned (asn, id) pairs so the per-prefix target
+        # scan is O(|keep|), not O(touched) x a list-membership probe.
+        keep_ids = (
+            None
+            if keep is None
+            else [(asn, id_of[asn]) for asn in keep if asn in id_of]
+        )
         reachable_counts: Dict[Prefix, int] = {}
+        forest = (
+            ResolutionForest(asns, id_of, _LEARNED_CLASSES)
+            if self.record_resolution
+            else None
+        )
 
         def resolve(asn: int):
             i = id_of[asn]
@@ -185,19 +206,25 @@ class ArrayBackend(PropagationBackend):
             total_events += events
             routed = [i for i in touched if best_sender[i] != _NO_ROUTE]
             reachable_counts[prefix] = len(routed)
-            if keep is None:
+            if keep_ids is None:
                 targets = [asns[i] for i in routed]
             else:
-                targets = [asns[i] for i in routed if asns[i] in keep]
+                targets = [
+                    asn for asn, i in keep_ids if best_sender[i] != _NO_ROUTE
+                ]
             install_converged_routes(
                 speakers, prefix, origin_asn, targets, resolve
             )
+            if forest is not None:
+                # Column snapshot before _reset wipes the state.
+                forest.record(prefix, best_sender, best_rel, len(routed))
             self._reset(touched)
         return PropagationResult(
             speakers=speakers,
             origins=dict(origins),
             events=total_events,
             reachable_counts=reachable_counts,
+            resolution=forest,
         )
 
     def _reset(self, touched: List[int]) -> None:

@@ -69,6 +69,7 @@ from repro.core.relationships import AFI, Relationship
 from repro.bgp.backends.base import (
     BackendNotApplicable,
     PropagationBackend,
+    ResolutionForest,
     install_converged_routes,
     speakers_without_sessions,
 )
@@ -109,9 +110,10 @@ class EquilibriumBackend(PropagationBackend):
     """Direct fixed-point computation for vanilla Gao-Rexford policies."""
 
     name = "equilibrium"
+    supports_resolution = True
 
-    def __init__(self, graph, policies=None, max_events_per_prefix=200_000, keep_ribs_for=None):
-        super().__init__(graph, policies, max_events_per_prefix, keep_ribs_for)
+    def __init__(self, graph, policies=None, max_events_per_prefix=200_000, keep_ribs_for=None, record_resolution=False):
+        super().__init__(graph, policies, max_events_per_prefix, keep_ribs_for, record_resolution)
         self._asns: List[int] = graph.ases  # sorted ascending
         self._id_of: Dict[int, int] = {asn: i for i, asn in enumerate(self._asns)}
         self._planes: Dict[AFI, _Plane] = {}
@@ -179,13 +181,32 @@ class EquilibriumBackend(PropagationBackend):
             reason = self.inapplicable_reason(self.graph, self.policies, afi)
             if reason is not None:
                 raise BackendNotApplicable(reason)
-        speakers = speakers_without_sessions(self.graph, self.policies)
+        keep = self.keep_ribs_for
+        # keep == empty set means "materialize nothing" (the quotient-graph
+        # path: the forest carries the decisions out) — skip building
+        # speakers that would only ever hold empty RIBs.
+        speakers = (
+            speakers_without_sessions(self.graph, self.policies)
+            if keep is None or keep
+            else {}
+        )
         asns = self._asns
         id_of = self._id_of
         sender = self._sender
         relc = self._relc
-        keep = self.keep_ribs_for
+        # Pruned mode: interned (asn, id) pairs so the per-prefix target
+        # scan is O(|keep|), not O(touched) x a list-membership probe.
+        keep_ids = (
+            None
+            if keep is None
+            else [(asn, id_of[asn]) for asn in keep if asn in id_of]
+        )
         reachable_counts: Dict[Prefix, int] = {}
+        forest = (
+            ResolutionForest(asns, id_of, _REL_OF_CODE)
+            if self.record_resolution
+            else None
+        )
 
         def resolve(asn: int):
             i = id_of[asn]
@@ -201,13 +222,16 @@ class EquilibriumBackend(PropagationBackend):
                 )
             touched = self._solve(self._plane(prefix.afi), id_of[origin_asn])
             reachable_counts[prefix] = len(touched)
-            if keep is None:
+            if keep_ids is None:
                 targets = [asns[i] for i in touched]
             else:
-                targets = [asns[i] for i in touched if asns[i] in keep]
+                targets = [asn for asn, i in keep_ids if sender[i] != -1]
             install_converged_routes(
                 speakers, prefix, origin_asn, targets, resolve
             )
+            if forest is not None:
+                # Column snapshot before the reset below wipes the state.
+                forest.record(prefix, sender, relc, len(touched))
             dist = self._dist
             for i in touched:
                 dist[i] = 0
@@ -218,6 +242,7 @@ class EquilibriumBackend(PropagationBackend):
             origins=dict(origins),
             events=0,
             reachable_counts=reachable_counts,
+            resolution=forest,
         )
 
     def _solve(self, plane: _Plane, origin: int) -> List[int]:

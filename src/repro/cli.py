@@ -3,13 +3,13 @@
 Seven subcommands cover the common workflows without writing any code::
 
     python -m repro section3  [--small | --paper-scale] [--engine NAME]
-                              [--json PATH]
+                              [--compression MODE] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
     python -m repro figure2   [--small | --paper-scale] [--engine NAME]
-                              [--top N] [--json PATH]
+                              [--compression MODE] [--top N] [--json PATH]
                               [--cache-dir DIR | --from-snapshot DIR]
     python -m repro snapshot  --output DIR [--small | --paper-scale]
-                              [--engine NAME]
+                              [--engine NAME] [--compression MODE]
     python -m repro sweep     --grid grid.json [--cache-dir DIR]
                               [--executor serial|thread|process|cluster]
                               [--distributed --queue-dir DIR
@@ -75,11 +75,22 @@ engines — so the flag only trades build time, never results.  The engine
 participates in the propagation stage fingerprint, so switching it on a
 shared ``--cache-dir`` recomputes propagation instead of reusing a
 stale artifact.
+
+``--compression`` (``off`` | ``stubs`` | ``full``) collapses
+policy-equivalent stub ASes into quotient nodes before propagation and
+inflates the results back (see :mod:`repro.topology.compress`) — like
+the engine it trades build time only, never results, and participates
+in the stage fingerprints.  ``section3 --json`` reports carry a
+``provenance`` block stating, per address family, which backend
+actually ran, why ``auto`` fell back (if it did) and what compression
+collapsed; CI strips that block before diffing reports across engine
+and compression configurations.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -125,6 +136,9 @@ def _config_from_args(args: argparse.Namespace) -> DatasetConfig:
         config = paper_scale_config(seed=args.seed)
     else:
         config = small_config(seed=args.seed)
+    fraction = getattr(args, "origin_fraction", None)
+    if fraction is not None:
+        config = dataclasses.replace(config, origin_fraction=fraction)
     return config
 
 
@@ -143,6 +157,23 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         default="event",
         help="propagation backend (all engines produce identical results; "
         "'auto' picks the equilibrium solver when the policies qualify)",
+    )
+    parser.add_argument(
+        "--compression",
+        choices=("off", "stubs", "full"),
+        default="off",
+        help="control-plane compression: collapse policy-equivalent stub "
+        "ASes into quotient nodes before propagation and inflate results "
+        "back (bit-identical reports; 'full' adds bisimulation refinement)",
+    )
+    parser.add_argument(
+        "--origin-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="announce prefixes from only this fraction of the origin ASes "
+        "(0 < F <= 1, default: the scale preset's value); non-announcing "
+        "stubs become pure listeners that --compression can collapse",
     )
 
 
@@ -166,7 +197,10 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
         dataset=_config_from_args(args),
         top=getattr(args, "top", 20),
         max_sources=getattr(args, "max_sources", 60),
-        propagation=PropagationConfig(engine=getattr(args, "engine", "event")),
+        propagation=PropagationConfig(
+            engine=getattr(args, "engine", "event"),
+            compression=getattr(args, "compression", "off"),
+        ),
     )
 
 
@@ -185,7 +219,38 @@ def _artifacts_from_disk(directory: str) -> Section3Artifacts:
     return compute_section3(extraction.store, loaded.registry)
 
 
+def _selection_provenance(config: PipelineConfig, run) -> dict:
+    """Per-AFI backend + compression provenance for ``--json`` reports.
+
+    The structured counterpart of
+    :meth:`repro.bgp.engine.PropagationEngine.selection_report`: which
+    backend each address family actually ran on (``auto`` may fall back
+    per plane), why, and what the compression pass did.  CI strips this
+    block before byte-comparing reports across engines — it is the one
+    part of the report that *should* differ.
+    """
+    from repro.bgp.engine import PropagationEngine
+
+    scenario = run.value("scenario")
+    compression = config.propagation.compression
+    engine = PropagationEngine(
+        scenario.topology.graph,
+        scenario.policies,
+        keep_ribs_for=scenario.vantage_asns,
+        engine=config.propagation.engine,
+        compression=compression,
+        compression_plan=(
+            run.value("compress") if compression != "off" else None
+        ),
+    )
+    return {
+        afi.name.lower(): engine.selection_report(scenario.origins[afi])
+        for afi in (AFI.IPV4, AFI.IPV6)
+    }
+
+
 def _cmd_section3(args: argparse.Namespace) -> int:
+    provenance = None
     if args.from_snapshot:
         artifacts = _artifacts_from_disk(args.from_snapshot)
         config_payload = {"snapshot_dir": args.from_snapshot}
@@ -200,12 +265,13 @@ def _cmd_section3(args: argparse.Namespace) -> int:
             "ases": config.dataset.topology.total_ases,
             "seed": args.seed,
         }
+        provenance = _selection_provenance(config, run)
     print(format_table(artifacts.report.rows(), title="Section 3 statistics"))
     if args.json:
-        _write_json_report(
-            args.json,
-            {"config": config_payload, "section3": artifacts.report.as_dict()},
-        )
+        payload = {"config": config_payload, "section3": artifacts.report.as_dict()}
+        if provenance is not None:
+            payload["provenance"] = provenance
+        _write_json_report(args.json, payload)
         print(f"\nwrote JSON report to {args.json}")
     return 0
 
@@ -270,6 +336,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         _config_from_args(args),
         cache_dir=args.cache_dir,
         engine=getattr(args, "engine", "event"),
+        compression=getattr(args, "compression", "off"),
     )
     output = Path(args.output)
     summary = save_snapshot(snapshot, output)

@@ -315,7 +315,10 @@ def _select_origins(
 # the builder
 # ----------------------------------------------------------------------
 def build_snapshot(
-    config: Optional[DatasetConfig] = None, cache_dir=None, engine: str = "event"
+    config: Optional[DatasetConfig] = None,
+    cache_dir=None,
+    engine: str = "event",
+    compression: str = "off",
 ) -> SyntheticSnapshot:
     """Build a complete synthetic measurement snapshot.
 
@@ -335,7 +338,7 @@ def build_snapshot(
 
     pipeline_config = PipelineConfig(
         dataset=config or DatasetConfig(),
-        propagation=PropagationConfig(engine=engine),
+        propagation=PropagationConfig(engine=engine, compression=compression),
     )
     run = run_pipeline(pipeline_config, cache_dir=cache_dir, targets=("snapshot",))
     return run.value("snapshot")

@@ -6,11 +6,11 @@ This module decomposes the formerly monolithic
 individually cacheable stages (see ``docs/architecture.md`` for the
 full picture)::
 
-    topology ──┬─> scenario ──┬─> propagation_v4 ──┐
-    irr ───────┘              ├─> propagation_v6 ──┼─> archive ─> store
-                              └─> ground_truth     │
-                                                   v
-    snapshot  <── (assembly of everything above) ──┘
+    topology ──┬─> scenario ──┬─> compress ─┬─> propagation_v4 ──┐
+    irr ───────┘              │             └─> propagation_v6 ──┼─> archive ─> store
+                              └─> ground_truth                   │
+                                                                 v
+    snapshot  <─────── (assembly of everything above) ───────────┘
 
     store + irr ─> inference ─> views ─┬─> section3
                                        └─> correction   (Figure 2)
@@ -83,17 +83,34 @@ class PropagationConfig:
             reported event counts and — deliberately — the stage
             fingerprints: a changed engine is a cache miss, and the
             freshly computed result is still golden-identical.
+        compression: Control-plane compression mode (see
+            :mod:`repro.topology.compress`): ``off`` (default),
+            ``stubs`` (one-pass signature grouping of export-silent
+            sinks) or ``full`` (bisimulation refinement).  Transparent
+            to the engine choice — the ``compress`` stage builds the
+            quotient plan once per scenario, the propagation stages run
+            their backend through it and inflate back, and the inflated
+            Loc-RIBs are bit-identical to an uncompressed run (the
+            golden compression suite).  Sweepable as the
+            ``propagation.compression`` grid axis.
     """
 
     engine: str = "event"
+    compression: str = "off"
 
     def __post_init__(self) -> None:
         from repro.bgp.backends import ENGINE_CHOICES
+        from repro.topology.compress import COMPRESSION_CHOICES
 
         if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"propagation.engine must be one of {ENGINE_CHOICES}, "
                 f"got {self.engine!r}"
+            )
+        if self.compression not in COMPRESSION_CHOICES:
+            raise ValueError(
+                "propagation.compression must be one of "
+                f"{COMPRESSION_CHOICES}, got {self.compression!r}"
             )
 
 
@@ -239,15 +256,45 @@ def propagation_parallelism(workers: int, executor: str = "process") -> Iterator
         _PROPAGATION_PARALLELISM = previous
 
 
+def _stage_compress(run: PipelineRun):
+    """Build the quotient-graph plan for this scenario (cheap when off).
+
+    Origins of *both* address families and the vantage ASes are pinned
+    as singleton survivors, so one cached plan serves both propagation
+    stages — and any run whose origins are a subset of the scenario's.
+    With ``compression="off"`` the stage returns an unapplied plan
+    carrying the explicit reason, keeping the DAG shape (and downstream
+    fingerprint chaining) identical across modes.
+    """
+    from repro.topology.compress import compress_topology
+
+    scenario: ScenarioArtifact = run.value("scenario")
+    origin_asns = set()
+    for per_afi in scenario.origins.values():
+        origin_asns.update(per_afi.values())
+    return compress_topology(
+        scenario.topology.graph,
+        scenario.policies,
+        mode=run.config.propagation.compression,
+        pinned=scenario.vantage_asns,
+        origin_asns=origin_asns,
+    )
+
+
 def _propagate(run: PipelineRun, afi: AFI) -> PropagationResult:
     scenario: ScenarioArtifact = run.value("scenario")
     from repro.bgp.engine import PropagationEngine
 
+    compression = run.config.propagation.compression
     engine = PropagationEngine(
         scenario.topology.graph,
         scenario.policies,
         keep_ribs_for=scenario.vantage_asns,
         engine=run.config.propagation.engine,
+        compression=compression,
+        compression_plan=(
+            run.value("compress") if compression != "off" else None
+        ),
     )
     if _PROPAGATION_PARALLELISM is not None:
         workers, executor = _PROPAGATION_PARALLELISM
@@ -406,24 +453,42 @@ def snapshot_stages() -> List[StageSpec]:
             compute=_stage_scenario,
             config_slice=_scenario_slice,
         ),
-        # Version 2: pluggable propagation backends.  The engine choice
-        # participates in the fingerprint on purpose — a changed engine
-        # recomputes (and its descendants with it) even though a correct
-        # backend produces identical routes, so a cached artifact always
-        # states truthfully which engine built it.
+        # The quotient-graph plan: one compression pass per scenario,
+        # shared by both propagation stages (and cached across sweeps
+        # that share a topology/scenario but vary the engine).
+        StageSpec(
+            name="compress",
+            version="1",
+            dependencies=("scenario",),
+            compute=_stage_compress,
+            config_slice=lambda config: config.propagation.compression,
+        ),
+        # Version 2: pluggable propagation backends.  Version 3: the
+        # compress → propagate → inflate path.  Both the engine and the
+        # compression mode participate in the fingerprint on purpose —
+        # either change recomputes (and its descendants with it) even
+        # though a correct backend/compression produces identical
+        # routes, so a cached artifact always states truthfully which
+        # configuration built it.
         StageSpec(
             name="propagation_v4",
-            version="2",
-            dependencies=("scenario",),
+            version="3",
+            dependencies=("scenario", "compress"),
             compute=_stage_propagation_v4,
-            config_slice=lambda config: config.propagation.engine,
+            config_slice=lambda config: (
+                config.propagation.engine,
+                config.propagation.compression,
+            ),
         ),
         StageSpec(
             name="propagation_v6",
-            version="2",
-            dependencies=("scenario",),
+            version="3",
+            dependencies=("scenario", "compress"),
             compute=_stage_propagation_v6,
-            config_slice=lambda config: config.propagation.engine,
+            config_slice=lambda config: (
+                config.propagation.engine,
+                config.propagation.compression,
+            ),
         ),
         StageSpec(
             name="archive",

@@ -1,0 +1,625 @@
+"""Control-plane compression: quotient graphs for propagation.
+
+Beckett et al.'s *Control Plane Compression* observation, specialized
+to AS-level Gao-Rexford routing: large populations of stub ASes hang
+off identical provider/peer sets with interchangeable policies, and
+propagating routes to each of them individually is redundant work.
+This module partitions ASes into **policy-equivalence classes**,
+builds a compressed :class:`~repro.topology.graph.ASGraph` containing
+one representative per class, and inflates the compressed propagation
+result back to a full-graph result that is **bit-identical** to an
+uncompressed run.
+
+Why this is exact (the soundness argument)
+------------------------------------------
+
+Only *export-silent sinks* are ever collapsed: ASes with no customers
+and no siblings in either plane, a vanilla policy (no TE overrides, no
+export relaxations, stock :class:`~repro.bgp.policy.RoutingPolicy` /
+:class:`~repro.bgp.policy.LocalPrefScheme` types) that originate
+nothing.  Under the valley-free export rule such an AS never sends a
+single announcement — provider- and peer-learned routes are exported
+only to customers and siblings, of which it has none, and it has no
+local routes.  Removing it therefore cannot change any other AS's
+candidate routes, so the compressed graph converges to exactly the
+state the full graph would at every surviving node.
+
+Two silent sinks are *decision-equivalent* — guaranteed to converge to
+the same ``(best sender, learned relationship)`` for every prefix —
+when they see the same candidates and rank them the same way:
+
+* identical per-AFI neighbor sets with identical relationships
+  (providers and peers, by actual ASN — routes carry sender ASNs and
+  paths, so the neighbors must literally be the same ASes);
+* each shared neighbor either relaxes its export policy towards both
+  or towards neither (``relaxed_export_neighbors`` is per-target, so a
+  gratuitous leak can reach one stub but not its twin);
+* vanilla import processing: the decision key is ``(LOCAL_PREF,
+  -pathlen, -sender)`` and every stock scheme orders customer > peer >
+  provider, so the *ordering* over candidate routes is independent of
+  the schemes' numeric values.  TE overrides break this and exclude an
+  AS; differing numeric schemes, community taggers and strip flags do
+  not — inflation replays import at each member with its real policy.
+
+``stubs`` mode groups by the exact signature above in one pass.
+``full`` mode additionally runs a bisimulation-style refinement in
+which neighbors that are themselves export-silent are matched by their
+current equivalence block instead of by ASN (a silent neighbor
+contributes no routes, so its identity is irrelevant to the decision);
+the partition is refined until stable, which merges e.g. stubs whose
+only difference is which *silent* stub they peer with.
+
+Origins and vantage ASes are pinned as singleton survivors (an origin
+is not silent; a vantage must keep its own Loc-RIB addressable), and
+the plan records an explicit fallback ``reason`` when nothing could be
+collapsed so callers can report the decision.
+
+Inflation contract
+------------------
+
+:func:`inflate_result` rebuilds the full-graph result through the
+exact chain-walk materializer the solver backends use
+(:func:`repro.bgp.backends.base.install_converged_routes`): for every
+collapsed member the representative's converged ``(sender,
+relationship)`` is replayed edge by edge with the *member's* own
+policy applied on import, so Loc-RIB contents — AS paths, LOCAL_PREF
+under the member's numeric scheme, communities from the member's
+tagger — are bit-identical to an uncompressed run.  Reachability
+counts are inflated by class size (a member holds a route exactly when
+its representative does).  ``events`` is the compressed run's count:
+fewer sessions means fewer best-route changes, which is the point —
+event totals are a work metric, not part of the route contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.relationships import AFI
+from repro.topology.graph import ASGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bgp.policy import RoutingPolicy
+    from repro.bgp.prefixes import Prefix
+    from repro.bgp.results import PropagationResult
+
+# repro.bgp imports topology.graph at module load, so this module (a
+# member of the topology package) must import repro.bgp lazily — the
+# helpers below resolve the policy types on first use.
+
+#: Valid values of the ``propagation.compression`` config field.
+COMPRESSION_CHOICES = ("off", "stubs", "full")
+
+_AFIS = (AFI.IPV4, AFI.IPV6)
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+def _policy_types():
+    from repro.bgp.policy import LocalPrefScheme, RoutingPolicy
+
+    return RoutingPolicy, LocalPrefScheme
+
+
+def _vanilla_export(policy: Optional["RoutingPolicy"]) -> bool:
+    """True when the policy's export behavior is provably stock.
+
+    A subclass could override ``export_allowed``; a relaxation lifts
+    the valley-free restriction.  Either would let an AS export routes
+    a silent sink must not, so both disqualify.
+    """
+    if policy is None:
+        return True
+    routing_policy, _ = _policy_types()
+    if type(policy) is not routing_policy:
+        return False
+    return not any(policy.relaxed_export_neighbors.get(afi) for afi in _AFIS)
+
+
+def _vanilla_import(policy: Optional["RoutingPolicy"]) -> bool:
+    """True when the decision *ordering* is scheme-value-independent.
+
+    Stock ``RoutingPolicy`` + stock ``LocalPrefScheme`` (which enforces
+    customer > peer > provider) and no TE overrides: any two such ASes
+    rank a shared candidate set identically even when their numeric
+    LOCAL_PREF values differ.
+    """
+    if policy is None:
+        return True
+    routing_policy, local_pref_scheme = _policy_types()
+    if type(policy) is not routing_policy:
+        return False
+    if type(policy.local_pref) is not local_pref_scheme:
+        return False
+    return not policy.te_overrides
+
+
+def _silent_sinks(
+    graph: ASGraph,
+    policies: Mapping[int, RoutingPolicy],
+    origin_asns: Set[int],
+) -> Set[int]:
+    """ASes that provably never export a route in either plane."""
+    silent: Set[int] = set()
+    for asn in graph.ases:
+        if asn in origin_asns:
+            continue
+        if not _vanilla_export(policies.get(asn)):
+            continue
+        if any(
+            graph.customers_of(asn, afi) or graph.siblings_of(asn, afi)
+            for afi in _AFIS
+        ):
+            continue
+        silent.add(asn)
+    return silent
+
+
+# ----------------------------------------------------------------------
+# plan shapes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompressionStats:
+    """Before/after sizes of one compression pass."""
+
+    mode: str
+    nodes_before: int
+    nodes_after: int
+    links_before: int
+    links_after: int
+    classes: int
+    collapsed: int
+    pinned: int
+
+    @property
+    def ratio(self) -> float:
+        """Node compression ratio (>= 1.0; 1.0 means nothing collapsed)."""
+        if self.nodes_after == 0:
+            return 1.0
+        return self.nodes_before / self.nodes_after
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "links_before": self.links_before,
+            "links_after": self.links_after,
+            "classes": self.classes,
+            "collapsed": self.collapsed,
+            "pinned": self.pinned,
+            "ratio": round(self.ratio, 4),
+        }
+
+
+@dataclass
+class CompressionMap:
+    """Representative <-> member bookkeeping of a compression pass.
+
+    Attributes:
+        canonical: ``collapsed member -> surviving representative``.
+        members_of: ``representative -> collapsed members`` (sorted;
+            the representative itself is *not* listed).
+        member_deltas: per collapsed member, the :class:`ASNode`
+            attributes (``name``/``tier``/``ipv4``/``ipv6``) that
+            differ from its representative's — enough to reconstruct
+            the member's node record from the representative's.
+    """
+
+    canonical: Dict[int, int] = field(default_factory=dict)
+    members_of: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    member_deltas: Dict[int, Dict[str, object]] = field(default_factory=dict)
+
+    def representative(self, asn: int) -> int:
+        """The surviving AS whose routes stand in for ``asn``."""
+        return self.canonical.get(asn, asn)
+
+    def class_size(self, asn: int) -> int:
+        """Members represented by ``asn``, itself included."""
+        return 1 + len(self.members_of.get(asn, ()))
+
+
+@dataclass
+class CompressionPlan:
+    """One resolved compression decision, reusable across runs.
+
+    ``applied`` is False when the mode is ``off`` or when no
+    equivalence class had more than one member; ``reason`` then says
+    why and ``graph`` is the original graph unchanged.
+    """
+
+    mode: str
+    applied: bool
+    graph: ASGraph
+    map: CompressionMap
+    stats: CompressionStats
+    reason: Optional[str] = None
+    pinned: FrozenSet[int] = frozenset()
+
+    def describe(self) -> str:
+        """One-line summary for reason strings and provenance."""
+        if not self.applied:
+            return f"compression={self.mode} not applied ({self.reason})"
+        return (
+            f"compression={self.mode} collapsed "
+            f"{self.stats.collapsed}/{self.stats.nodes_before} ASes "
+            f"({self.stats.nodes_after} remain, "
+            f"ratio {self.stats.ratio:.2f}x)"
+        )
+
+    def validate_for(
+        self, origin_asns: Iterable[int], keep_ribs_for: Optional[Iterable[int]]
+    ) -> None:
+        """Refuse origins/vantages that this plan collapsed away.
+
+        A plan built for one pinned set must not silently serve a run
+        whose origins or vantage ASes were folded into a class — their
+        behavior (origination) or observability (own Loc-RIB) would be
+        wrong.
+        """
+        required = set(origin_asns)
+        if keep_ribs_for is not None:
+            required.update(keep_ribs_for)
+        collapsed = sorted(asn for asn in required if asn in self.map.canonical)
+        if collapsed:
+            raise ValueError(
+                "compression plan collapsed AS(es) required by this run "
+                f"(origin or vantage): {collapsed[:5]}"
+                f"{'...' if len(collapsed) > 5 else ''}; rebuild the plan "
+                "with these ASes pinned"
+            )
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+def _signature(
+    graph: ASGraph,
+    policies: Mapping[int, RoutingPolicy],
+    asn: int,
+    blocks: Optional[Dict[int, int]],
+) -> Tuple:
+    """The decision-equivalence signature of one silent sink.
+
+    Per AFI, the frozenset of ``(neighbor key, relationship,
+    neighbor-relaxes-towards-us)`` triples; plane participation flags
+    complete it.  With ``blocks`` (full mode) a neighbor that is
+    itself a silent sink is keyed by its current equivalence block —
+    silent neighbors contribute no candidate routes, so only their
+    block identity (not their ASN) can matter; everything else is
+    keyed by exact ASN because routes carry real sender ASNs.
+    """
+    node = graph.node(asn)
+    per_afi = []
+    for afi in _AFIS:
+        entries = []
+        for neighbor, relationship in graph.oriented_neighbors(asn, afi):
+            neighbor_policy = policies.get(neighbor)
+            relaxed_in = (
+                neighbor_policy is not None
+                and neighbor_policy.is_relaxed(asn, afi)
+            )
+            if blocks is not None and neighbor in blocks:
+                key: Tuple = ("class", blocks[neighbor])
+            else:
+                key = ("as", neighbor)
+            entries.append((key, relationship.value, relaxed_in))
+        per_afi.append(frozenset(entries))
+    return (node.ipv4, node.ipv6, per_afi[0], per_afi[1])
+
+
+def _partition_silent(
+    graph: ASGraph,
+    policies: Mapping[int, RoutingPolicy],
+    silent: Set[int],
+    mode: str,
+) -> Dict[int, int]:
+    """Assign every silent sink an equivalence-block id.
+
+    ``stubs``: one pass over the exact-ASN signature.  ``full``:
+    bisimulation-style refinement — start from the exact partition of
+    the *non-silent* context (silent neighbors abstracted into one
+    block), then iteratively split blocks whose members disagree on
+    their silent neighbors' blocks, until the partition is stable.
+    """
+    members = sorted(silent)
+    if mode == "stubs":
+        blocks: Dict[int, int] = {}
+        by_signature: Dict[Tuple, int] = {}
+        for asn in members:
+            signature = _signature(graph, policies, asn, None)
+            block = by_signature.setdefault(signature, len(by_signature))
+            blocks[asn] = block
+        return blocks
+
+    # full: every silent sink starts in one block, then refine.
+    blocks = {asn: 0 for asn in members}
+    while True:
+        by_signature = {}
+        refined: Dict[int, int] = {}
+        for asn in members:
+            signature = _signature(graph, policies, asn, blocks)
+            block = by_signature.setdefault(signature, len(by_signature))
+            refined[asn] = block
+        if refined == blocks:
+            return blocks
+        blocks = refined
+
+
+def compress_topology(
+    graph: ASGraph,
+    policies: Optional[Mapping[int, RoutingPolicy]] = None,
+    mode: str = "stubs",
+    pinned: Iterable[int] = (),
+    origin_asns: Iterable[int] = (),
+) -> CompressionPlan:
+    """Partition, pick representatives and build the quotient graph.
+
+    ``origin_asns`` are the ASes that will originate prefixes in runs
+    served by this plan — they are never silent.  ``pinned`` ASes
+    (origins plus vantage/kept ASes, typically) survive unconditionally
+    as their own singletons; a pinned AS that is decision-equivalent to
+    a class may still *represent* it, since representation only reads
+    its converged routes.
+    """
+    policies = dict(policies) if policies is not None else {}
+    pinned_set = set(pinned) | set(origin_asns)
+    nodes_before = len(graph)
+    links_before = len(graph.links())
+
+    def unapplied(reason: str) -> CompressionPlan:
+        stats = CompressionStats(
+            mode=mode,
+            nodes_before=nodes_before,
+            nodes_after=nodes_before,
+            links_before=links_before,
+            links_after=links_before,
+            classes=0,
+            collapsed=0,
+            pinned=len(pinned_set),
+        )
+        return CompressionPlan(
+            mode=mode,
+            applied=False,
+            graph=graph,
+            map=CompressionMap(),
+            stats=stats,
+            reason=reason,
+            pinned=frozenset(pinned_set),
+        )
+
+    if mode == "off":
+        return unapplied("compression disabled")
+    if mode not in COMPRESSION_CHOICES:
+        raise ValueError(
+            f"compression mode must be one of {COMPRESSION_CHOICES}, got {mode!r}"
+        )
+
+    silent = _silent_sinks(graph, policies, set(origin_asns))
+    blocks = _partition_silent(graph, policies, silent, mode)
+
+    # Group the collapse-eligible members of every block: silent +
+    # vanilla import (the ordering argument needs both), and every
+    # neighbor's policy stock-typed — a custom policy class could
+    # override export_allowed per target AS, in which case "same
+    # relationship + same relaxation" no longer implies "same exports".
+    routing_policy, _ = _policy_types()
+
+    def _stock_typed(neighbor: int) -> bool:
+        policy = policies.get(neighbor)
+        return policy is None or type(policy) is routing_policy
+
+    eligible_blocks: Dict[int, List[int]] = {}
+    for asn in sorted(silent):
+        if not _vanilla_import(policies.get(asn)):
+            continue
+        if not all(_stock_typed(neighbor) for neighbor in graph.neighbors(asn)):
+            continue
+        eligible_blocks.setdefault(blocks[asn], []).append(asn)
+
+    canonical: Dict[int, int] = {}
+    members_of: Dict[int, Tuple[int, ...]] = {}
+    classes = 0
+    for _, members in sorted(eligible_blocks.items()):
+        collapsible = [asn for asn in members if asn not in pinned_set]
+        if not collapsible:
+            continue
+        pinned_members = [asn for asn in members if asn in pinned_set]
+        representative = min(pinned_members) if pinned_members else min(members)
+        removed = tuple(asn for asn in collapsible if asn != representative)
+        if not removed:
+            continue
+        classes += 1
+        members_of[representative] = removed
+        for asn in removed:
+            canonical[asn] = representative
+
+    if not canonical:
+        return unapplied("no equivalence class has more than one member")
+
+    compressed = ASGraph()
+    removed_set = set(canonical)
+    for asn in graph.ases:
+        if asn in removed_set:
+            continue
+        node = graph.node(asn)
+        compressed.add_as(
+            asn, name=node.name, tier=node.tier, ipv4=node.ipv4, ipv6=node.ipv6
+        )
+    for link in graph.links():
+        if link.a in removed_set or link.b in removed_set:
+            continue
+        record = graph.dual_stack_relationship(link.a, link.b)
+        compressed.add_link(
+            link.a,
+            link.b,
+            rel_v4=record.ipv4 if record.ipv4.is_known else None,
+            rel_v6=record.ipv6 if record.ipv6.is_known else None,
+        )
+
+    member_deltas: Dict[int, Dict[str, object]] = {}
+    for asn, representative in canonical.items():
+        node = graph.node(asn)
+        rep_node = graph.node(representative)
+        delta: Dict[str, object] = {}
+        for attribute in ("name", "tier", "ipv4", "ipv6"):
+            value = getattr(node, attribute)
+            if value != getattr(rep_node, attribute):
+                delta[attribute] = value
+        member_deltas[asn] = delta
+
+    stats = CompressionStats(
+        mode=mode,
+        nodes_before=nodes_before,
+        nodes_after=len(compressed),
+        links_before=links_before,
+        links_after=len(compressed.links()),
+        classes=classes,
+        collapsed=len(canonical),
+        pinned=len(pinned_set),
+    )
+    return CompressionPlan(
+        mode=mode,
+        applied=True,
+        graph=compressed,
+        map=CompressionMap(
+            canonical=canonical,
+            members_of=members_of,
+            member_deltas=member_deltas,
+        ),
+        stats=stats,
+        pinned=frozenset(pinned_set),
+    )
+
+
+# ----------------------------------------------------------------------
+# inflation
+# ----------------------------------------------------------------------
+def inflate_result(
+    graph: ASGraph,
+    policies: Optional[Mapping[int, RoutingPolicy]],
+    plan: CompressionPlan,
+    compressed: PropagationResult,
+    keep_ribs_for: Optional[Iterable[int]] = None,
+) -> PropagationResult:
+    """Expand a compressed-graph result back to the full graph.
+
+    Routes are **replayed**, not copied: every kept AS's Loc-RIB entry
+    is rebuilt by :func:`~repro.bgp.backends.base.install_converged_routes`
+    walking the converged best-sender forest (a collapsed member
+    resolves through its representative's route) and applying the real
+    per-edge export/import transformations — so a member with its own
+    LOCAL_PREF scheme or community tagger gets exactly the attributes
+    an uncompressed run would have installed.  Reachability counts add
+    each reached representative's class size.  The returned speakers
+    are session-less Loc-RIB holders, like the solver backends'.
+
+    The resolve oracle comes from one of two places.  Preferred: the
+    compressed run's recorded ``resolution`` forest (solver backends
+    constructed with ``record_resolution=True``), in which case the
+    compressed run materializes **no** routes at all — the whole
+    compress→propagate→inflate path only ever builds routes for the
+    kept full-graph ASes, and inflation itself costs O(equivalence
+    classes + kept ASes) per prefix, never a full-graph scan.  Fallback
+    (the event backend, whose state is the RIBs): the compressed
+    speakers' Loc-RIBs, which then must be complete
+    (``keep_ribs_for=None`` on the compressed run) and are walked once
+    per prefix.
+    """
+    from repro.bgp.backends.base import (
+        install_converged_routes,
+        speakers_without_sessions,
+    )
+    from repro.bgp.results import PropagationResult
+
+    if not plan.applied:
+        raise ValueError("cannot inflate through a plan that was not applied")
+    policies = dict(policies) if policies is not None else {}
+    keep = set(keep_ribs_for) if keep_ribs_for is not None else None
+    members_of = plan.map.members_of
+    canonical = plan.map.canonical
+
+    forest = compressed.resolution
+    reached: Dict[Prefix, List[int]] = {}
+    route_of: Dict[Prefix, Dict[int, object]] = {}
+    if forest is None:
+        # One pass over the compressed speakers: per prefix, the reached
+        # compressed nodes and their converged routes (the resolve
+        # oracle, derived from Loc-RIB state).
+        reached = {prefix: [] for prefix in compressed.origins}
+        route_of = {prefix: {} for prefix in compressed.origins}
+        for asn, speaker in compressed.speakers.items():
+            for route in speaker.loc_rib:
+                reached[route.prefix].append(asn)
+                route_of[route.prefix][asn] = route
+
+    speakers = speakers_without_sessions(graph, policies)
+    reachable_counts: Dict[Prefix, int] = {}
+    for prefix, origin_asn in compressed.origins.items():
+        targets: List[int] = []
+        if forest is not None:
+            resolve_survivor = forest.resolver(prefix)
+
+            def resolve(asn: int, _resolve=resolve_survivor) -> Tuple[int, object]:
+                return _resolve(canonical.get(asn, asn))
+
+            count = forest.reached_count(prefix)
+            if keep is None:
+                # Full materialization: column scan of the reached
+                # survivors, members inserted beside their class rep.
+                for node in forest.reached(prefix):
+                    targets.append(node)
+                    expanded = members_of.get(node)
+                    if expanded:
+                        count += len(expanded)
+                        targets.extend(expanded)
+            else:
+                # Pruned mode never touches the column beyond point
+                # lookups: O(classes) for the counts, O(kept) for the
+                # targets.  A collapsed member is reached exactly when
+                # its representative is (policy equivalence).
+                for rep, members in members_of.items():
+                    if forest.is_reached(prefix, rep):
+                        count += len(members)
+                for asn in keep:
+                    if forest.is_reached(prefix, canonical.get(asn, asn)):
+                        targets.append(asn)
+        else:
+            routes = route_of[prefix]
+
+            def resolve(asn: int, _routes=routes) -> Tuple[int, object]:
+                route = _routes[canonical.get(asn, asn)]
+                return route.learned_from, route.learned_relationship
+
+            count = len(reached[prefix])
+            for node in reached[prefix]:
+                expanded = members_of.get(node, ())
+                count += len(expanded)
+                if keep is None:
+                    targets.append(node)
+                    targets.extend(expanded)
+                else:
+                    if node in keep:
+                        targets.append(node)
+                    targets.extend(member for member in expanded if member in keep)
+        reachable_counts[prefix] = count
+        install_converged_routes(speakers, prefix, origin_asn, targets, resolve)
+
+    return PropagationResult(
+        speakers=speakers,
+        origins=dict(compressed.origins),
+        events=compressed.events,
+        reachable_counts=reachable_counts,
+    )

@@ -45,6 +45,15 @@ class TopologyConfig:
     """
 
     seed: int = 2010
+    # How tier-3 stubs choose providers.  ``hierarchical`` (default):
+    # uniform choice over tier-2 (92 %) or tier-1.  ``scale_free``:
+    # preferential attachment — a provider's chance of winning the next
+    # stub is proportional to 1 + its current customer count, producing
+    # the Internet's heavy-tailed degree distribution (a few providers
+    # serve most stubs).  Scale-free graphs are where control-plane
+    # compression shines: big populations of stubs share one provider
+    # set and collapse into a handful of quotient nodes.
+    mode: str = "hierarchical"
     # Hierarchy sizes.
     tier1_count: int = 10
     tier2_count: int = 90
@@ -68,6 +77,11 @@ class TopologyConfig:
     first_asn: int = 1
 
     def __post_init__(self) -> None:
+        if self.mode not in ("hierarchical", "scale_free"):
+            raise ValueError(
+                "mode must be 'hierarchical' or 'scale_free', "
+                f"got {self.mode!r}"
+            )
         if self.tier1_count < 2:
             raise ValueError("at least two tier-1 ASes are required")
         if not 0.0 <= self.hybrid_fraction <= 1.0:
@@ -179,16 +193,43 @@ def generate_topology(config: Optional[TopologyConfig] = None) -> GeneratedTopol
     # ------------------------------------------------------------------
     # Tier 3: stubs and small edge networks.
     # ------------------------------------------------------------------
-    for index in range(config.tier3_count):
-        asn = next_asn
-        next_asn += 1
-        tier3.append(asn)
-        graph.add_as(asn, name=f"stub-{index}", tier=3, ipv4=True)
-        provider_pool = tier2 if rng.random() < 0.92 else tier1
-        count = min(_sample_count(rng, config.tier3_providers), len(provider_pool))
-        providers = rng.sample(provider_pool, count)
-        for provider in providers:
-            graph.add_link(provider, asn, rel_v4=Relationship.P2C)
+    if config.mode == "scale_free":
+        # Preferential attachment, Barabási–Albert style via the
+        # repeated-nodes trick: the pool holds every transit AS once
+        # (so new providers can always win a stub) plus one extra entry
+        # per customer edge, and each uniform draw from the pool is
+        # therefore a draw proportional to 1 + customer count.  The
+        # hierarchical branch below keeps its historical RNG stream
+        # byte-identical — this branch owns its own draw sequence.
+        attachment: List[int] = []
+        for provider in tier1 + tier2:
+            attachment.extend(
+                [provider] * (1 + len(graph.customers_of(provider, AFI.IPV4)))
+            )
+        transit_count = len(tier1) + len(tier2)
+        for index in range(config.tier3_count):
+            asn = next_asn
+            next_asn += 1
+            tier3.append(asn)
+            graph.add_as(asn, name=f"stub-{index}", tier=3, ipv4=True)
+            count = min(_sample_count(rng, config.tier3_providers), transit_count)
+            providers_set: Set[int] = set()
+            while len(providers_set) < count:
+                providers_set.add(attachment[rng.randrange(len(attachment))])
+            for provider in sorted(providers_set):
+                graph.add_link(provider, asn, rel_v4=Relationship.P2C)
+                attachment.append(provider)
+    else:
+        for index in range(config.tier3_count):
+            asn = next_asn
+            next_asn += 1
+            tier3.append(asn)
+            graph.add_as(asn, name=f"stub-{index}", tier=3, ipv4=True)
+            provider_pool = tier2 if rng.random() < 0.92 else tier1
+            count = min(_sample_count(rng, config.tier3_providers), len(provider_pool))
+            providers = rng.sample(provider_pool, count)
+            for provider in providers:
+                graph.add_link(provider, asn, rel_v4=Relationship.P2C)
     # Occasional stub-to-stub peering (IXP-style).
     for i, a in enumerate(tier3):
         for b in tier3[i + 1 : i + 40]:
@@ -225,7 +266,8 @@ def generate_topology(config: Optional[TopologyConfig] = None) -> GeneratedTopol
     core_links = [
         link for link in dual_stack if link.a in core_ases and link.b in core_ases
     ]
-    other_links = [link for link in dual_stack if link not in set(core_links)]
+    core_link_set = set(core_links)
+    other_links = [link for link in dual_stack if link not in core_link_set]
     target = int(round(config.hybrid_fraction * len(dual_stack)))
     rng.shuffle(core_links)
     rng.shuffle(other_links)

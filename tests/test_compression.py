@@ -1,0 +1,624 @@
+"""Control-plane compression: equivalence, soundness and wiring.
+
+The contract under test (see :mod:`repro.topology.compress`): for any
+topology, any policies and any compression mode, the compress →
+propagate → inflate path produces a result **bit-identical** to an
+uncompressed run — Loc-RIB contents attribute for attribute, reachable
+counts, pruned-mode kept state — on every backend.  Compression may
+only change *work* (events, wall time), never results.
+
+Structure:
+
+* golden equivalence — the golden seeds × all three engines × both
+  modes, full and pruned;
+* adversarial singletons — origins, vantages and TE-override stubs must
+  never be collapsed, and plans built without them must refuse runs
+  that need them;
+* the explicit-fallback contract — when nothing collapses the plan says
+  why, and the engine runs uncompressed;
+* a hypothesis harness over random topologies × random origin subsets;
+* the resolution forest (column-form best-sender snapshots) against the
+  event oracle;
+* pipeline wiring — the ``compress`` stage, fingerprint invalidation
+  and report byte-identity across modes;
+* the ``scale_free`` generator mode (determinism, heavy tail, and that
+  it actually compresses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relationships import AFI, Relationship
+from repro.bgp.backends import ArrayBackend, EquilibriumBackend, EventBackend
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.policy import TrafficEngineeringOverride
+from repro.bgp.propagation import originate_one_prefix_per_as
+from repro.topology.compress import (
+    COMPRESSION_CHOICES,
+    CompressionPlan,
+    compress_topology,
+    inflate_result,
+)
+from repro.topology.generator import TopologyConfig, generate_topology
+
+from test_backends import _vanilla_policies
+from test_propagation_golden import GOLDEN_SEEDS, _golden_topology, _rich_policies
+
+MODES = ("stubs", "full")
+ENGINES = ("event", "array", "equilibrium")
+
+
+def _subset_origins(graph, afi, count=12):
+    """A deterministic origin subset that leaves stubs to collapse.
+
+    Originating from *every* AS pins every AS, which makes compression
+    a guaranteed no-op; the golden equivalence runs originate from a
+    spread-out subset instead, like the measurement pipeline does at
+    ``origin_fraction < 1``.
+    """
+    full = originate_one_prefix_per_as(graph, afi)
+    prefixes = sorted(full, key=str)
+    step = max(1, len(prefixes) // count)
+    return {prefix: full[prefix] for prefix in prefixes[::step][:count]}
+
+
+def _assert_identical(graph, oracle, candidate, origins):
+    """Bit-level equality of converged state, Loc-RIB attribute included."""
+    assert candidate.reachable_counts == oracle.reachable_counts
+    for asn in graph.ases:
+        for prefix in origins:
+            assert candidate.best_route(asn, prefix) == oracle.best_route(
+                asn, prefix
+            ), f"AS{asn} towards {prefix}"
+
+
+class TestGoldenEquivalence:
+    """Compressed+inflated == uncompressed, across engines and modes."""
+
+    @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_full_rib_equivalence(self, seed, engine, mode):
+        graph = _golden_topology(seed).graph
+        policies = _vanilla_policies(graph, seed)
+        origins = _subset_origins(graph, AFI.IPV4)
+        oracle = PropagationEngine(graph, policies, engine=engine).run(origins)
+        compressed = PropagationEngine(
+            graph, policies, engine=engine, compression=mode
+        ).run(origins)
+        plan = compress_topology(
+            graph, policies, mode=mode, origin_asns=set(origins.values())
+        )
+        assert plan.applied, "golden scenario must actually compress"
+        _assert_identical(graph, oracle, compressed, origins)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_rich_policies_through_event_fallback(self, mode):
+        """TE overrides / relaxations: auto falls back to the event
+        backend, and compression must still be exact (the affected ASes
+        are simply not collapse-eligible)."""
+        graph = _golden_topology(2010).graph
+        policies = _rich_policies(graph, 2010)
+        origins = _subset_origins(graph, AFI.IPV4)
+        oracle = PropagationEngine(graph, policies, engine="event").run(origins)
+        engine = PropagationEngine(
+            graph, policies, engine="auto", compression=mode
+        )
+        name, reason = engine.select_backend(origins)
+        assert name == "event"
+        assert "compression" in reason
+        _assert_identical(graph, oracle, engine.run(origins), origins)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pruned_mode_keeps_exactly_the_vantages(self, engine):
+        graph = _golden_topology(2011).graph
+        policies = _vanilla_policies(graph, 2011)
+        origins = _subset_origins(graph, AFI.IPV4)
+        keep = graph.ases[:3] + graph.ases[-3:]
+        oracle = PropagationEngine(
+            graph, policies, engine=engine, keep_ribs_for=keep
+        ).run(origins)
+        compressed = PropagationEngine(
+            graph, policies, engine=engine, keep_ribs_for=keep, compression="stubs"
+        ).run(origins)
+        assert compressed.reachable_counts == oracle.reachable_counts
+        for asn in keep:
+            assert (
+                compressed.snapshot(asn).best_routes
+                == oracle.snapshot(asn).best_routes
+            )
+        dropped = next(asn for asn in graph.ases if asn not in keep)
+        assert not compressed.speakers[dropped].loc_rib.routes()
+
+    def test_ipv6_plane_equivalence(self):
+        graph = _golden_topology(2012).graph
+        policies = _vanilla_policies(graph, 2012)
+        origins = _subset_origins(graph, AFI.IPV6)
+        oracle = PropagationEngine(graph, policies, engine="event").run(origins)
+        compressed = PropagationEngine(
+            graph, policies, engine="auto", compression="full"
+        ).run(origins)
+        _assert_identical(graph, oracle, compressed, origins)
+
+    def test_run_many_parallel_batches_match_serial(self):
+        """Batched compressed runs pin one plan for every batch; a batch
+        must never collapse another batch's origin."""
+        graph = _golden_topology(2010).graph
+        policies = _vanilla_policies(graph, 2010)
+        origins = _subset_origins(graph, AFI.IPV4, count=10)
+        engine = PropagationEngine(
+            graph, policies, engine="auto", compression="stubs"
+        )
+        serial = engine.run(origins)
+        parallel = engine.run_many(origins, workers=4)
+        assert parallel.reachable_counts == serial.reachable_counts
+        for asn in graph.ases:
+            for prefix in origins:
+                assert parallel.best_route(asn, prefix) == serial.best_route(
+                    asn, prefix
+                )
+
+
+class TestAdversarialSingletons:
+    """ASes whose identity matters must survive as singletons."""
+
+    def _stub_class(self, graph, policies):
+        """Some collapsed (stub) AS from an applied plan."""
+        plan = compress_topology(graph, policies, mode="stubs")
+        assert plan.applied
+        representative, members = next(iter(plan.map.members_of.items()))
+        return plan, representative, members
+
+    def test_origin_stub_is_pinned(self):
+        graph = _golden_topology(2010).graph
+        policies = _vanilla_policies(graph, 2010)
+        _, representative, members = self._stub_class(graph, policies)
+        origin = members[0]
+        full = originate_one_prefix_per_as(graph, AFI.IPV4)
+        origins = {
+            prefix: asn for prefix, asn in full.items() if asn == origin
+        }
+        plan = compress_topology(
+            graph, policies, mode="stubs", origin_asns={origin}
+        )
+        assert origin not in plan.map.canonical
+        oracle = PropagationEngine(graph, policies).run(origins)
+        compressed = PropagationEngine(
+            graph, policies, compression="stubs"
+        ).run(origins)
+        _assert_identical(graph, oracle, compressed, origins)
+
+    def test_vantage_stub_is_pinned(self):
+        """A kept (vantage) AS inside an equivalence class must keep its
+        own addressable Loc-RIB — pinned, while its twins still collapse."""
+        graph = _golden_topology(2011).graph
+        policies = _vanilla_policies(graph, 2011)
+        _, representative, members = self._stub_class(graph, policies)
+        vantage = members[-1]
+        origins = _subset_origins(graph, AFI.IPV4)
+        plan = compress_topology(
+            graph,
+            policies,
+            mode="stubs",
+            pinned={vantage},
+            origin_asns=set(origins.values()),
+        )
+        assert vantage not in plan.map.canonical
+        oracle = PropagationEngine(
+            graph, policies, keep_ribs_for=[vantage]
+        ).run(origins)
+        compressed = PropagationEngine(
+            graph, policies, keep_ribs_for=[vantage], compression="stubs"
+        ).run(origins)
+        assert (
+            compressed.snapshot(vantage).best_routes
+            == oracle.snapshot(vantage).best_routes
+        )
+
+    def test_te_override_stub_is_never_collapsed(self):
+        """A stub with a TE override ranks candidates differently from
+        its topological twins: it must stay a singleton (and the run
+        must still be exact — through the event backend)."""
+        graph = _golden_topology(2012).graph
+        policies = _vanilla_policies(graph, 2012)
+        baseline = compress_topology(graph, policies, mode="stubs")
+        assert baseline.applied
+        representative, members = next(iter(baseline.map.members_of.items()))
+        special = members[0]
+        prefix = next(iter(_subset_origins(graph, AFI.IPV4)))
+        policies[special].te_overrides.append(
+            TrafficEngineeringOverride(
+                neighbor=graph.neighbors(special)[0],
+                local_pref=999,
+                prefixes=(prefix,),
+            )
+        )
+        plan = compress_topology(graph, policies, mode="stubs")
+        assert special not in plan.map.canonical
+        origins = _subset_origins(graph, AFI.IPV4)
+        oracle = PropagationEngine(graph, policies, engine="event").run(origins)
+        compressed = PropagationEngine(
+            graph, policies, engine="auto", compression="stubs"
+        ).run(origins)
+        _assert_identical(graph, oracle, compressed, origins)
+
+    def test_incoming_relaxation_splits_a_class(self):
+        """Two stubs differing only in whether a shared neighbor relaxes
+        exports *towards them* see different candidate routes — they
+        must land in different classes."""
+        graph = _golden_topology(2010).graph
+        policies = _vanilla_policies(graph, 2010)
+        baseline = compress_topology(graph, policies, mode="stubs")
+        assert baseline.applied
+        representative, members = next(iter(baseline.map.members_of.items()))
+        lucky = members[0]
+        neighbor = graph.neighbors(lucky)[0]
+        policies[neighbor].add_relaxation(lucky, AFI.IPV4)
+        plan = compress_topology(graph, policies, mode="stubs")
+        assert plan.map.representative(lucky) == lucky, (
+            "a stub receiving a gratuitous leak is not equivalent to its twins"
+        )
+        origins = _subset_origins(graph, AFI.IPV4)
+        oracle = PropagationEngine(graph, policies, engine="event").run(origins)
+        compressed = PropagationEngine(
+            graph, policies, engine="auto", compression="stubs"
+        ).run(origins)
+        _assert_identical(graph, oracle, compressed, origins)
+
+    def test_plan_missing_an_origin_is_refused(self):
+        graph = _golden_topology(2011).graph
+        policies = _vanilla_policies(graph, 2011)
+        plan, representative, members = self._stub_class(graph, policies)
+        collapsed_origin = members[0]
+        with pytest.raises(ValueError, match="pinned"):
+            plan.validate_for({collapsed_origin}, None)
+        with pytest.raises(ValueError, match="pinned"):
+            plan.validate_for(set(), [collapsed_origin])
+        # The engine applies the same validation to injected plans.
+        full = originate_one_prefix_per_as(graph, AFI.IPV4)
+        origins = {
+            prefix: asn for prefix, asn in full.items() if asn == collapsed_origin
+        }
+        engine = PropagationEngine(
+            graph, policies, compression="stubs", compression_plan=plan
+        )
+        with pytest.raises(ValueError, match="pinned"):
+            engine.run(origins)
+
+
+class TestExplicitFallback:
+    """When nothing can collapse, the plan says so and runs stay exact."""
+
+    def test_all_origins_pinned_means_no_compression(self):
+        graph = _golden_topology(2010).graph
+        policies = _vanilla_policies(graph, 2010)
+        origins = originate_one_prefix_per_as(graph, AFI.IPV4)
+        plan = compress_topology(
+            graph, policies, mode="stubs", origin_asns=set(origins.values())
+        )
+        assert not plan.applied
+        assert "no equivalence class" in plan.reason
+        assert plan.graph is graph
+        engine = PropagationEngine(graph, policies, compression="stubs")
+        name, reason = engine.select_backend(origins)
+        assert "not applied" in reason
+        oracle = PropagationEngine(graph, policies).run(origins)
+        _assert_identical(graph, oracle, engine.run(origins), origins)
+
+    def test_mode_off_is_an_unapplied_plan(self):
+        graph = _golden_topology(2010).graph
+        plan = compress_topology(graph, None, mode="off")
+        assert not plan.applied and plan.reason == "compression disabled"
+
+    def test_invalid_mode_rejected_everywhere(self):
+        graph = _golden_topology(2010).graph
+        with pytest.raises(ValueError):
+            compress_topology(graph, None, mode="zip")
+        with pytest.raises(ValueError):
+            PropagationEngine(graph, compression="zip")
+        from repro.pipeline import PropagationConfig
+
+        with pytest.raises(ValueError):
+            PropagationConfig(compression="zip")
+
+    def test_selection_report_shapes(self):
+        graph = _golden_topology(2011).graph
+        policies = _vanilla_policies(graph, 2011)
+        origins = _subset_origins(graph, AFI.IPV4)
+        off = PropagationEngine(graph, policies, engine="auto").selection_report(
+            origins
+        )
+        assert off["compression"] == {"mode": "off", "applied": False}
+        on = PropagationEngine(
+            graph, policies, engine="auto", compression="stubs"
+        ).selection_report(origins)
+        assert on["backend"] == "equilibrium"
+        assert on["compression"]["applied"] is True
+        stats = on["compression"]["stats"]
+        assert stats["nodes_before"] - stats["collapsed"] == stats["nodes_after"]
+        assert stats["ratio"] >= 1.0
+        # JSON-serializable end to end (it lands in section3 provenance).
+        json.dumps(on)
+
+
+class TestResolutionForest:
+    """Column-form forest snapshots against the event oracle."""
+
+    @pytest.mark.parametrize("backend_cls", (EquilibriumBackend, ArrayBackend))
+    def test_forest_matches_event_routes(self, backend_cls):
+        graph = _golden_topology(2010).graph
+        policies = _vanilla_policies(graph, 2010)
+        origins = _subset_origins(graph, AFI.IPV4, count=6)
+        oracle = EventBackend(graph, policies).run(origins)
+        solved = backend_cls(
+            graph, policies, keep_ribs_for=(), record_resolution=True
+        ).run(origins)
+        forest = solved.resolution
+        assert forest is not None
+        for prefix, origin_asn in origins.items():
+            reached = sorted(forest.reached(prefix))
+            assert len(reached) == forest.reached_count(prefix)
+            assert forest.reached_count(prefix) == oracle.reachable_counts[prefix]
+            assert forest.resolve(prefix, origin_asn) == (origin_asn, None)
+            for asn in reached:
+                route = oracle.best_route(asn, prefix)
+                assert route is not None
+                if asn != origin_asn:
+                    assert forest.resolve(prefix, asn) == (
+                        route.learned_from,
+                        route.learned_relationship,
+                    )
+            unreached = next(
+                (asn for asn in graph.ases if asn not in set(reached)), None
+            )
+            if unreached is not None:
+                assert not forest.is_reached(prefix, unreached)
+
+    def test_zero_keep_materializes_nothing(self):
+        graph = _golden_topology(2011).graph
+        policies = _vanilla_policies(graph, 2011)
+        origins = _subset_origins(graph, AFI.IPV4, count=4)
+        solved = EquilibriumBackend(
+            graph, policies, keep_ribs_for=(), record_resolution=True
+        ).run(origins)
+        assert not solved.speakers  # no speakers, no routes — forest only
+        assert solved.resolution is not None
+
+    def test_event_backend_does_not_record(self):
+        graph = _golden_topology(2011).graph
+        origins = _subset_origins(graph, AFI.IPV4, count=2)
+        result = EventBackend(graph, None, record_resolution=True).run(origins)
+        assert result.resolution is None
+        assert not EventBackend.supports_resolution
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random topologies x random origin subsets x modes
+# ----------------------------------------------------------------------
+@st.composite
+def compression_scenario(draw):
+    topo_seed = draw(st.integers(min_value=1, max_value=10_000))
+    policy_seed = draw(st.integers(min_value=0, max_value=999))
+    mode = draw(st.sampled_from(MODES))
+    generator_mode = draw(st.sampled_from(("hierarchical", "scale_free")))
+    afi = draw(st.sampled_from((AFI.IPV4, AFI.IPV6)))
+    topology = generate_topology(
+        TopologyConfig(
+            seed=topo_seed,
+            mode=generator_mode,
+            tier1_count=draw(st.integers(min_value=3, max_value=5)),
+            tier2_count=draw(st.integers(min_value=4, max_value=10)),
+            tier3_count=draw(st.integers(min_value=10, max_value=30)),
+            tier2_providers=(1, 2),
+        )
+    )
+    graph = topology.graph
+    policies = _vanilla_policies(graph, policy_seed)
+    full = originate_one_prefix_per_as(graph, afi)
+    prefixes = sorted(full, key=str)
+    chosen = draw(
+        st.lists(
+            st.sampled_from(prefixes),
+            min_size=1,
+            max_size=min(len(prefixes), 6),
+            unique=True,
+        )
+    )
+    origins = {prefix: full[prefix] for prefix in chosen}
+    return graph, policies, origins, mode
+
+
+class TestPropertyBasedEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(scenario=compression_scenario())
+    def test_compressed_inflated_matches_uncompressed(self, scenario):
+        graph, policies, origins, mode = scenario
+        oracle = PropagationEngine(graph, policies, engine="event").run(origins)
+        engine = PropagationEngine(
+            graph, policies, engine="auto", compression=mode
+        )
+        plan = compress_topology(
+            graph, policies, mode=mode, origin_asns=set(origins.values())
+        )
+        if not plan.applied:
+            # The explicit-fallback contract: a reason, and a run that
+            # is simply the uncompressed one.
+            assert plan.reason
+        _assert_identical(graph, oracle, engine.run(origins), origins)
+
+    @settings(max_examples=10, deadline=None)
+    @given(scenario=compression_scenario())
+    def test_direct_inflate_roundtrip(self, scenario):
+        """compress_topology + solver on the quotient + inflate_result,
+        without the engine in between."""
+        graph, policies, origins, mode = scenario
+        plan = compress_topology(
+            graph, policies, mode=mode, origin_asns=set(origins.values())
+        )
+        if not plan.applied:
+            return
+        compressed = EquilibriumBackend(
+            plan.graph, policies, keep_ribs_for=(), record_resolution=True
+        ).run(origins)
+        inflated = inflate_result(graph, policies, plan, compressed)
+        oracle = EventBackend(graph, policies).run(origins)
+        _assert_identical(graph, oracle, inflated, origins)
+
+
+class TestPipelineWiring:
+    """The compress stage, fingerprints and report byte-identity."""
+
+    def _config(self, compression, origin_fraction=0.3, seed=5):
+        from repro.datasets import DatasetConfig
+        from repro.pipeline import PipelineConfig, PropagationConfig
+
+        dataset = DatasetConfig(
+            topology=TopologyConfig(
+                seed=seed, tier1_count=3, tier2_count=8, tier3_count=80
+            ),
+            seed=seed,
+            vantage_points=4,
+            origin_fraction=origin_fraction,
+        )
+        return PipelineConfig(
+            dataset=dataset,
+            top=3,
+            max_sources=10,
+            propagation=PropagationConfig(engine="auto", compression=compression),
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_section3_and_correction_identical_across_modes(self, mode):
+        from repro.pipeline import run_pipeline
+
+        baseline = run_pipeline(
+            self._config("off"), targets=("section3", "correction")
+        )
+        candidate = run_pipeline(
+            self._config(mode), targets=("section3", "correction")
+        )
+        # The compress stage must have actually applied at this origin
+        # fraction — otherwise this test degenerates to off-vs-off.
+        assert candidate.value("compress").applied
+        assert candidate.value("section3").rows() == baseline.value(
+            "section3"
+        ).rows()
+        base_series = baseline.value("correction")
+        cand_series = candidate.value("correction")
+        assert cand_series.averages == base_series.averages
+        assert cand_series.diameters == base_series.diameters
+
+    def test_compression_mode_invalidates_only_compress_and_downstream(
+        self, tmp_path
+    ):
+        from repro.pipeline import run_pipeline
+
+        run_pipeline(
+            self._config("off"),
+            cache_dir=tmp_path,
+            targets=("section3",),
+        )
+        second = run_pipeline(
+            self._config("stubs"),
+            cache_dir=tmp_path,
+            targets=("section3",),
+        )
+        statuses = {o.stage: o.status for o in second.outcomes}
+        for stage in ("topology", "irr", "scenario"):
+            assert statuses[stage] == "cached", stage
+        for stage in ("compress", "propagation_v4", "propagation_v6"):
+            assert statuses[stage] == "computed", stage
+
+    def test_same_mode_warm_run_fully_cached(self, tmp_path):
+        from repro.pipeline import run_pipeline
+
+        run_pipeline(
+            self._config("stubs"), cache_dir=tmp_path, targets=("section3",)
+        )
+        warm = run_pipeline(
+            self._config("stubs"), cache_dir=tmp_path, targets=("section3",)
+        )
+        assert warm.computed_stages() == []
+
+    def test_compress_stage_pins_vantages(self):
+        from repro.pipeline import run_pipeline
+
+        run = run_pipeline(self._config("stubs"), targets=("compress",))
+        plan = run.value("compress")
+        scenario = run.value("scenario")
+        assert plan.applied
+        for vantage in scenario.vantage_asns:
+            assert vantage not in plan.map.canonical
+
+
+class TestScaleFreeMode:
+    """The preferential-attachment generator mode (sweepable axis)."""
+
+    def _config(self, **overrides):
+        base = dict(
+            seed=77, mode="scale_free", tier1_count=4, tier2_count=30,
+            tier3_count=300,
+        )
+        base.update(overrides)
+        return TopologyConfig(**base)
+
+    def test_deterministic(self):
+        first = generate_topology(self._config())
+        second = generate_topology(self._config())
+        assert first.graph.ases == second.graph.ases
+        assert list(first.graph.links()) == list(second.graph.links())
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(mode="small_world")
+
+    def test_heavy_tail(self):
+        """Preferential attachment concentrates stubs: the busiest
+        provider must dwarf the median one."""
+        topo = generate_topology(self._config())
+        counts = sorted(
+            len(topo.graph.customers_of(asn, AFI.IPV4))
+            for asn in topo.tier1 + topo.tier2
+        )
+        assert counts[-1] >= 5 * max(1, counts[len(counts) // 2])
+
+    def test_hierarchical_default_unchanged(self):
+        """mode='scale_free' must not perturb the default stream: the
+        hierarchical graph for a seed is what it always was (the golden
+        suites pin this globally; this is the targeted check)."""
+        default = generate_topology(TopologyConfig(seed=77))
+        explicit = generate_topology(TopologyConfig(seed=77, mode="hierarchical"))
+        assert list(default.graph.links()) == list(explicit.graph.links())
+
+    def test_scale_free_compresses_better_than_hierarchical(self):
+        scale_free = generate_topology(self._config())
+        hierarchical = generate_topology(
+            TopologyConfig(seed=77, tier1_count=4, tier2_count=30, tier3_count=300)
+        )
+        ratios = {}
+        for name, topo in (("sf", scale_free), ("hier", hierarchical)):
+            origins = _subset_origins(topo.graph, AFI.IPV4, count=8)
+            plan = compress_topology(
+                topo.graph, None, mode="stubs", origin_asns=set(origins.values())
+            )
+            ratios[name] = plan.stats.ratio if plan.applied else 1.0
+        assert ratios["sf"] > ratios["hier"]
+
+    def test_propagation_equivalence_on_scale_free(self):
+        topo = generate_topology(self._config(tier3_count=120))
+        policies = _vanilla_policies(topo.graph, 3)
+        origins = _subset_origins(topo.graph, AFI.IPV4, count=10)
+        oracle = PropagationEngine(topo.graph, policies, engine="event").run(
+            origins
+        )
+        for mode in MODES:
+            compressed = PropagationEngine(
+                topo.graph, policies, engine="auto", compression=mode
+            ).run(origins)
+            _assert_identical(topo.graph, oracle, compressed, origins)

@@ -32,6 +32,7 @@ ANALYSIS_CLOSURE = [
     "topology",
     "irr",
     "scenario",
+    "compress",
     "propagation_v4",
     "propagation_v6",
     "archive",
@@ -162,7 +163,14 @@ class TestInvalidation:
             max_sources=config.max_sources,
         )
         statuses = self._statuses(cache_dir, changed)
-        upstream = ["topology", "irr", "scenario", "propagation_v4", "propagation_v6"]
+        upstream = [
+            "topology",
+            "irr",
+            "scenario",
+            "compress",
+            "propagation_v4",
+            "propagation_v6",
+        ]
         for stage in upstream:
             assert statuses[stage] == "cached", stage
         for stage in ANALYSIS_CLOSURE[len(upstream):]:
