@@ -860,6 +860,19 @@ def bench_compression(repeats: int, small: bool = False) -> Dict:
     return {"scenarios": report, "peak_rss_kb": _peak_rss_kb()}
 
 
+def _host_block() -> Dict:
+    """The machine the numbers came from — identical shape in every
+    ``BENCH_*.json`` so cross-run comparisons can check they are
+    comparing like with like."""
+    return {
+        "cpus": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+    }
+
+
 def _report_envelope(results: Dict, schema_version: int = 1) -> Dict:
     return {
         "schema_version": schema_version,
@@ -868,6 +881,7 @@ def _report_envelope(results: Dict, schema_version: int = 1) -> Dict:
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host": _host_block(),
         "results": results,
     }
 

@@ -63,9 +63,11 @@ from __future__ import annotations
 import concurrent.futures
 import itertools
 import multiprocessing
+import os
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.bgp.backends import BACKENDS, ENGINE_CHOICES, EquilibriumBackend
+from repro.telemetry import Tracer, activated, get_tracer
 from repro.bgp.policy import RoutingPolicy
 from repro.bgp.prefixes import Prefix
 from repro.bgp.propagation import PropagationResult, PropagationSimulator
@@ -161,6 +163,10 @@ class PropagationEngine:
         # (a per-batch origin subset would pin different singletons).
         self._forced_backend: Optional[str] = None
         self._forced_plan = None
+        # Trace context pinned by run_many() so batches executed in
+        # pool threads/processes join the caller's span tree (the
+        # TelemetryConfig is picklable and travels with the engine).
+        self._forced_trace = None
 
     # ------------------------------------------------------------------
     # internals
@@ -187,7 +193,9 @@ class PropagationEngine:
                 return "event", reason
         return "equilibrium", None
 
-    def _compression_plan_for(self, origins: Mapping[Prefix, int]):
+    def _compression_plan_for(
+        self, origins: Mapping[Prefix, int], backend: Optional[str] = None
+    ):
         """The compression plan serving ``origins`` (``None`` when off).
 
         An injected plan is validated against the run's origins and
@@ -205,13 +213,18 @@ class PropagationEngine:
         key = tuple(sorted(origin_asns))
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = compress_topology(
-                self.graph,
-                self.policies,
-                mode=self.compression,
-                pinned=self.keep_ribs_for or (),
-                origin_asns=origin_asns,
-            )
+            attrs = {"mode": self.compression}
+            if backend is not None:
+                attrs["backend"] = backend
+            with get_tracer().span("propagation.compress", **attrs) as span:
+                plan = compress_topology(
+                    self.graph,
+                    self.policies,
+                    mode=self.compression,
+                    pinned=self.keep_ribs_for or (),
+                    origin_asns=origin_asns,
+                )
+                span.annotate(applied=plan.applied)
             self._plan_cache[key] = plan
         return plan
 
@@ -287,34 +300,51 @@ class PropagationEngine:
         materialized for the compressed graph); the event backend keeps
         its full compressed RIBs as the inflation oracle instead.
         """
-        if plan is None or not plan.applied:
-            return self._new_backend(name).run(origins)
-        from repro.topology.compress import inflate_result
+        tracer = get_tracer()
+        applied = plan is not None and plan.applied
+        with tracer.span(
+            "propagation",
+            backend=name,
+            engine=self.engine,
+            compression=self.compression,
+            compression_applied=applied,
+            prefixes=len(origins),
+        ) as span:
+            if not applied:
+                with tracer.span("propagation.propagate", backend=name):
+                    result = self._new_backend(name).run(origins)
+                span.annotate(events=result.events)
+                return result
+            from repro.topology.compress import inflate_result
 
-        backend_cls = BACKENDS[name]
-        if backend_cls.supports_resolution:
-            backend = backend_cls(
-                plan.graph,
-                self.policies,
-                max_events_per_prefix=self.max_events_per_prefix,
-                keep_ribs_for=(),
-                record_resolution=True,
-            )
-        else:
-            backend = backend_cls(
-                plan.graph,
-                self.policies,
-                max_events_per_prefix=self.max_events_per_prefix,
-                keep_ribs_for=None,
-            )
-        compressed = backend.run(origins)
-        return inflate_result(
-            self.graph,
-            self.policies,
-            plan,
-            compressed,
-            keep_ribs_for=self.keep_ribs_for,
-        )
+            backend_cls = BACKENDS[name]
+            if backend_cls.supports_resolution:
+                backend = backend_cls(
+                    plan.graph,
+                    self.policies,
+                    max_events_per_prefix=self.max_events_per_prefix,
+                    keep_ribs_for=(),
+                    record_resolution=True,
+                )
+            else:
+                backend = backend_cls(
+                    plan.graph,
+                    self.policies,
+                    max_events_per_prefix=self.max_events_per_prefix,
+                    keep_ribs_for=None,
+                )
+            with tracer.span("propagation.propagate", backend=name):
+                compressed = backend.run(origins)
+            with tracer.span("propagation.inflate", backend=name):
+                result = inflate_result(
+                    self.graph,
+                    self.policies,
+                    plan,
+                    compressed,
+                    keep_ribs_for=self.keep_ribs_for,
+                )
+            span.annotate(events=result.events)
+            return result
 
     def _run_batch(self, batch: List[Tuple[Prefix, int]]) -> PropagationResult:
         """Propagate one batch of origins on a fresh backend instance.
@@ -324,12 +354,50 @@ class PropagationEngine:
         ``_forced_backend``/``_forced_plan`` (the attributes travel to
         worker processes with the engine), so batches can never
         disagree on the backend or on the quotient graph.
+
+        The pinned trace context (``_forced_trace``) travels the same
+        way: a batch running in the caller's process parents its span
+        under the ``run_many`` span directly, while a batch in a pool
+        worker — fork-inherited or spawn-pickled — opens a fresh child
+        tracer from the context and flushes it before returning, so a
+        traced ``run_many`` yields one coherent tree either way.
         """
+        context = getattr(self, "_forced_trace", None)
+        if context is None:
+            return self._run_batch_inner(batch)
+        tracer = get_tracer()
+        if tracer and tracer.pid == os.getpid():
+            with tracer.span(
+                "propagation.batch",
+                parent_id=context.parent_span_id,
+                backend=self._forced_backend or self.engine,
+                prefixes=len(batch),
+            ):
+                return self._run_batch_inner(batch)
+        # Pool worker process.  A fork-inherited ambient tracer is a
+        # copy of the parent's (flushing it would duplicate the
+        # parent's buffered records); always emit through a fresh
+        # tracer joined to the pinned context instead.
+        child = Tracer.from_config(context)
+        try:
+            with activated(child):
+                with child.span(
+                    "propagation.batch",
+                    backend=self._forced_backend or self.engine,
+                    prefixes=len(batch),
+                ):
+                    return self._run_batch_inner(batch)
+        finally:
+            child.flush()
+
+    def _run_batch_inner(self, batch: List[Tuple[Prefix, int]]) -> PropagationResult:
         name = self._forced_backend
         if name is None:
             origins = dict(batch)
             name, _reason = self._resolve_backend(origins)
-            return self._run_on(name, self._compression_plan_for(origins), origins)
+            return self._run_on(
+                name, self._compression_plan_for(origins, backend=name), origins
+            )
         return self._run_on(name, self._forced_plan, dict(batch))
 
     @staticmethod
@@ -392,7 +460,9 @@ class PropagationEngine:
         name = self._forced_backend
         if name is None:
             name, _reason = self._resolve_backend(origins)
-            return self._run_on(name, self._compression_plan_for(origins), origins)
+            return self._run_on(
+                name, self._compression_plan_for(origins, backend=name), origins
+            )
         return self._run_on(name, self._forced_plan, origins)
 
     def run_many(
@@ -426,27 +496,40 @@ class PropagationEngine:
         # or an origin subset must not pick a different backend or
         # collapse an AS that another batch originates from.
         resolved, _reason = self._resolve_backend(origins)
-        plan = self._compression_plan_for(origins)
-        if not workers or workers <= 1 or len(origins) <= 1:
+        plan = self._compression_plan_for(origins, backend=resolved)
+        tracer = get_tracer()
+        with tracer.span(
+            "propagation.run_many",
+            backend=resolved,
+            executor=executor,
+            workers=workers or 1,
+            prefixes=len(origins),
+        ):
+            if not workers or workers <= 1 or len(origins) <= 1:
+                self._forced_backend, self._forced_plan = resolved, plan
+                try:
+                    return self.run(origins)
+                finally:
+                    self._forced_backend = self._forced_plan = None
+            batches = self._split(origins, workers)
             self._forced_backend, self._forced_plan = resolved, plan
+            # The context's parent is the run_many span just opened, so
+            # every batch span — local thread or pool process — joins
+            # the tree right here.
+            self._forced_trace = tracer.context() if tracer else None
             try:
-                return self.run(origins)
+                if len(batches) <= 1:
+                    return self.run(origins)
+                if executor == "thread":
+                    with concurrent.futures.ThreadPoolExecutor(
+                        max_workers=len(batches)
+                    ) as pool:
+                        partials = list(pool.map(self._run_batch, batches))
+                    return self._merge(origins, partials)
+                return self._merge(origins, self._run_batches_in_processes(batches))
             finally:
                 self._forced_backend = self._forced_plan = None
-        batches = self._split(origins, workers)
-        self._forced_backend, self._forced_plan = resolved, plan
-        try:
-            if len(batches) <= 1:
-                return self.run(origins)
-            if executor == "thread":
-                with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=len(batches)
-                ) as pool:
-                    partials = list(pool.map(self._run_batch, batches))
-                return self._merge(origins, partials)
-            return self._merge(origins, self._run_batches_in_processes(batches))
-        finally:
-            self._forced_backend = self._forced_plan = None
+                self._forced_trace = None
 
     def _run_batches_in_processes(
         self, batches: List[List[Tuple[Prefix, int]]]

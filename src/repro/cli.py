@@ -20,6 +20,7 @@ Seven subcommands cover the common workflows without writing any code::
                               [--lease-seconds S] [--max-idle-seconds S]
                               [--task-timeout S]
     python -m repro queue     status --queue-dir DIR [--json]
+    python -m repro trace     show | summary  --trace-dir DIR [--json]
     python -m repro cache     stats | prune  --cache-dir DIR
 
 ``section3`` prints the Section-3 statistics table, ``figure2`` prints
@@ -85,6 +86,16 @@ in the stage fingerprints.  ``section3 --json`` reports carry a
 actually ran, why ``auto`` fell back (if it did) and what compression
 collapsed; CI strips that block before diffing reports across engine
 and compression configurations.
+
+``--trace-dir DIR`` (on ``section3``/``figure2``/``snapshot``/``sweep``
+/``worker``) turns on structured telemetry: spans and counters are
+appended to ``DIR/trace*.jsonl`` (see :mod:`repro.telemetry` and
+``docs/observability.md``).  Tracing is off by default, adds no
+overhead when off, and never changes a fingerprint or an output byte.
+``trace show`` renders the reassembled span tree — for a distributed
+sweep, the coordinator's and every worker's spans join into one tree —
+and ``trace summary`` prints per-stage/per-engine rollups (count,
+total, p50/p95, cache hit rate, retry and dead-letter counts).
 """
 
 from __future__ import annotations
@@ -119,6 +130,7 @@ from repro.pipeline import (
     run_pipeline,
     section3_artifacts,
 )
+from repro.telemetry import TelemetryConfig
 
 #: Schema version of the ``section3``/``figure2`` ``--json`` reports.
 REPORT_SCHEMA_VERSION = 1
@@ -192,6 +204,22 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
+    trace_dir = getattr(args, "trace_dir", None)
+    return TelemetryConfig(trace_dir=str(trace_dir)) if trace_dir else None
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write structured telemetry (spans + counters, JSONL) to this "
+        "directory; inspect with 'repro trace show|summary'.  Off by "
+        "default; tracing never changes fingerprints or outputs",
+    )
+
+
 def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
     return PipelineConfig(
         dataset=_config_from_args(args),
@@ -201,6 +229,7 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
             engine=getattr(args, "engine", "event"),
             compression=getattr(args, "compression", "off"),
         ),
+        telemetry=_telemetry_from_args(args),
     )
 
 
@@ -337,6 +366,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         engine=getattr(args, "engine", "event"),
         compression=getattr(args, "compression", "off"),
+        telemetry=_telemetry_from_args(args),
     )
     output = Path(args.output)
     summary = save_snapshot(snapshot, output)
@@ -431,6 +461,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             lease_seconds=args.lease_seconds if args.lease_seconds is not None else 30.0,
             wave_timeout=args.wave_timeout,
             task_timeout_seconds=args.task_timeout,
+            trace_dir=args.trace_dir,
         )
     except (ValueError, ClusterError, BackendError) as exc:
         # Invalid option combinations, a cluster that cannot make
@@ -512,6 +543,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         lease_seconds=args.lease_seconds,
         poll_interval=args.poll_interval,
         task_timeout=args.task_timeout,
+        trace_dir=args.trace_dir,
     )
 
     def _drain(signum: int, frame: object) -> None:
@@ -569,13 +601,23 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
         return 0
     print(f"task queue at {queue_file}")
     print(f"  state: {report['state']}, {report['total_tasks']} tasks")
-    for status in sorted(report["counts"]):
-        print(f"  {status:<8} {report['counts'][status]}")
+    counts = report["counts"]
+    if counts:
+        # Column widths computed from the data: a status name longer
+        # than 8 chars must not shear the count column off its grid.
+        status_width = max(len(status) for status in counts)
+        count_width = max(len(str(count)) for count in counts.values())
+        for status in sorted(counts):
+            print(f"  {status:<{status_width}} {counts[status]:>{count_width}}")
     for row in report["running"]:
+        lease_age = row.get("lease_age_seconds")
+        held = (
+            f"lease held {lease_age:.1f}s, " if lease_age is not None else ""
+        )
         print(
             f"  running {row['task_id']} (owner {row['owner']}, attempt "
-            f"{row['attempts']}): {row['seconds_since_update']:.1f}s since "
-            f"last heartbeat, lease expires in "
+            f"{row['attempts']}): {held}{row['seconds_since_update']:.1f}s "
+            f"since last heartbeat, lease expires in "
             f"{row['lease_seconds_remaining']:.1f}s"
         )
     for letter in report["dead_letters"]:
@@ -588,6 +630,111 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
                 f"          attempt {entry.get('attempt')} "
                 f"({entry.get('owner')}): {entry.get('error')}"
             )
+    return 0
+
+
+def _read_trace_records(args: argparse.Namespace):
+    """Load a trace directory for the ``trace`` subcommands, or report
+    why it cannot be (no files, malformed line) and return ``None``."""
+    from repro.telemetry import read_trace
+
+    try:
+        return read_trace(args.trace_dir)
+    except FileNotFoundError:
+        print(
+            f"error: no trace*.jsonl files under {args.trace_dir} "
+            "(was the run started with --trace-dir?)",
+            file=sys.stderr,
+        )
+        return None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.telemetry import build_tree, render_tree
+
+    records = _read_trace_records(args)
+    if records is None:
+        return 2
+    if args.json:
+        roots, orphans = build_tree(records)
+        print(
+            json.dumps(
+                {
+                    "schema_version": REPORT_SCHEMA_VERSION,
+                    "roots": roots,
+                    "orphans": orphans,
+                },
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 0
+    lines = render_tree(records)
+    if not lines:
+        print("(no spans recorded)")
+    for line in lines:
+        print(line)
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.telemetry import summarize
+
+    records = _read_trace_records(args)
+    if records is None:
+        return 2
+    summary = summarize(records, trace_dir=args.trace_dir)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+        return 0
+    spans = summary["spans"]
+    print(f"trace at {args.trace_dir}")
+    print(
+        f"  {summary['files']} file(s), {len(summary['runs'])} run(s), "
+        f"{spans['total']} spans ({spans['roots']} roots, "
+        f"{spans['orphans']} orphans, {spans['errors']} errors)"
+    )
+    if summary["stages"]:
+        width = max(len(name) for name in summary["stages"])
+        print("  stages:")
+        for name in sorted(summary["stages"]):
+            entry = summary["stages"][name]
+            print(
+                f"    {name:<{width}} x{entry['count']:<3} "
+                f"total {entry['total_seconds']:8.3f}s  "
+                f"p50 {entry['p50_seconds']:7.3f}s  "
+                f"p95 {entry['p95_seconds']:7.3f}s  "
+                f"computed {entry['computed']} cached {entry['cached']} "
+                f"(hit rate {entry['cache_hit_rate']:.0%})"
+            )
+    if summary["engines"]:
+        width = max(len(name) for name in summary["engines"])
+        print("  engines:")
+        for name in sorted(summary["engines"]):
+            entry = summary["engines"][name]
+            phases = ", ".join(
+                f"{phase} {rollup['total_seconds']:.3f}s"
+                for phase, rollup in sorted(entry["phases"].items())
+            )
+            print(
+                f"    {name:<{width}} x{entry['count']:<3} "
+                f"total {entry['total_seconds']:8.3f}s  "
+                f"events {entry['events']}"
+                + (f"  [{phases}]" if phases else "")
+            )
+    if summary["counters"]:
+        width = max(len(name) for name in summary["counters"])
+        print("  counters:")
+        for name in sorted(summary["counters"]):
+            print(f"    {name:<{width}} {summary['counters'][name]:g}")
+    print(
+        f"  retries: {summary['retries']}, "
+        f"dead letters: {summary['dead_letters']}"
+    )
     return 0
 
 
@@ -682,6 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(section3)
     _add_pipeline_options(section3)
+    _add_trace_option(section3)
     section3.add_argument("--json", help="also write the report as JSON to this path")
     section3.set_defaults(handler=_cmd_section3)
 
@@ -690,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(figure2)
     _add_pipeline_options(figure2)
+    _add_trace_option(figure2)
     figure2.add_argument("--top", type=int, default=20, help="links to correct")
     figure2.add_argument(
         "--max-sources", type=int, default=60,
@@ -709,6 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="artifact-cache directory: reuse cached build stages",
     )
+    _add_trace_option(snapshot)
     snapshot.set_defaults(handler=_cmd_snapshot)
 
     sweep = subparsers.add_parser(
@@ -801,6 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--markdown", help="write the cross-scenario report as markdown to this path"
     )
+    _add_trace_option(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     worker = subparsers.add_parser(
@@ -847,6 +998,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the next coordinator reopens it).  Use for standing worker pools, "
         "ideally with --max-idle-seconds as a safety bound",
     )
+    _add_trace_option(worker)
     worker.set_defaults(handler=_cmd_worker)
 
     queue = subparsers.add_parser(
@@ -866,6 +1018,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     queue_status.set_defaults(handler=_cmd_queue_status)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect telemetry written by --trace-dir runs"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_commands.add_parser(
+        "show",
+        help="render the reassembled span tree (distributed runs merge "
+        "into one tree via their shared run id)",
+    )
+    trace_show.add_argument(
+        "--trace-dir", required=True,
+        help="trace directory a run wrote (same as its --trace-dir)",
+    )
+    trace_show.add_argument(
+        "--json", action="store_true", help="machine-readable span forest"
+    )
+    trace_show.set_defaults(handler=_cmd_trace_show)
+    trace_summary = trace_commands.add_parser(
+        "summary",
+        help="per-stage and per-engine rollups (count, total, p50/p95, "
+        "cache hit rate), counters, retry and dead-letter totals",
+    )
+    trace_summary.add_argument(
+        "--trace-dir", required=True,
+        help="trace directory a run wrote (same as its --trace-dir)",
+    )
+    trace_summary.add_argument(
+        "--json", action="store_true", help="machine-readable rollup"
+    )
+    trace_summary.set_defaults(handler=_cmd_trace_summary)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or prune an artifact cache (directory or "

@@ -55,7 +55,9 @@ from repro.sweep.executor import (
     ScenarioResult,
     SweepResult,
     _result_from_payload,
+    with_trace_context,
 )
+from repro.telemetry import NULL_TRACER, TelemetryConfig, Tracer, activated
 from repro.sweep.grid import Scenario, SweepGrid
 from repro.sweep.planner import DEFAULT_TARGETS, ScenarioPlan, SweepPlan, plan_sweep
 
@@ -88,20 +90,24 @@ def task_spec_for(
     cache_spec: Optional[str],
     max_attempts: int,
     timeout_seconds: Optional[float] = None,
+    trace_context: Optional[TelemetryConfig] = None,
 ) -> TaskSpec:
     """One scenario of one wave as a durable task.
 
     The config crosses the process boundary as a pickle — internal
     state of one code base, exactly the artifact-cache argument; the
     rest of the row is JSON/text so the queue stays inspectable with
-    any sqlite client.
+    any sqlite client.  ``trace_context`` (the coordinator's wave span)
+    is stamped onto the config so the worker's spans join the sweep's
+    trace tree; it is fingerprint-neutral by construction.
     """
+    config = with_trace_context(plan.scenario.config, trace_context)
     return TaskSpec(
         task_id=f"{sweep_id}/{wave_index}/{plan.scenario_id}",
         sweep_id=sweep_id,
         wave=wave_index,
         scenario_id=plan.scenario_id,
-        config=pickle.dumps(plan.scenario.config, protocol=pickle.HIGHEST_PROTOCOL),
+        config=pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL),
         targets=json.dumps(list(targets)),
         cache_spec=cache_spec,
         max_attempts=max_attempts,
@@ -125,6 +131,7 @@ def spawn_local_worker(
     index: int,
     lease_seconds: float,
     poll_interval: float = 0.1,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> subprocess.Popen:
     """Start one ``repro worker`` subprocess in drain mode.
 
@@ -165,7 +172,8 @@ def spawn_local_worker(
                 str(poll_interval),
                 "--max-idle-seconds",
                 str(_SPAWNED_WORKER_MAX_IDLE_SECONDS),
-            ],
+            ]
+            + (["--trace-dir", str(trace_dir)] if trace_dir is not None else []),
             env=env,
             stdout=log,
             stderr=subprocess.STDOUT,
@@ -281,6 +289,7 @@ def run_distributed_sweep(
     cache_budget_bytes: Optional[int] = None,
     wave_timeout: Optional[float] = None,
     task_timeout_seconds: Optional[float] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Run a sweep's waves through the durable queue; workers compute.
 
@@ -296,6 +305,13 @@ def run_distributed_sweep(
     shaped exactly like every other executor's (``executor="cluster"``)
     — plus ``dead_letters``: the post-mortem records of quarantined
     tasks, one per scenario that exhausted its attempts.
+
+    ``trace_dir`` turns on telemetry for the whole distributed run: the
+    coordinator emits ``sweep``/``wave`` spans under one run id, stamps
+    the wave span into every task's trace context (so workers join the
+    same tree, see :class:`~repro.cluster.worker.Worker`), and passes
+    the directory to spawned workers so their queue-level counters land
+    in the same ``trace*.jsonl`` set.
     """
     if cache_dir is None:
         raise ValueError("a distributed sweep requires a shared cache_dir")
@@ -317,47 +333,76 @@ def run_distributed_sweep(
     queue.reopen()
     queue.purge_abandoned(sweep_id)
 
+    tracer = Tracer(trace_dir) if trace_dir is not None else NULL_TRACER
     workers: List[subprocess.Popen] = []
     outcomes: Dict[str, ScenarioResult] = {}
     started = time.perf_counter()
     try:
-        for index in range(local_workers or 0):
-            workers.append(
-                spawn_local_worker(
-                    queue_dir, index, lease_seconds, poll_interval=poll_interval
-                )
-            )
-        for wave_index, wave in enumerate(plan.waves):
-            queue.enqueue(
-                [
-                    task_spec_for(
-                        sweep_id, wave_index, scenario_plan, plan.targets,
-                        cache_spec, max_attempts,
-                        timeout_seconds=task_timeout_seconds,
+        with activated(tracer):
+            with tracer.span(
+                "sweep",
+                executor="cluster",
+                sweep_id=sweep_id,
+                scenarios=len(plan.plans),
+                waves=len(plan.waves),
+            ):
+                for index in range(local_workers or 0):
+                    workers.append(
+                        spawn_local_worker(
+                            queue_dir, index, lease_seconds,
+                            poll_interval=poll_interval, trace_dir=trace_dir,
+                        )
                     )
-                    for scenario_plan in wave
-                ]
-            )
-            tasks = _wait_for_wave(
-                queue, sweep_id, wave_index, len(wave), workers,
-                poll_interval, wave_timeout, lease_seconds,
-            )
-            by_scenario = {task.scenario_id: task for task in tasks}
-            for scenario_plan in wave:
-                task = by_scenario[scenario_plan.scenario_id]
-                if task.status == "done" and task.result is not None:
-                    outcomes[scenario_plan.scenario_id] = _result_from_payload(
-                        scenario_plan, task.result
-                    )
-                else:
-                    outcomes[scenario_plan.scenario_id] = _dead_task_result(
-                        scenario_plan, task
-                    )
-            if cache_budget_bytes is not None:
-                ArtifactCache.from_spec(cache_spec).prune(max_bytes=cache_budget_bytes)
+                for wave_index, wave in enumerate(plan.waves):
+                    with tracer.span(
+                        "wave", index=wave_index, scenarios=len(wave)
+                    ) as wave_span:
+                        context = (
+                            tracer.context(wave_span.span_id) if tracer else None
+                        )
+                        queue.enqueue(
+                            [
+                                task_spec_for(
+                                    sweep_id, wave_index, scenario_plan,
+                                    plan.targets, cache_spec, max_attempts,
+                                    timeout_seconds=task_timeout_seconds,
+                                    trace_context=context,
+                                )
+                                for scenario_plan in wave
+                            ]
+                        )
+                        tasks = _wait_for_wave(
+                            queue, sweep_id, wave_index, len(wave), workers,
+                            poll_interval, wave_timeout, lease_seconds,
+                        )
+                        by_scenario = {task.scenario_id: task for task in tasks}
+                        for scenario_plan in wave:
+                            task = by_scenario[scenario_plan.scenario_id]
+                            if task.status == "done" and task.result is not None:
+                                outcomes[scenario_plan.scenario_id] = (
+                                    _result_from_payload(scenario_plan, task.result)
+                                )
+                            else:
+                                outcomes[scenario_plan.scenario_id] = (
+                                    _dead_task_result(scenario_plan, task)
+                                )
+                        if cache_budget_bytes is not None:
+                            ArtifactCache.from_spec(cache_spec).prune(
+                                max_bytes=cache_budget_bytes
+                            )
     finally:
         queue.close()
         _reap_workers(workers)
+        if tracer:
+            try:
+                quarantined = queue.dead_letters(sweep_id=sweep_id)
+            except Exception:
+                quarantined = []
+            if quarantined:
+                tracer.counter(
+                    "sweep.dead_letters", value=len(quarantined), sweep_id=sweep_id
+                )
+            tracer.flush()
     elapsed = time.perf_counter() - started
 
     results = [outcomes[p.scenario_id] for p in plan.plans]

@@ -54,11 +54,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.telemetry import get_tracer
+
 #: Bump when the queue schema changes.  Version 2 added
 #: ``timeout_seconds`` (per-task watchdog budget) and ``attempts_log``
-#: (the per-attempt failure history behind dead-letter records); v1
+#: (the per-attempt failure history behind dead-letter records);
+#: version 3 added ``claimed_at`` (when the current lease was granted,
+#: behind the lease-age reporting of ``repro queue status``).  Older
 #: files are migrated in place on open (``ALTER TABLE ADD COLUMN``).
-QUEUE_SCHEMA_VERSION = 2
+QUEUE_SCHEMA_VERSION = 3
 
 #: Queue statuses that will never change again.
 TERMINAL_STATUSES = ("done", "dead")
@@ -82,7 +86,8 @@ CREATE TABLE IF NOT EXISTS tasks (
     enqueued_at  REAL NOT NULL,
     updated_at   REAL NOT NULL,
     timeout_seconds REAL,
-    attempts_log TEXT NOT NULL DEFAULT '[]'
+    attempts_log TEXT NOT NULL DEFAULT '[]',
+    claimed_at   REAL
 );
 CREATE INDEX IF NOT EXISTS idx_tasks_claim ON tasks (status, wave);
 CREATE TABLE IF NOT EXISTS control (
@@ -96,12 +101,13 @@ CREATE TABLE IF NOT EXISTS control (
 _MIGRATIONS = (
     ("timeout_seconds", "timeout_seconds REAL"),
     ("attempts_log", "attempts_log TEXT NOT NULL DEFAULT '[]'"),
+    ("claimed_at", "claimed_at REAL"),
 )
 
 _TASK_COLUMNS = (
     "task_id, sweep_id, wave, scenario_id, config, targets, cache_spec, "
     "status, attempts, max_attempts, owner, lease_expires, result, error, "
-    "enqueued_at, updated_at, timeout_seconds, attempts_log"
+    "enqueued_at, updated_at, timeout_seconds, attempts_log, claimed_at"
 )
 
 
@@ -172,6 +178,8 @@ class Task:
     #: Per-attempt failure history: ``{"attempt", "owner", "error",
     #: "at"}`` dicts appended on fail / lease expiry / release.
     attempts_log: List[Dict[str, object]] = field(default_factory=list)
+    #: When the current lease was granted (``None`` unless running).
+    claimed_at: Optional[float] = None
 
     @property
     def terminal(self) -> bool:
@@ -201,6 +209,7 @@ def _task_from_row(row: tuple) -> Task:
         updated_at=row[15],
         timeout_seconds=row[16],
         attempts_log=json.loads(row[17]) if row[17] else [],
+        claimed_at=row[18],
     )
 
 
@@ -340,6 +349,7 @@ class TaskQueue:
         """
         if now is None:
             now = time.time()
+        tracer = get_tracer()
         with self._transaction() as conn:
             # Row-wise sweep (instead of two bulk UPDATEs) so each
             # expiry is recorded in the task's attempts_log — the
@@ -359,18 +369,26 @@ class TaskQueue:
                         "at": now,
                     },
                 )
+                if tracer:
+                    tracer.counter(
+                        "queue.lease_expired", task_id=task_id, owner=prev_owner
+                    )
                 if attempts >= max_attempts:
                     conn.execute(
                         "UPDATE tasks SET status = 'dead', owner = NULL, "
                         "error = COALESCE(error, "
                         "'lease expired; attempts exhausted'), "
-                        "attempts_log = ?, updated_at = ? WHERE task_id = ?",
+                        "attempts_log = ?, updated_at = ?, claimed_at = NULL "
+                        "WHERE task_id = ?",
                         (log, now, task_id),
                     )
+                    if tracer:
+                        tracer.counter("queue.task_dead", task_id=task_id)
                 else:
                     conn.execute(
                         "UPDATE tasks SET status = 'pending', owner = NULL, "
-                        "attempts_log = ?, updated_at = ? WHERE task_id = ?",
+                        "attempts_log = ?, updated_at = ?, claimed_at = NULL "
+                        "WHERE task_id = ?",
                         (log, now, task_id),
                     )
             row = conn.execute(
@@ -383,15 +401,23 @@ class TaskQueue:
             lease_expires = now + lease_seconds
             conn.execute(
                 "UPDATE tasks SET status = 'running', owner = ?, "
-                "lease_expires = ?, attempts = attempts + 1, updated_at = ? "
-                "WHERE task_id = ?",
-                (owner, lease_expires, now, task.task_id),
+                "lease_expires = ?, attempts = attempts + 1, updated_at = ?, "
+                "claimed_at = ? WHERE task_id = ?",
+                (owner, lease_expires, now, now, task.task_id),
             )
             task.status = "running"
             task.owner = owner
             task.lease_expires = lease_expires
             task.attempts += 1
             task.updated_at = now
+            task.claimed_at = now
+            if tracer:
+                tracer.counter(
+                    "queue.task_claimed",
+                    task_id=task.task_id,
+                    owner=owner,
+                    attempt=task.attempts,
+                )
             return task
 
     def heartbeat(
@@ -417,11 +443,16 @@ class TaskQueue:
         with self._transaction() as conn:
             cursor = conn.execute(
                 "UPDATE tasks SET status = 'done', result = ?, owner = NULL, "
-                "updated_at = ? "
+                "updated_at = ?, claimed_at = NULL "
                 "WHERE task_id = ? AND owner = ? AND status = 'running'",
                 (json.dumps(result, sort_keys=True), now, task_id, owner),
             )
-            return cursor.rowcount == 1
+            completed = cursor.rowcount == 1
+        if completed:
+            tracer = get_tracer()
+            if tracer:
+                tracer.counter("queue.task_completed", task_id=task_id, owner=owner)
+        return completed
 
     def fail(self, task_id: str, owner: str, error: str) -> str:
         """Report an infrastructure failure (the worker could not even
@@ -446,10 +477,18 @@ class TaskQueue:
             )
             conn.execute(
                 "UPDATE tasks SET status = ?, owner = NULL, error = ?, "
-                "attempts_log = ?, updated_at = ? WHERE task_id = ?",
+                "attempts_log = ?, updated_at = ?, claimed_at = NULL "
+                "WHERE task_id = ?",
                 (status, error, log, now, task_id),
             )
-            return status
+        tracer = get_tracer()
+        if tracer:
+            tracer.counter(
+                "queue.task_failed", task_id=task_id, owner=owner, outcome=status
+            )
+            if status == "dead":
+                tracer.counter("queue.task_dead", task_id=task_id)
+        return status
 
     def release(self, task_id: str, owner: str, reason: str = "released") -> bool:
         """Hand a claimed task back *without burning an attempt*.
@@ -482,11 +521,16 @@ class TaskQueue:
             )
             conn.execute(
                 "UPDATE tasks SET status = 'pending', owner = NULL, "
-                "attempts = ?, attempts_log = ?, updated_at = ? "
-                "WHERE task_id = ?",
+                "attempts = ?, attempts_log = ?, updated_at = ?, "
+                "claimed_at = NULL WHERE task_id = ?",
                 (max(attempts - 1, 0), log, now, task_id),
             )
-            return True
+        tracer = get_tracer()
+        if tracer:
+            tracer.counter(
+                "queue.task_released", task_id=task_id, owner=owner, reason=reason
+            )
+        return True
 
     # ------------------------------------------------------------------
     # observers
@@ -574,6 +618,13 @@ class TaskQueue:
         roster: List[Dict[str, object]] = []
         for task in tasks:
             counts[task.status] = counts.get(task.status, 0) + 1
+            # Heartbeats bump updated_at, so for a running task the time
+            # in state is measured from when its lease was claimed; for
+            # every other state updated_at *is* the transition time.
+            if task.status == "running" and task.claimed_at is not None:
+                seconds_in_state = now - task.claimed_at
+            else:
+                seconds_in_state = now - task.updated_at
             roster.append(
                 {
                     "task_id": task.task_id,
@@ -583,6 +634,7 @@ class TaskQueue:
                     "status": task.status,
                     "attempts": task.attempts,
                     "max_attempts": task.max_attempts,
+                    "seconds_in_state": round(seconds_in_state, 3),
                 }
             )
             if task.status == "running":
@@ -592,6 +644,14 @@ class TaskQueue:
                         "scenario_id": task.scenario_id,
                         "owner": task.owner,
                         "attempts": task.attempts,
+                        # How long the current attempt has held its lease
+                        # (None for pre-migration rows claimed before the
+                        # claimed_at column existed).
+                        "lease_age_seconds": (
+                            round(now - task.claimed_at, 3)
+                            if task.claimed_at is not None
+                            else None
+                        ),
                         # Time since the last owner-side sign of life
                         # (claim or heartbeat) and until the lease lapses.
                         "seconds_since_update": round(now - task.updated_at, 3),

@@ -50,6 +50,7 @@ from repro.cluster.backends import (
     ObjectStat,
     PersistentBackendError,
 )
+from repro.telemetry import get_tracer
 
 T = TypeVar("T")
 
@@ -152,6 +153,10 @@ class RetryingBackend(CacheBackend):
                 if len(failures) >= self.policy.max_attempts:
                     raise RetryExhausted(operation, failures) from exc
                 self.retries += 1
+                tracer = get_tracer()
+                if tracer:
+                    tracer.counter("backend.retry", operation=operation,
+                                   error=type(exc).__name__)
                 ceiling = self.policy.backoff_ceiling(len(failures) - 1)
                 if ceiling > 0:
                     self._sleep(self._rng.uniform(0.0, ceiling))

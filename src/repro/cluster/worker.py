@@ -60,6 +60,7 @@ from typing import Dict, Optional, Sequence, Union
 
 from repro.cluster.queue import Task, TaskQueue
 from repro.pipeline import StageSpec
+from repro.telemetry import NULL_TRACER, TelemetryConfig, Tracer, activated
 
 #: How many times per lease period the heartbeat fires.
 HEARTBEATS_PER_LEASE = 3
@@ -95,6 +96,7 @@ class Worker:
         poll_interval: float = 0.2,
         stages: Optional[Sequence[StageSpec]] = None,
         task_timeout: Optional[float] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
@@ -113,6 +115,11 @@ class Worker:
         self.poll_interval = float(poll_interval)
         self.task_timeout = task_timeout
         self._stages = list(stages) if stages is not None else None
+        #: Local default trace directory: tasks whose config carries no
+        #: trace context still get traced here (worker-level opt-in via
+        #: ``repro worker --trace-dir``); tasks that *do* carry one keep
+        #: it, so a coordinator's choice wins and trees stay joined.
+        self.trace_dir = os.fspath(trace_dir) if trace_dir is not None else None
         #: Watchdog aborts performed by this worker (for tests/reports).
         self.watchdog_trips = 0
         self._drain = threading.Event()
@@ -154,32 +161,47 @@ class Worker:
         closing the queue).  With none of them the worker polls forever
         — that is what a standing worker machine does.
         """
+        # The session tracer catches queue-level telemetry (claim /
+        # lease-expiry / completion counters) under a per-worker run;
+        # per-task spans join the *sweep's* run via the trace context
+        # inside each task's config (see :meth:`_execute`).
+        session = (
+            Tracer(self.trace_dir) if self.trace_dir is not None else NULL_TRACER
+        )
         processed = 0
         idle_since: Optional[float] = None
-        while True:
-            if self._drain.is_set():
-                break
-            if max_tasks is not None and processed >= max_tasks:
-                break
-            task = self.queue.claim(self.worker_id, self.lease_seconds)
-            if task is None:
-                if exit_when_closed and self.queue.state() == "closed":
-                    break
-                now = time.monotonic()
-                if max_idle_seconds is not None:
-                    counts = self.queue.counts()
-                    live = counts.get("pending", 0) + counts.get("running", 0)
-                    if live:
-                        idle_since = None  # someone is working: not idle
-                    elif idle_since is None:
-                        idle_since = now
-                    elif now - idle_since >= max_idle_seconds:
-                        break
-                time.sleep(self.poll_interval)
-                continue
-            idle_since = None
-            self.process(task)
-            processed += 1
+        try:
+            with activated(session):
+                with session.span("worker", worker=self.worker_id):
+                    while True:
+                        if self._drain.is_set():
+                            break
+                        if max_tasks is not None and processed >= max_tasks:
+                            break
+                        task = self.queue.claim(self.worker_id, self.lease_seconds)
+                        if task is None:
+                            if exit_when_closed and self.queue.state() == "closed":
+                                break
+                            now = time.monotonic()
+                            if max_idle_seconds is not None:
+                                counts = self.queue.counts()
+                                live = counts.get("pending", 0) + counts.get(
+                                    "running", 0
+                                )
+                                if live:
+                                    idle_since = None  # someone is working
+                                elif idle_since is None:
+                                    idle_since = now
+                                elif now - idle_since >= max_idle_seconds:
+                                    break
+                            time.sleep(self.poll_interval)
+                            continue
+                        idle_since = None
+                        self.process(task)
+                        processed += 1
+                        session.flush()
+        finally:
+            session.flush()
         return processed
 
     # ------------------------------------------------------------------
@@ -292,9 +314,40 @@ class Worker:
     def _execute(self, task: Task) -> dict:
         # Imported here so the queue/backends layer stays importable
         # without the sweep machinery (and to avoid import cycles).
-        from repro.sweep.executor import _execute_scenario
+        from repro.sweep.executor import _execute_scenario, with_trace_context
 
         config = pickle.loads(task.config)
-        return _execute_scenario(
-            config, task.cache_spec, task.targets_tuple(), self._stages
-        )
+        context = getattr(config, "telemetry", None)
+        if (
+            context is None or not getattr(context, "enabled", False)
+        ) and self.trace_dir is not None:
+            # Task arrived untraced but this worker opts in: trace it
+            # locally (fresh run id — there is no sweep tree to join).
+            context = TelemetryConfig(trace_dir=self.trace_dir)
+            config = with_trace_context(config, context)
+        if context is None or not context.enabled:
+            return _execute_scenario(
+                config, task.cache_spec, task.targets_tuple(), self._stages
+            )
+        # One tracer per task attempt, joined to the sweep's tree via
+        # the context (shared run id, parented under the coordinator's
+        # wave span).  Opening the "task" span *on this thread* makes
+        # the pipeline span nest under it, and the ambient activation
+        # lets the runner and cache reuse this tracer instead of owning
+        # their own.
+        tracer = Tracer.from_config(context)
+        try:
+            with activated(tracer):
+                with tracer.span(
+                    "task",
+                    task_id=task.task_id,
+                    scenario_id=task.scenario_id,
+                    wave=task.wave,
+                    attempt=task.attempts,
+                    worker=self.worker_id,
+                ):
+                    return _execute_scenario(
+                        config, task.cache_spec, task.targets_tuple(), self._stages
+                    )
+        finally:
+            tracer.flush()

@@ -319,6 +319,7 @@ def build_snapshot(
     cache_dir=None,
     engine: str = "event",
     compression: str = "off",
+    telemetry=None,
 ) -> SyntheticSnapshot:
     """Build a complete synthetic measurement snapshot.
 
@@ -330,7 +331,9 @@ def build_snapshot(
     enables the on-disk artifact cache — a warm call skips every stage
     whose fingerprint is unchanged.  ``engine`` selects the propagation
     backend (see :mod:`repro.bgp.backends`); every engine must produce
-    the same snapshot bit for bit.
+    the same snapshot bit for bit.  ``telemetry`` forwards an optional
+    :class:`~repro.telemetry.TelemetryConfig` to the pipeline (tracing
+    is fingerprint-neutral, so the snapshot stays bit-identical).
     """
     # Imported here: repro.pipeline.stages imports this module's
     # private stage helpers, so a module-level import would be circular.
@@ -339,6 +342,7 @@ def build_snapshot(
     pipeline_config = PipelineConfig(
         dataset=config or DatasetConfig(),
         propagation=PropagationConfig(engine=engine, compression=compression),
+        telemetry=telemetry,
     )
     run = run_pipeline(pipeline_config, cache_dir=cache_dir, targets=("snapshot",))
     return run.value("snapshot")

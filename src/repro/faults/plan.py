@@ -33,6 +33,8 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.telemetry import get_tracer
+
 #: Bump when the plan JSON schema changes incompatibly.
 FAULT_PLAN_SCHEMA_VERSION = 1
 
@@ -133,6 +135,9 @@ class FaultState:
     def count_injection(self, kind: str) -> None:
         with self._mutex:
             self.injected[kind] = self.injected.get(kind, 0) + 1
+        tracer = get_tracer()
+        if tracer:
+            tracer.counter("fault.injected", kind=kind)
 
     def injections(self) -> Dict[str, int]:
         with self._mutex:

@@ -66,6 +66,7 @@ from repro.cluster.backends import (
     open_backend,
 )
 from repro.cluster.retry import RetryPolicy, with_retries
+from repro.telemetry import get_tracer
 
 #: Bump when the cache layout / metadata schema changes incompatibly.
 CACHE_LAYOUT_VERSION = 1
@@ -344,6 +345,11 @@ class ArtifactCache:
         detection) but no deserialization.
         """
         verified = self._verified_bytes(stage, fingerprint)
+        tracer = get_tracer()
+        if tracer:
+            tracer.counter("cache.verify", stage=stage)
+            tracer.counter("cache.hit" if verified is not None else "cache.miss",
+                           stage=stage)
         if verified is not None:
             self._touch(stage, fingerprint)
         return verified[1] if verified is not None else None
@@ -358,12 +364,19 @@ class ArtifactCache:
         passed earlier, because the file may have changed in between).
         """
         verified = self._verified_bytes(stage, fingerprint)
+        tracer = get_tracer()
+        if tracer:
+            tracer.counter("cache.load", stage=stage)
         if verified is None:
+            if tracer:
+                tracer.counter("cache.miss", stage=stage)
             return None
         payload, record = verified
         try:
             value = pickle.loads(payload)
         except Exception:
+            if tracer:
+                tracer.counter("cache.miss", stage=stage)
             return None
         self._touch(stage, fingerprint)
         return value, record
@@ -404,6 +417,10 @@ class ArtifactCache:
             self.backend.put(payload_key, payload)
         self.backend.put(meta_key, record.to_json().encode("utf-8"))
         self._touch(stage, fingerprint, stored=True)
+        tracer = get_tracer()
+        if tracer:
+            tracer.counter("cache.put", stage=stage)
+            tracer.counter("cache.put_bytes", value=record.size_bytes, stage=stage)
         return record
 
     # ------------------------------------------------------------------

@@ -26,11 +26,13 @@ topologies or BGP.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.pipeline.artifacts import ArtifactCache, config_token, fingerprint
+from repro.telemetry import Tracer, activated, get_tracer
 
 
 @dataclass(frozen=True)
@@ -128,6 +130,9 @@ class PipelineRun:
             value = loaded[0]
         else:
             # The verified artifact became unloadable; recompute.
+            tracer = get_tracer()
+            if tracer:
+                tracer.counter("cache.unloadable", stage=name)
             started = time.perf_counter()
             try:
                 value = spec.compute(self)
@@ -255,31 +260,88 @@ class PipelineRunner:
         deserialized; payloads unpickle on first
         :meth:`PipelineRun.value` access, so artifacts nobody reads are
         never deserialized.
+
+        Telemetry: when a tracer is active — or ``config.telemetry``
+        carries an enabled :class:`~repro.telemetry.TelemetryConfig`,
+        in which case the run owns a tracer for its duration and
+        flushes it on exit — one ``"pipeline"`` span wraps the run and
+        one ``"stage"`` span per stage records the fingerprint, cache
+        status, verify time and artifact bytes.  Telemetry never feeds
+        into fingerprints (``config.telemetry`` is in no stage's config
+        slice), so a traced run is byte-identical to an untraced one.
         """
+        telemetry = getattr(config, "telemetry", None)
+        tracer = get_tracer()
+        owned: Optional[Tracer] = None
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            # A fork-inherited tracer is the parent's copy — its buffer
+            # must not be flushed here (the parent flushes the
+            # original); own a fresh tracer joined to the context.
+            if not tracer or tracer.pid != os.getpid():
+                owned = tracer = Tracer.from_config(telemetry)
+        # Nest under whatever span is already open on this thread (a
+        # worker's "task" span, a serial sweep's "wave" span); the
+        # context's parent is the fallback for threads with no open
+        # span — a thread-pool sweep's pool threads land here.
+        parent_id = (
+            None
+            if tracer.current_span_id() is not None
+            else getattr(telemetry, "parent_span_id", None)
+        )
+        try:
+            with activated(owned):
+                with tracer.span(
+                    "pipeline",
+                    parent_id=parent_id,
+                    targets=",".join(targets) if targets else "all",
+                ):
+                    return self._run(config, targets, tracer)
+        finally:
+            if owned is not None:
+                owned.flush()
+
+    def _run(
+        self,
+        config: object,
+        targets: Optional[Sequence[str]],
+        tracer,
+    ) -> PipelineRun:
         run = PipelineRun(config, self)
         run.fingerprints = self.fingerprints(config, targets)
         for spec in self.closure(targets):
             stage_fingerprint = run.fingerprints[spec.name]
-            if (
-                self.cache is not None
-                and spec.cacheable
-                and self.cache.verify(spec.name, stage_fingerprint) is not None
-            ):
-                run._pending.add(spec.name)
+            with tracer.span(
+                "stage", stage=spec.name, fingerprint=stage_fingerprint
+            ) as span:
+                if self.cache is not None and spec.cacheable:
+                    verify_started = time.perf_counter()
+                    record = self.cache.verify(spec.name, stage_fingerprint)
+                    span.annotate(
+                        verify_seconds=round(time.perf_counter() - verify_started, 6)
+                    )
+                    if record is not None:
+                        span.annotate(
+                            status="cached", artifact_bytes=record.size_bytes
+                        )
+                        run._pending.add(spec.name)
+                        run._record(
+                            StageOutcome(spec.name, stage_fingerprint, "cached", 0.0)
+                        )
+                        continue
+                started = time.perf_counter()
+                try:
+                    value = spec.compute(run)
+                except Exception as exc:
+                    raise StageFailure(spec.name, run, exc) from exc
+                elapsed = time.perf_counter() - started
+                span.annotate(status="computed")
+                if self.cache is not None and spec.cacheable:
+                    stored = self.cache.store(
+                        spec.name, stage_fingerprint, value, spec.version
+                    )
+                    span.annotate(artifact_bytes=stored.size_bytes)
+                run._ready[spec.name] = value
                 run._record(
-                    StageOutcome(spec.name, stage_fingerprint, "cached", 0.0)
+                    StageOutcome(spec.name, stage_fingerprint, "computed", elapsed)
                 )
-                continue
-            started = time.perf_counter()
-            try:
-                value = spec.compute(run)
-            except Exception as exc:
-                raise StageFailure(spec.name, run, exc) from exc
-            elapsed = time.perf_counter() - started
-            if self.cache is not None and spec.cacheable:
-                self.cache.store(spec.name, stage_fingerprint, value, spec.version)
-            run._ready[spec.name] = value
-            run._record(
-                StageOutcome(spec.name, stage_fingerprint, "computed", elapsed)
-            )
         return run

@@ -68,6 +68,7 @@ from repro.datasets.synthetic import (
 from repro.irr.registry import IRRRegistry, build_registry
 from repro.pipeline.artifacts import ArtifactCache
 from repro.pipeline.runner import PipelineRun, PipelineRunner, StageSpec
+from repro.telemetry import TelemetryConfig
 from repro.topology.generator import GeneratedTopology, generate_topology
 
 
@@ -125,12 +126,19 @@ class PipelineConfig:
             customer-tree metric (``None`` = exact).
         propagation: Propagation-engine selection (sweepable as the
             ``propagation.engine`` grid axis).
+        telemetry: Optional trace context
+            (:class:`~repro.telemetry.TelemetryConfig`).  ``None`` (the
+            default) keeps telemetry off.  Deliberately absent from
+            every stage's ``config_slice`` — tracing a run must never
+            change a fingerprint or an output byte, which the
+            fingerprint-neutrality tests and the CI trace smoke pin.
     """
 
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
     top: int = 20
     max_sources: Optional[int] = 60
     propagation: PropagationConfig = field(default_factory=PropagationConfig)
+    telemetry: Optional[TelemetryConfig] = None
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import contextlib
+import dataclasses
 import os
 import time
 from dataclasses import dataclass, field
@@ -60,6 +61,7 @@ from repro.pipeline.runner import StageFailure
 from repro.pipeline.stages import propagation_parallelism
 from repro.sweep.grid import Scenario, SweepGrid
 from repro.sweep.planner import DEFAULT_TARGETS, ScenarioPlan, SweepPlan, plan_sweep
+from repro.telemetry import TelemetryConfig, Tracer, activated, get_tracer
 
 _EXECUTORS = ("serial", "thread", "process", "cluster")
 
@@ -209,6 +211,20 @@ def _execute_scenario(
     return payload
 
 
+def with_trace_context(
+    config: PipelineConfig, context: Optional[TelemetryConfig]
+) -> PipelineConfig:
+    """Stamp a trace context onto a scenario config (fingerprint-neutral:
+    ``telemetry`` is in no stage's config slice).  Configs without a
+    ``telemetry`` field pass through untouched."""
+    if context is None:
+        return config
+    try:
+        return dataclasses.replace(config, telemetry=context)
+    except TypeError:
+        return config
+
+
 def _process_task(
     scenario_id: str,
     config: PipelineConfig,
@@ -263,6 +279,7 @@ def run_sweep(
     lease_seconds: float = 30.0,
     wave_timeout: Optional[float] = None,
     task_timeout_seconds: Optional[float] = None,
+    trace_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run every scenario of a grid over one shared artifact cache.
 
@@ -280,6 +297,13 @@ def run_sweep(
     ``queue_dir`` (see :mod:`repro.cluster`); ``workers`` then counts
     spawned local worker processes.  ``cache_budget_bytes`` prunes the
     cache to the budget after every wave barrier.
+
+    ``trace_dir`` turns on telemetry for the sweep: one ``sweep`` span,
+    one ``wave`` span per wave, and a trace context stamped onto every
+    scenario config so spans from pool threads, pool processes and
+    cluster workers all join one tree (fingerprint-neutral — traced and
+    untraced sweeps produce byte-identical results).  An already-active
+    ambient tracer is used as-is; ``trace_dir`` is then ignored.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
@@ -328,6 +352,7 @@ def run_sweep(
             cache_budget_bytes=cache_budget_bytes,
             wave_timeout=wave_timeout,
             task_timeout_seconds=task_timeout_seconds,
+            trace_dir=trace_dir,
         )
     if isinstance(grid, SweepPlan):
         plan = grid
@@ -343,15 +368,39 @@ def run_sweep(
         if propagation_workers
         else contextlib.nullcontext()
     )
+    tracer = get_tracer()
+    owned: Optional[Tracer] = None
+    if trace_dir is not None and not tracer:
+        owned = tracer = Tracer(trace_dir)
     outcomes: Dict[str, ScenarioResult] = {}
     started = time.perf_counter()
-    with propagation_context:
-        for wave in waves:
-            _run_wave(wave, cache_str, plan.targets, executor, workers, stages, outcomes)
-            if cache_budget_bytes is not None and cache_str is not None:
-                from repro.pipeline import ArtifactCache
+    try:
+        with propagation_context, activated(owned):
+            with tracer.span(
+                "sweep",
+                executor=executor,
+                scenarios=len(plan.plans),
+                waves=len(waves),
+            ):
+                for index, wave in enumerate(waves):
+                    with tracer.span("wave", index=index, scenarios=len(wave)):
+                        # Scenario configs carry the trace context (run id
+                        # + this wave's span id) so spans emitted by pool
+                        # threads and processes join this tree.
+                        context = tracer.context() if tracer else None
+                        _run_wave(
+                            wave, cache_str, plan.targets, executor, workers,
+                            stages, outcomes, context,
+                        )
+                    if cache_budget_bytes is not None and cache_str is not None:
+                        from repro.pipeline import ArtifactCache
 
-                ArtifactCache.from_spec(cache_str).prune(max_bytes=cache_budget_bytes)
+                        ArtifactCache.from_spec(cache_str).prune(
+                            max_bytes=cache_budget_bytes
+                        )
+    finally:
+        if owned is not None:
+            owned.flush()
     elapsed = time.perf_counter() - started
 
     results = [outcomes[p.scenario_id] for p in plan.plans]
@@ -374,13 +423,17 @@ def _run_wave(
     workers: Optional[int],
     stages: Optional[Sequence[StageSpec]],
     outcomes: Dict[str, ScenarioResult],
+    trace_context: Optional[TelemetryConfig] = None,
 ) -> None:
     if not wave:
         return
     if executor == "serial" or len(wave) == 1:
         for plan in wave:
             try:
-                payload = _execute_scenario(plan.scenario.config, cache_dir, targets, stages)
+                payload = _execute_scenario(
+                    with_trace_context(plan.scenario.config, trace_context),
+                    cache_dir, targets, stages,
+                )
                 outcomes[plan.scenario_id] = _result_from_payload(plan, payload)
             except Exception as exc:  # noqa: BLE001 - failure isolation
                 outcomes[plan.scenario_id] = _failure_result(plan, exc)
@@ -390,12 +443,17 @@ def _run_wave(
     if executor == "thread":
         pool_cls = concurrent.futures.ThreadPoolExecutor
         submit = lambda pool, plan: pool.submit(  # noqa: E731
-            _execute_scenario, plan.scenario.config, cache_dir, targets, stages
+            _execute_scenario,
+            with_trace_context(plan.scenario.config, trace_context),
+            cache_dir, targets, stages,
         )
     else:
         pool_cls = concurrent.futures.ProcessPoolExecutor
         submit = lambda pool, plan: pool.submit(  # noqa: E731
-            _process_task, plan.scenario_id, plan.scenario.config, cache_dir, targets
+            _process_task,
+            plan.scenario_id,
+            with_trace_context(plan.scenario.config, trace_context),
+            cache_dir, targets,
         )
     with pool_cls(max_workers=max_workers) as pool:
         futures = {submit(pool, plan): plan for plan in wave}

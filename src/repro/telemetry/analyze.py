@@ -1,0 +1,259 @@
+"""Read, join and roll up trace files written by :mod:`repro.telemetry`.
+
+A trace directory holds one or more ``trace*.jsonl`` files (a shared
+``trace.jsonl`` plus any per-process files).  :func:`read_trace` merges
+them; :func:`build_tree` reassembles the span tree across processes
+(a distributed sweep's coordinator, workers and pool processes all
+stamp the same ``run_id`` and resolvable parent ids);
+:func:`summarize` produces the per-stage / per-engine / counter
+rollups behind ``repro trace summary``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SUMMARY_SCHEMA_VERSION = 1
+
+
+def trace_files(trace_dir) -> List[str]:
+    """All ``trace*.jsonl`` files of a trace directory, sorted."""
+    return sorted(glob.glob(os.path.join(os.fspath(trace_dir), "trace*.jsonl")))
+
+
+def read_trace(trace_dir) -> List[dict]:
+    """Every record of every trace file in ``trace_dir``.
+
+    Raises ``FileNotFoundError`` when the directory holds no trace
+    files and ``ValueError`` on an unparsable line — the CI smoke gate
+    relies on a malformed trace failing loudly.
+    """
+    files = trace_files(trace_dir)
+    if not files:
+        raise FileNotFoundError(f"no trace*.jsonl files under {trace_dir!r}")
+    records: List[dict] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"{path}:{lineno}: unparsable trace line") from exc
+                records.append(record)
+    return records
+
+
+def spans_of(records: Sequence[dict]) -> List[dict]:
+    return [record for record in records if record.get("kind") == "span"]
+
+
+def counters_of(records: Sequence[dict]) -> List[dict]:
+    return [record for record in records if record.get("kind") == "counter"]
+
+
+# ----------------------------------------------------------------------
+# tree assembly
+# ----------------------------------------------------------------------
+def build_tree(records: Sequence[dict]) -> Tuple[List[dict], List[dict]]:
+    """Reassemble the span forest: ``(roots, orphans)``.
+
+    A span is a *root* when it has no parent id; an *orphan* when its
+    parent id does not resolve to any span in the record set (a trace
+    file is missing or a flush was lost).  Children are attached under
+    a ``"children"`` key, ordered by start time.
+    """
+    spans = spans_of(records)
+    by_id: Dict[str, dict] = {}
+    for span in spans:
+        node = dict(span)
+        node["children"] = []
+        by_id[span["span_id"]] = node
+    roots: List[dict] = []
+    orphans: List[dict] = []
+    for span in spans:
+        node = by_id[span["span_id"]]
+        parent_id = span.get("parent_id")
+        if parent_id is None:
+            roots.append(node)
+        elif parent_id in by_id:
+            by_id[parent_id]["children"].append(node)
+        else:
+            orphans.append(node)
+    for node in by_id.values():
+        node["children"].sort(key=lambda child: child.get("start_time", 0.0))
+    roots.sort(key=lambda node: node.get("start_time", 0.0))
+    orphans.sort(key=lambda node: node.get("start_time", 0.0))
+    return roots, orphans
+
+
+def render_tree(records: Sequence[dict], max_attrs: int = 4) -> List[str]:
+    """Human-readable indented span tree (``repro trace show``)."""
+    roots, orphans = build_tree(records)
+    lines: List[str] = []
+
+    preferred = ("stage", "backend", "status", "scenario", "task_id",
+                 "worker", "engine", "events", "targets")
+
+    def describe(node: dict) -> str:
+        attrs = node.get("attrs") or {}
+        shown = [f"{key}={attrs[key]}" for key in preferred if key in attrs]
+        if not shown:
+            shown = [f"{k}={attrs[k]}" for k in sorted(attrs)[:max_attrs]]
+        status = node.get("status", "ok")
+        marker = "" if status == "ok" else f" [{status}]"
+        detail = f" ({', '.join(shown[:max_attrs])})" if shown else ""
+        return f"{node['name']}{marker} {node.get('seconds', 0.0):.3f}s{detail}"
+
+    def walk(node: dict, depth: int) -> None:
+        lines.append("  " * depth + describe(node))
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    for orphan in orphans:
+        lines.append(f"ORPHAN {describe(orphan)}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# rollups
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _duration_rollup(durations: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(durations),
+        "total_seconds": round(sum(durations), 6),
+        "p50_seconds": round(percentile(durations, 0.50), 6),
+        "p95_seconds": round(percentile(durations, 0.95), 6),
+    }
+
+
+def summarize(records: Sequence[dict], trace_dir: Optional[str] = None) -> dict:
+    """The ``repro trace summary`` payload: rollups over one trace dir.
+
+    Per-stage rollups (count, total, p50/p95, computed vs cached and
+    the cache hit rate, artifact bytes), per-engine rollups (events,
+    per-phase timings), aggregated counters, and tree health (roots /
+    orphans) — everything the acceptance gate compares against the
+    sweep's own accounting.
+    """
+    spans = spans_of(records)
+    roots, orphans = build_tree(records)
+
+    stages: Dict[str, dict] = {}
+    for span in spans:
+        if span.get("name") != "stage":
+            continue
+        attrs = span.get("attrs") or {}
+        entry = stages.setdefault(
+            str(attrs.get("stage")),
+            {"durations": [], "computed": 0, "cached": 0,
+             "artifact_bytes": 0, "verify_seconds": 0.0, "errors": 0},
+        )
+        entry["durations"].append(float(span.get("seconds", 0.0)))
+        status = attrs.get("status")
+        if status in ("computed", "cached"):
+            entry[status] += 1
+        if span.get("status") != "ok":
+            entry["errors"] += 1
+        entry["artifact_bytes"] += int(attrs.get("artifact_bytes") or 0)
+        entry["verify_seconds"] += float(attrs.get("verify_seconds") or 0.0)
+    stage_rollup = {}
+    for name, entry in stages.items():
+        lookups = entry["computed"] + entry["cached"]
+        rollup = _duration_rollup(entry["durations"])
+        rollup.update(
+            computed=entry["computed"],
+            cached=entry["cached"],
+            errors=entry["errors"],
+            cache_hit_rate=round(entry["cached"] / lookups, 4) if lookups else 0.0,
+            artifact_bytes=entry["artifact_bytes"],
+            verify_seconds=round(entry["verify_seconds"], 6),
+        )
+        stage_rollup[name] = rollup
+
+    engines: Dict[str, dict] = {}
+    phase_names = ("propagation.compress", "propagation.propagate",
+                   "propagation.inflate", "propagation.batch")
+    phase_groups: Dict[str, Dict[str, List[float]]] = {}
+    for span in spans:
+        name = span.get("name")
+        attrs = span.get("attrs") or {}
+        if name == "propagation":
+            backend = str(attrs.get("backend", "unknown"))
+            entry = engines.setdefault(
+                backend,
+                {"durations": [], "events": 0, "prefixes": 0, "compression": {}},
+            )
+            entry["durations"].append(float(span.get("seconds", 0.0)))
+            entry["events"] += int(attrs.get("events") or 0)
+            entry["prefixes"] += int(attrs.get("prefixes") or 0)
+            mode = str(attrs.get("compression", "off"))
+            entry["compression"][mode] = entry["compression"].get(mode, 0) + 1
+        elif name in phase_names:
+            backend = str(attrs.get("backend", "unknown"))
+            phases = phase_groups.setdefault(backend, {})
+            phases.setdefault(name.split(".", 1)[1], []).append(
+                float(span.get("seconds", 0.0))
+            )
+    engine_rollup = {}
+    for backend, entry in engines.items():
+        rollup = _duration_rollup(entry["durations"])
+        rollup.update(
+            events=entry["events"],
+            prefixes=entry["prefixes"],
+            compression=entry["compression"],
+            phases={
+                phase: _duration_rollup(durations)
+                for phase, durations in phase_groups.get(backend, {}).items()
+            },
+        )
+        engine_rollup[backend] = rollup
+    # Phase spans can come from pool processes that never emit the
+    # enclosing "propagation" span locally; keep their timings visible.
+    for backend, phases in phase_groups.items():
+        if backend not in engine_rollup:
+            engine_rollup[backend] = {
+                "count": 0, "total_seconds": 0.0, "p50_seconds": 0.0,
+                "p95_seconds": 0.0, "events": 0, "prefixes": 0,
+                "compression": {},
+                "phases": {phase: _duration_rollup(d) for phase, d in phases.items()},
+            }
+
+    counters: Dict[str, float] = {}
+    for record in counters_of(records):
+        name = str(record.get("name"))
+        counters[name] = counters.get(name, 0) + record.get("value", 1)
+
+    summary = {
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "files": len(trace_files(trace_dir)) if trace_dir is not None else None,
+        "runs": sorted({str(r.get("run_id")) for r in records if r.get("run_id")}),
+        "spans": {
+            "total": len(spans),
+            "roots": len(roots),
+            "orphans": len(orphans),
+            "errors": sum(1 for span in spans if span.get("status") != "ok"),
+        },
+        "stages": stage_rollup,
+        "engines": engine_rollup,
+        "counters": counters,
+        "retries": int(counters.get("backend.retry", 0)),
+        "dead_letters": int(counters.get("queue.task_dead", 0)),
+    }
+    return summary

@@ -14,7 +14,12 @@ import threading
 
 import pytest
 
-from repro.cluster.queue import QueueError, TaskQueue, TaskSpec
+from repro.cluster.queue import (
+    QUEUE_SCHEMA_VERSION,
+    QueueError,
+    TaskQueue,
+    TaskSpec,
+)
 
 
 def spec(task_id: str, wave: int = 0, max_attempts: int = 3) -> TaskSpec:
@@ -407,15 +412,17 @@ class TestSchemaMigration:
             version = conn.execute(
                 "SELECT value FROM control WHERE key = 'schema_version'"
             ).fetchone()[0]
-        assert {"timeout_seconds", "attempts_log"} <= columns
-        assert version == "2"
+        assert {"timeout_seconds", "attempts_log", "claimed_at"} <= columns
+        assert version == str(QUEUE_SCHEMA_VERSION)
         # The v1 row reads back with the new fields defaulted ...
         old = queue.get("old-task")
         assert old.timeout_seconds is None
         assert old.attempts_log == []
-        # ... and participates in the full v2 lifecycle.
+        assert old.claimed_at is None
+        # ... and participates in the full current lifecycle.
         task = queue.claim("w1", 30)
         assert task.task_id == "old-task"
+        assert task.claimed_at is not None
         assert queue.fail("old-task", "w1", "first failure") == "pending"
         assert queue.get("old-task").attempts_log[0]["error"] == "first failure"
 
@@ -428,4 +435,4 @@ class TestSchemaMigration:
             version = conn.execute(
                 "SELECT value FROM control WHERE key = 'schema_version'"
             ).fetchone()[0]
-        assert version == "2"
+        assert version == str(QUEUE_SCHEMA_VERSION)

@@ -1,0 +1,458 @@
+"""Telemetry: span/counter correctness, zero overhead off, provenance.
+
+The acceptance criteria of the observability work:
+
+* the disabled path is provably cheap (no-op tracer, no allocation on
+  the hot path, benchmark-guarded) and **fingerprint-neutral** —
+  tracing a run never changes a stage fingerprint or an output byte,
+* a traced pipeline run yields one coherent span tree with per-stage
+  cache status, and cache hit/miss counters that match the run,
+* a trace context propagates across ``run_many(executor="process")``
+  on both the fork and the spawn pool paths, and across a 2-worker
+  distributed sweep — every process's spans join one tree under one
+  run id with no orphans,
+* ``summarize`` reproduces the sweep's per-stage compute counts
+  exactly, and a chaos run's retries and injected faults appear as
+  counters,
+* ``repro queue status`` reports lease age and time-in-state per task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.propagation import originate_one_prefix_per_as
+from repro.bgp.policy import default_policies
+from repro.cluster.queue import TaskQueue, TaskSpec
+from repro.core.relationships import AFI
+from repro.datasets import DatasetConfig
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.pipeline.runner import PipelineRunner
+from repro.pipeline.stages import full_stages
+from repro.sweep import GridAxis, SweepGrid, run_sweep
+from repro.telemetry import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    TelemetryConfig,
+    Tracer,
+    activated,
+    build_tree,
+    get_tracer,
+    read_trace,
+    render_tree,
+    summarize,
+)
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+def tiny_base(seed: int = 5) -> PipelineConfig:
+    return PipelineConfig(
+        dataset=DatasetConfig(
+            topology=TopologyConfig(
+                seed=seed, tier1_count=3, tier2_count=8, tier3_count=20
+            ),
+            seed=seed,
+            vantage_points=4,
+        ),
+        top=3,
+        max_sources=10,
+    )
+
+
+def spans_named(records, name):
+    return [r for r in records if r.get("kind") == "span" and r.get("name") == name]
+
+
+def counters_named(records, name):
+    return [r for r in records if r.get("kind") == "counter" and r.get("name") == name]
+
+
+# ----------------------------------------------------------------------
+# tracer unit behaviour
+# ----------------------------------------------------------------------
+class TestTracerBasics:
+    def test_nesting_follows_thread_stack(self, tmp_path):
+        tracer = Tracer(tmp_path)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id() == inner.span_id
+            with tracer.span("sibling") as sibling:
+                pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["outer"]["parent_id"] is None
+        assert records["inner"]["parent_id"] == outer.span_id
+        assert records["sibling"]["parent_id"] == outer.span_id
+        assert sibling.span_id != inner.span_id
+
+    def test_exception_marks_span_error_and_rethrows(self, tmp_path):
+        tracer = Tracer(tmp_path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = tracer.records()
+        assert record["status"] == "error"
+        assert "RuntimeError" in record["attrs"]["error"]
+
+    def test_counters_attach_to_current_span(self, tmp_path):
+        tracer = Tracer(tmp_path)
+        with tracer.span("work") as span:
+            tracer.counter("widgets", 3, kind="round")
+            tracer.gauge("queue_depth", 7.5)
+        counters = [r for r in tracer.records() if r["kind"] != "span"]
+        assert {r["name"] for r in counters} == {"widgets", "queue_depth"}
+        assert all(r["span_id"] == span.span_id for r in counters)
+
+    def test_flush_writes_sorted_key_jsonl_and_appends(self, tmp_path):
+        tracer = Tracer(tmp_path, run_id="r1")
+        with tracer.span("a"):
+            pass
+        path = tracer.flush()
+        with tracer.span("b"):
+            tracer.counter("c")
+        assert tracer.flush() == path
+        lines = Path(path).read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert record["schema_version"] == TRACE_SCHEMA_VERSION
+            assert record["run_id"] == "r1"
+            assert list(record) == sorted(record)
+            assert "_started" not in record
+        # Nothing buffered twice: a second flush with no records is a no-op.
+        assert tracer.flush() is None
+
+    def test_context_round_trips_through_pickle(self, tmp_path):
+        tracer = Tracer(tmp_path, run_id="rx")
+        with tracer.span("parent") as span:
+            context = tracer.context()
+        assert context.parent_span_id == span.span_id
+        clone = pickle.loads(pickle.dumps(context))
+        child = Tracer.from_config(clone)
+        assert child.run_id == "rx"
+        assert child.parent_span_id == span.span_id
+
+    def test_activation_stack(self, tmp_path):
+        assert get_tracer() is NULL_TRACER
+        tracer = Tracer(tmp_path)
+        with activated(tracer):
+            assert get_tracer() is tracer
+            inner = Tracer(tmp_path)
+            with activated(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+        # None and the null tracer are accepted and change nothing.
+        with activated(None), activated(NULL_TRACER):
+            assert get_tracer() is NULL_TRACER
+
+
+class TestDisabledPathIsFree:
+    def test_null_tracer_allocates_nothing(self):
+        tracer = get_tracer()
+        assert tracer is NULL_TRACER
+        assert not tracer
+        span = tracer.span("anything", key="value")
+        assert span is tracer.span("other")  # shared singleton handle
+        with span:
+            span.annotate(more="attrs")
+        assert tracer.context() is None
+        assert tracer.flush() is None
+
+    def test_disabled_span_overhead_is_bounded(self):
+        """Benchmark guard: 100k disabled spans must stay far under any
+        measurable budget (generous bound — CI machines are noisy)."""
+        tracer = get_tracer()
+        started = time.perf_counter()
+        for _ in range(100_000):
+            with tracer.span("hot", stage="x"):
+                pass
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0, f"100k no-op spans took {elapsed:.3f}s"
+
+
+# ----------------------------------------------------------------------
+# fingerprint neutrality + pipeline instrumentation
+# ----------------------------------------------------------------------
+class TestFingerprintNeutrality:
+    def test_telemetry_config_changes_no_fingerprint(self):
+        runner = PipelineRunner(full_stages())
+        plain = tiny_base()
+        traced = dataclasses.replace(
+            plain, telemetry=TelemetryConfig(trace_dir="/tmp/nowhere")
+        )
+        assert runner.fingerprints(plain) == runner.fingerprints(traced)
+
+    def test_traced_run_output_identical_to_untraced(self, tmp_path):
+        plain = run_pipeline(
+            tiny_base(), cache_dir=tmp_path / "c1", targets=("section3",)
+        )
+        traced_config = dataclasses.replace(
+            tiny_base(), telemetry=TelemetryConfig(trace_dir=str(tmp_path / "trace"))
+        )
+        traced = run_pipeline(
+            traced_config, cache_dir=tmp_path / "c2", targets=("section3",)
+        )
+        assert traced.fingerprints == plain.fingerprints
+        assert traced.value("section3").as_dict() == plain.value("section3").as_dict()
+        # ... and the trace really was written.
+        assert read_trace(tmp_path / "trace")
+
+
+class TestPipelineTrace:
+    def test_cold_then_warm_run_spans_and_counters(self, tmp_path):
+        trace_dir = tmp_path / "trace"
+        config = dataclasses.replace(
+            tiny_base(), telemetry=TelemetryConfig(trace_dir=str(trace_dir))
+        )
+        run_pipeline(config, cache_dir=tmp_path / "cache", targets=("section3",))
+        cold = read_trace(trace_dir)
+        cold_stages = spans_named(cold, "stage")
+        statuses = {s["attrs"]["stage"]: s["attrs"]["status"] for s in cold_stages}
+        assert statuses and set(statuses.values()) == {"computed"}
+        assert all("fingerprint" in s["attrs"] for s in cold_stages)
+        assert not counters_named(cold, "cache.hit")
+        misses = counters_named(cold, "cache.miss")
+        assert len(misses) == len(cold_stages)
+        assert counters_named(cold, "cache.put")
+        # Computed cacheable stages record their stored artifact size.
+        assert all(
+            s["attrs"].get("artifact_bytes", 0) > 0 for s in cold_stages
+        )
+
+        run_pipeline(config, cache_dir=tmp_path / "cache", targets=("section3",))
+        warm = read_trace(trace_dir)[len(cold):]
+        warm_stages = spans_named(warm, "stage")
+        assert {s["attrs"]["status"] for s in warm_stages} == {"cached"}
+        assert all("verify_seconds" in s["attrs"] for s in warm_stages)
+        assert len(counters_named(warm, "cache.hit")) == len(warm_stages)
+        assert not counters_named(warm, "cache.miss")
+
+        roots, orphans = build_tree(read_trace(trace_dir))
+        assert orphans == []
+        assert [r["name"] for r in roots] == ["pipeline", "pipeline"]
+        # Both runs share nothing: two distinct run ids, two trees.
+        assert len({r["run_id"] for r in roots}) == 2
+        assert render_tree(read_trace(trace_dir))  # renders without error
+
+
+# ----------------------------------------------------------------------
+# run_many trace propagation: fork AND spawn pool paths
+# ----------------------------------------------------------------------
+class TestRunManyTracePropagation:
+    @pytest.fixture(scope="class")
+    def engine_setup(self):
+        topology = generate_topology(
+            TopologyConfig(seed=3, tier1_count=3, tier2_count=8, tier3_count=20)
+        )
+        graph = topology.graph
+        policies = default_policies(graph.ases)
+        origins = originate_one_prefix_per_as(graph, AFI.IPV4)
+        return graph, policies, origins
+
+    def _traced_run_many(self, tmp_path, engine_setup):
+        graph, policies, origins = engine_setup
+        engine = PropagationEngine(graph, policies)
+        serial = engine.run(origins)
+        tracer = Tracer(tmp_path / "trace")
+        with activated(tracer):
+            parallel = engine.run_many(origins, workers=2, executor="process")
+        tracer.flush()
+        assert parallel.reachable_counts == serial.reachable_counts
+        records = read_trace(tmp_path / "trace")
+        (run_many,) = spans_named(records, "propagation.run_many")
+        batches = spans_named(records, "propagation.batch")
+        assert len(batches) == 2
+        assert {b["run_id"] for b in batches} == {tracer.run_id}
+        assert {b["parent_id"] for b in batches} == {run_many["span_id"]}
+        # Batches really ran in pool workers, not inline.
+        assert all(b["pid"] != os.getpid() for b in batches)
+        _, orphans = build_tree(records)
+        assert orphans == []
+
+    def test_fork_pool_spans_join_callers_tree(self, tmp_path, engine_setup):
+        self._traced_run_many(tmp_path, engine_setup)
+
+    def test_spawn_pool_spans_join_callers_tree(
+        self, tmp_path, engine_setup, monkeypatch
+    ):
+        from repro.bgp import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_start_method", lambda: "spawn")
+        self._traced_run_many(tmp_path, engine_setup)
+
+
+# ----------------------------------------------------------------------
+# sweeps: process pools and the 2-worker distributed cluster
+# ----------------------------------------------------------------------
+class TestSweepTrace:
+    def test_process_executor_scenarios_join_one_tree(self, tmp_path):
+        grid = SweepGrid(tiny_base(), [GridAxis("dataset.seed", (1, 2))])
+        result = run_sweep(
+            grid,
+            cache_dir=tmp_path / "cache",
+            executor="process",
+            workers=2,
+            targets=("section3",),
+            trace_dir=str(tmp_path / "trace"),
+        )
+        assert not result.failed()
+        records = read_trace(tmp_path / "trace")
+        (sweep_span,) = spans_named(records, "sweep")
+        run_id = sweep_span["run_id"]
+        pipelines = spans_named(records, "pipeline")
+        assert len(pipelines) == 2
+        assert {p["run_id"] for p in pipelines} == {run_id}
+        waves = {w["span_id"] for w in spans_named(records, "wave")}
+        assert all(p["parent_id"] in waves for p in pipelines)
+        roots, orphans = build_tree(records)
+        assert orphans == []
+        assert [r["name"] for r in roots] == ["sweep"]
+
+    def test_two_worker_distributed_sweep_merges_into_one_tree(self, tmp_path):
+        grid = SweepGrid(
+            tiny_base(), [GridAxis("dataset.seed", (1, 2)), GridAxis("top", (2, 3))]
+        )
+        trace_dir = tmp_path / "trace"
+        result = run_sweep(
+            grid,
+            cache_dir=str(tmp_path / "cache"),
+            executor="cluster",
+            queue_dir=str(tmp_path / "queue"),
+            workers=2,
+            trace_dir=str(trace_dir),
+        )
+        assert not result.failed()
+        records = read_trace(trace_dir)
+        (sweep_span,) = spans_named(records, "sweep")
+        run_id = sweep_span["run_id"]
+        sweep_records = [r for r in records if r.get("run_id") == run_id]
+
+        # The coordinator's waves and every worker's task/pipeline spans
+        # share the sweep's run id and assemble into one rooted tree.
+        tasks = spans_named(sweep_records, "task")
+        assert len(tasks) == 4
+        assert len({t["pid"] for t in tasks} | {sweep_span["pid"]}) >= 2
+        wave_ids = {w["span_id"] for w in spans_named(sweep_records, "wave")}
+        assert all(t["parent_id"] in wave_ids for t in tasks)
+        task_ids = {t["span_id"] for t in tasks}
+        pipelines = spans_named(sweep_records, "pipeline")
+        assert len(pipelines) == 4
+        assert all(p["parent_id"] in task_ids for p in pipelines)
+        roots, orphans = build_tree(sweep_records)
+        assert orphans == []
+        assert [r["name"] for r in roots] == ["sweep"]
+
+        # The summary reproduces the sweep's per-stage compute counts
+        # exactly (cacheable stages — the ones the counters track).
+        summary = summarize(records, trace_dir=trace_dir)
+        expected = {}
+        for scenario in result.results:
+            for stage, status in scenario.stage_statuses.items():
+                if status == "computed":
+                    expected[stage] = expected.get(stage, 0) + 1
+        traced = {
+            name: entry["computed"]
+            for name, entry in summary["stages"].items()
+            if entry["computed"]
+        }
+        assert traced == expected
+        assert summary["spans"]["orphans"] == 0
+        assert summary["counters"]["queue.task_completed"] == 4
+        assert summary["dead_letters"] == 0
+
+    def test_chaos_sweep_trace_shows_retries_and_faults(self, tmp_path):
+        """A fault storm under tracing: injected faults and backend
+        retries surface as counters in the merged trace."""
+        from repro.faults import FaultPlan
+
+        grid = SweepGrid(tiny_base(), [GridAxis("top", (2, 3))])
+        plan = FaultPlan.seeded(seed=11, calls=80, transient_rate=0.08)
+        plan_path = tmp_path / "storm.json"
+        plan.to_json_file(plan_path)
+        trace_dir = tmp_path / "trace"
+        result = run_sweep(
+            grid,
+            cache_dir=f"fault://{plan_path}!{tmp_path / 'cache'}",
+            executor="cluster",
+            queue_dir=str(tmp_path / "queue"),
+            workers=2,
+            trace_dir=str(trace_dir),
+        )
+        assert not result.failed()
+        summary = summarize(read_trace(trace_dir), trace_dir=trace_dir)
+        assert summary["counters"].get("fault.injected", 0) > 0
+        assert summary["retries"] > 0
+        assert summary["counters"]["backend.retry"] == summary["retries"]
+
+
+# ----------------------------------------------------------------------
+# queue lease ages (satellite: queue status time-in-state)
+# ----------------------------------------------------------------------
+class TestQueueLeaseAges:
+    def _spec(self, task_id: str) -> TaskSpec:
+        return TaskSpec(
+            task_id=task_id,
+            sweep_id="s",
+            wave=0,
+            scenario_id=f"scn-{task_id}",
+            config=b"cfg",
+            targets="[]",
+            cache_spec=None,
+        )
+
+    def test_status_report_lease_age_and_time_in_state(self, tmp_path):
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue([self._spec("t1"), self._spec("t2")])
+        claimed = queue.claim("w1", lease_seconds=30.0, now=1000.0)
+        assert claimed.task_id == "t1"
+        assert claimed.claimed_at == 1000.0
+
+        report = queue.status_report(now=1002.5)
+        (running,) = report["running"]
+        assert running["lease_age_seconds"] == 2.5
+        by_id = {row["task_id"]: row for row in report["tasks"]}
+        assert by_id["t1"]["seconds_in_state"] == 2.5
+        # Pending tasks report time-in-state too (enqueue used wall time,
+        # so only the field's presence is asserted against synthetic now).
+        assert "seconds_in_state" in by_id["t2"]
+
+        # Heartbeats bump updated_at but must NOT reset the lease age.
+        assert queue.heartbeat("t1", "w1", lease_seconds=30.0)
+        report = queue.status_report(now=1004.0)
+        (running,) = report["running"]
+        assert running["lease_age_seconds"] == 4.0
+        assert "seconds_since_update" in running
+
+    def test_lease_age_clears_on_every_exit_path(self, tmp_path):
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue([self._spec(f"t{i}") for i in range(3)])
+        done = queue.claim("w1", 30.0, now=10.0)
+        queue.complete(done.task_id, "w1", {"ok": True})
+        failed = queue.claim("w1", 30.0, now=11.0)
+        queue.fail(failed.task_id, "w1", "boom")
+        released = queue.claim("w1", 30.0, now=12.0)
+        queue.release(released.task_id, "w1")
+        assert all(task.claimed_at is None for task in queue.tasks())
+
+    def test_queue_counters_emitted_under_active_tracer(self, tmp_path):
+        tracer = Tracer(tmp_path / "trace")
+        queue = TaskQueue(tmp_path / "queue.sqlite")
+        queue.enqueue([self._spec("t1")])
+        with activated(tracer):
+            task = queue.claim("w1", lease_seconds=0.1, now=100.0)
+            # Lease expires; next claim sweeps it and re-claims.
+            again = queue.claim("w2", lease_seconds=30.0, now=200.0)
+            queue.complete(again.task_id, "w2", {"ok": True})
+        names = [r["name"] for r in tracer.records()]
+        assert task is not None
+        assert names.count("queue.task_claimed") == 2
+        assert "queue.lease_expired" in names
+        assert "queue.task_completed" in names
