@@ -861,15 +861,23 @@ def bench_compression(repeats: int, small: bool = False) -> Dict:
 
 
 def _host_block() -> Dict:
-    """The machine the numbers came from — identical shape in every
-    ``BENCH_*.json`` so cross-run comparisons can check they are
-    comparing like with like."""
+    """The machine *and code* the numbers came from — identical shape in
+    every ``BENCH_*.json`` so cross-run comparisons can check they are
+    comparing like with like, and so history-ledger entries
+    (``benchmarks/history/``, see ``repro bench``) are attributable to
+    a commit.  ``git_commit``/``git_dirty`` are ``None`` outside a git
+    checkout."""
+    from repro.telemetry.history import git_info
+
+    provenance = git_info(cwd=Path(__file__).resolve().parent)
     return {
         "cpus": os.cpu_count(),
         "machine": platform.machine(),
         "platform": platform.platform(),
         "python": platform.python_version(),
         "python_implementation": platform.python_implementation(),
+        "git_commit": provenance["commit"],
+        "git_dirty": provenance["dirty"],
     }
 
 
@@ -925,6 +933,12 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="tiny-scale, one-repeat run of every scenario writing under "
         "benchmarks/smoke/ — a CI guard, not a measurement",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the benchmarks/history/ ledger "
+        "(full runs record automatically; see 'repro bench compare')",
     )
     parser.add_argument(
         "--skip-reference",
@@ -1249,6 +1263,19 @@ def main(argv: Optional[list] = None) -> int:
             if "speedup" in data:
                 line += f", speedup {data['speedup']}x vs reference"
             print(line)
+
+    if not args.no_history and not args.smoke:
+        # Full runs append to the ledger so 'repro bench compare' can
+        # gate future runs; smoke runs are CI guards, recorded by the
+        # CI job itself when it wants a baseline.
+        from repro.telemetry.history import load_reports, record
+
+        reports = load_reports(output_root)
+        if reports:
+            entry = record(
+                repo_root / "benchmarks" / "history", reports, smoke=False
+            )
+            print(f"[bench] history entry {entry}")
     return 0
 
 

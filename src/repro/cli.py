@@ -20,7 +20,11 @@ Seven subcommands cover the common workflows without writing any code::
                               [--lease-seconds S] [--max-idle-seconds S]
                               [--task-timeout S]
     python -m repro queue     status --queue-dir DIR [--json]
-    python -m repro trace     show | summary  --trace-dir DIR [--json]
+    python -m repro trace     show | summary | profile  --trace-dir DIR [--json]
+    python -m repro top       [--queue-dir DIR] [--trace-dir DIR]
+                              [--once] [--json] [--serve PORT]
+    python -m repro bench     record | compare  [--bench-dir DIR]
+                              [--history-dir DIR] [--smoke]
     python -m repro cache     stats | prune  --cache-dir DIR
 
 ``section3`` prints the Section-3 statistics table, ``figure2`` prints
@@ -96,6 +100,14 @@ overhead when off, and never changes a fingerprint or an output byte.
 sweep, the coordinator's and every worker's spans join into one tree —
 and ``trace summary`` prints per-stage/per-engine rollups (count,
 total, p50/p95, cache hit rate, retry and dead-letter counts).
+
+``--profile`` (with ``--trace-dir``) additionally wraps the hot spans
+in deterministic ``cProfile`` + ``tracemalloc`` capture; ``trace
+profile`` renders the hot-function rollup.  ``repro top`` is the live
+monitor over a distributed sweep's queue and trace (``--serve PORT``
+exposes ``/metrics`` + ``/health`` over HTTP), and ``repro bench
+record|compare`` maintains the benchmark-history ledger and regression
+gate (see ``docs/observability.md`` and ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -204,12 +216,26 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _profiling_from_args(args: argparse.Namespace):
+    if not getattr(args, "profile", False):
+        return None
+    from repro.telemetry import ProfilingConfig
+
+    return ProfilingConfig()
+
+
 def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
     trace_dir = getattr(args, "trace_dir", None)
-    return TelemetryConfig(trace_dir=str(trace_dir)) if trace_dir else None
+    if not trace_dir:
+        return None
+    return TelemetryConfig(
+        trace_dir=str(trace_dir), profiling=_profiling_from_args(args)
+    )
 
 
-def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+def _add_trace_option(
+    parser: argparse.ArgumentParser, profile: bool = True
+) -> None:
     parser.add_argument(
         "--trace-dir",
         default=None,
@@ -218,6 +244,15 @@ def _add_trace_option(parser: argparse.ArgumentParser) -> None:
         "directory; inspect with 'repro trace show|summary'.  Off by "
         "default; tracing never changes fingerprints or outputs",
     )
+    if profile:
+        parser.add_argument(
+            "--profile",
+            action="store_true",
+            help="also wrap stage/engine spans in cProfile + tracemalloc "
+            "capture, writing profile*.jsonl beside the trace (requires "
+            "--trace-dir); inspect with 'repro trace profile'.  Slows the "
+            "run but never changes fingerprints or outputs",
+        )
 
 
 def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
@@ -462,6 +497,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             wave_timeout=args.wave_timeout,
             task_timeout_seconds=args.task_timeout,
             trace_dir=args.trace_dir,
+            profiling=_profiling_from_args(args),
         )
     except (ValueError, ClusterError, BackendError) as exc:
         # Invalid option combinations, a cluster that cannot make
@@ -657,7 +693,7 @@ def _cmd_trace_show(args: argparse.Namespace) -> int:
 
     records = _read_trace_records(args)
     if records is None:
-        return 2
+        return 1
     if args.json:
         roots, orphans = build_tree(records)
         print(
@@ -686,7 +722,7 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
 
     records = _read_trace_records(args)
     if records is None:
-        return 2
+        return 1
     summary = summarize(records, trace_dir=args.trace_dir)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True, default=str))
@@ -736,6 +772,160 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
         f"dead letters: {summary['dead_letters']}"
     )
     return 0
+
+
+def _cmd_trace_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry import profile_rollup, read_profiles, render_profiles
+
+    try:
+        records = read_profiles(args.trace_dir)
+    except FileNotFoundError:
+        print(
+            f"error: no profile*.jsonl files under {args.trace_dir} "
+            "(was the run started with --trace-dir and --profile?)",
+            file=sys.stderr,
+        )
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema_version": REPORT_SCHEMA_VERSION,
+                    "records": len(records),
+                    "rollup": profile_rollup(records, top_n=args.top),
+                },
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 0
+    print(f"profiles at {args.trace_dir} ({len(records)} span capture(s))")
+    for line in render_profiles(records, top_n=args.top):
+        print(line)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.telemetry import monitor_snapshot, render_snapshot
+    from repro.telemetry.monitor import MonitorServer
+
+    if args.queue_dir is None and args.trace_dir is None:
+        print("error: repro top needs --queue-dir and/or --trace-dir", file=sys.stderr)
+        return 2
+    if args.serve is not None:
+        try:
+            server = MonitorServer(
+                queue_dir=args.queue_dir, trace_dir=args.trace_dir, port=args.serve
+            )
+        except OSError as exc:
+            print(f"error: cannot bind port {args.serve}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[top] serving {server.url}/metrics, {server.url}/health, "
+            f"{server.url}/snapshot (Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+        return 0
+
+    while True:
+        try:
+            snap = monitor_snapshot(queue_dir=args.queue_dir, trace_dir=args.trace_dir)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(snap, indent=2, sort_keys=True, default=str))
+        else:
+            for line in render_snapshot(snap):
+                print(line)
+        if args.once:
+            verdict = (snap.get("health") or {}).get("verdict")
+            return 0 if verdict in ("drained", "active", "empty", "idle") else 1
+        if (snap.get("health") or {}).get("verdict") == "drained":
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        if not args.json:
+            print()
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.telemetry.history import load_reports, record
+
+    bench_dir = Path(args.bench_dir)
+    reports = load_reports(bench_dir)
+    if not reports:
+        print(f"error: no BENCH_*.json under {bench_dir}", file=sys.stderr)
+        return 2
+    path = record(args.history_dir, reports, smoke=args.smoke)
+    print(f"[bench] recorded {len(reports)} report(s) -> {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.telemetry.history import (
+        baseline,
+        compare,
+        load_entries,
+        load_reports,
+        metrics_of_reports,
+        render_comparison,
+    )
+
+    bench_dir = Path(args.bench_dir)
+    reports = load_reports(bench_dir)
+    if not reports:
+        print(f"error: no BENCH_*.json under {bench_dir}", file=sys.stderr)
+        return 2
+    entries = load_entries(args.history_dir)
+    if not entries:
+        print(
+            f"[bench] no history entries under {args.history_dir}: nothing to "
+            "compare against (record a baseline with 'repro bench record')"
+        )
+        return 0
+    host = next(iter(sorted(reports.items())))[1].get("host")
+    base, used = baseline(
+        entries, host, smoke=args.smoke, any_host=args.any_host
+    )
+    if not used:
+        print(
+            "[bench] no comparable history entries (same host key, same "
+            "smoke/full kind); skipping — use --any-host to force a "
+            "cross-host comparison"
+        )
+        return 0
+    result = compare(
+        metrics_of_reports(reports), base, threshold=args.threshold
+    )
+    result["baseline_entries"] = [
+        {"recorded_at": e.get("recorded_at"), "commit": e.get("commit")}
+        for e in used
+    ]
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    else:
+        print(
+            f"[bench] comparing {bench_dir} against {len(used)} history "
+            f"entr{'y' if len(used) == 1 else 'ies'}"
+        )
+        for line in render_comparison(result):
+            print(line)
+    return 0 if result["ok"] else 1
 
 
 def _open_cache(args: argparse.Namespace) -> Optional[ArtifactCache]:
@@ -998,7 +1188,9 @@ def build_parser() -> argparse.ArgumentParser:
         "the next coordinator reopens it).  Use for standing worker pools, "
         "ideally with --max-idle-seconds as a safety bound",
     )
-    _add_trace_option(worker)
+    # No --profile here: a worker's profiling choice rides in the task's
+    # trace context, stamped by the coordinator.
+    _add_trace_option(worker, profile=False)
     worker.set_defaults(handler=_cmd_worker)
 
     queue = subparsers.add_parser(
@@ -1049,6 +1241,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable rollup"
     )
     trace_summary.set_defaults(handler=_cmd_trace_summary)
+    trace_profile = trace_commands.add_parser(
+        "profile",
+        help="hot-function rollup of profile*.jsonl records written by "
+        "--profile runs (top cumulative-time functions per stage/engine)",
+    )
+    trace_profile.add_argument(
+        "--trace-dir", required=True,
+        help="trace directory a --profile run wrote",
+    )
+    trace_profile.add_argument(
+        "--top", type=int, default=10,
+        help="functions shown per profiled unit (default: 10)",
+    )
+    trace_profile.add_argument(
+        "--json", action="store_true", help="machine-readable rollup"
+    )
+    trace_profile.set_defaults(handler=_cmd_trace_profile)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live view of a distributed sweep: wave progress, worker "
+        "liveness, cache hit rate, ETA and a health verdict",
+    )
+    top.add_argument(
+        "--queue-dir", default=None,
+        help="queue directory of the sweep (same as 'repro sweep/worker')",
+    )
+    top.add_argument(
+        "--trace-dir", default=None,
+        help="trace directory of the sweep (adds cache/counter rollups)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (0 when healthy, 1 when "
+        "stalled/degraded)",
+    )
+    top.add_argument(
+        "--json", action="store_true", help="machine-readable snapshot(s)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes in poll mode (default: 2)",
+    )
+    top.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text), /health and /snapshot "
+        "over HTTP on this port instead of polling (0 = ephemeral)",
+    )
+    top.set_defaults(handler=_cmd_top)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="benchmark-history ledger: record BENCH_*.json runs and "
+        "gate on regressions",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_record = bench_commands.add_parser(
+        "record",
+        help="append one ledger entry (commit + host + wall-clock metrics) "
+        "for a directory of BENCH_*.json reports",
+    )
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="compare a directory of BENCH_*.json reports against the "
+        "ledger's same-host best; exit 1 on regression",
+    )
+    for sub in (bench_record, bench_compare):
+        sub.add_argument(
+            "--bench-dir", default=None,
+            help="directory holding BENCH_*.json (default: '.'; with "
+            "--smoke: benchmarks/smoke)",
+        )
+        sub.add_argument(
+            "--history-dir", default="benchmarks/history",
+            help="ledger directory (default: benchmarks/history)",
+        )
+        sub.add_argument(
+            "--smoke", action="store_true",
+            help="the reports came from a --smoke run (tiny scale; kept "
+            "separate in the ledger — smoke never gates against full runs)",
+        )
+    bench_record.set_defaults(handler=_cmd_bench_record)
+    bench_compare.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative slowdown tolerated before failing (default: 0.30 "
+        "= 30%%)",
+    )
+    bench_compare.add_argument(
+        "--any-host", action="store_true",
+        help="compare against entries from other hosts too (wall-clock "
+        "numbers across machines measure the machines; off by default)",
+    )
+    bench_compare.add_argument(
+        "--json", action="store_true", help="machine-readable comparison"
+    )
+    bench_compare.set_defaults(handler=_cmd_bench_compare)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or prune an artifact cache (directory or "
@@ -1092,6 +1380,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # The snapshot on disk fixes the scale; a sizing flag alongside
         # it would be silently ignored, which reads like it worked.
         parser.error("--small/--paper-scale cannot be combined with --from-snapshot")
+    if getattr(args, "profile", False) and not getattr(args, "trace_dir", None):
+        # Profile records are written beside the trace; without a trace
+        # dir the capture would run and then be dropped on the floor.
+        parser.error("--profile requires --trace-dir")
+    if getattr(args, "bench_command", None) and args.bench_dir is None:
+        args.bench_dir = "benchmarks/smoke" if args.smoke else "."
+    if getattr(args, "bench_command", None) == "compare" and args.threshold is None:
+        from repro.telemetry.history import DEFAULT_THRESHOLD
+
+        args.threshold = DEFAULT_THRESHOLD
     return args.handler(args)
 
 

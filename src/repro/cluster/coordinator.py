@@ -290,6 +290,7 @@ def run_distributed_sweep(
     wave_timeout: Optional[float] = None,
     task_timeout_seconds: Optional[float] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    profiling=None,
 ) -> SweepResult:
     """Run a sweep's waves through the durable queue; workers compute.
 
@@ -311,8 +312,13 @@ def run_distributed_sweep(
     the wave span into every task's trace context (so workers join the
     same tree, see :class:`~repro.cluster.worker.Worker`), and passes
     the directory to spawned workers so their queue-level counters land
-    in the same ``trace*.jsonl`` set.
+    in the same ``trace*.jsonl`` set.  ``profiling`` (a
+    :class:`repro.telemetry.ProfilingConfig`) rides the task trace
+    context, so every worker profiles its hot spans into the same
+    directory's ``profile*.jsonl`` files.
     """
+    if profiling is not None and trace_dir is None:
+        raise ValueError("profiling requires a trace_dir to write to")
     if cache_dir is None:
         raise ValueError("a distributed sweep requires a shared cache_dir")
     if isinstance(grid, SweepPlan):
@@ -333,7 +339,11 @@ def run_distributed_sweep(
     queue.reopen()
     queue.purge_abandoned(sweep_id)
 
-    tracer = Tracer(trace_dir) if trace_dir is not None else NULL_TRACER
+    tracer = (
+        Tracer(trace_dir, profiling=profiling)
+        if trace_dir is not None
+        else NULL_TRACER
+    )
     workers: List[subprocess.Popen] = []
     outcomes: Dict[str, ScenarioResult] = {}
     started = time.perf_counter()

@@ -97,6 +97,7 @@ class Worker:
         stages: Optional[Sequence[StageSpec]] = None,
         task_timeout: Optional[float] = None,
         trace_dir: Optional[Union[str, Path]] = None,
+        log=None,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
@@ -122,8 +123,35 @@ class Worker:
         self.trace_dir = os.fspath(trace_dir) if trace_dir is not None else None
         #: Watchdog aborts performed by this worker (for tests/reports).
         self.watchdog_trips = 0
+        #: Per-task log sink (a callable taking one line).  The default
+        #: prints flushed to stdout, which ``spawn_local_worker``
+        #: redirects to ``worker-<n>.log`` — so a multi-worker log
+        #: directory greps per task by the structured prefix.
+        self._log = log if log is not None else (
+            lambda line: print(line, flush=True)
+        )
         self._drain = threading.Event()
         self._release_current = threading.Event()
+
+    def _task_log(self, task: Task, message: str) -> None:
+        """One structured, greppable line per task event.
+
+        The ``[run/worker/task]`` prefix makes a directory of
+        ``worker-*.log`` files joinable with ``repro queue status`` and
+        the trace: ``run`` is the sweep's trace run id when the task
+        carries a trace context (the id ``trace show`` displays), else
+        its queue ``sweep_id``.
+        """
+        run_id = task.sweep_id
+        try:
+            context = getattr(pickle.loads(task.config), "telemetry", None)
+            if context is not None and getattr(context, "run_id", None):
+                run_id = context.run_id
+        except Exception:  # noqa: BLE001 - logging must never kill a task
+            pass
+        self._log(
+            f"[{run_id}/{self.worker_id}/{task.task_id}] {message}"
+        )
 
     # ------------------------------------------------------------------
     # drain control (signal handlers and tests call these)
@@ -211,6 +239,11 @@ class Worker:
         """Run one claimed task to a terminal report; ``True`` iff this
         worker's completion was accepted (a lost lease, a watchdog
         abort and a drain release all return ``False``)."""
+        self._task_log(
+            task,
+            f"claimed {task.scenario_id} (wave {task.wave}, "
+            f"attempt {task.attempts}/{task.max_attempts})",
+        )
         stop = threading.Event()
         lease_lost = threading.Event()
 
@@ -287,6 +320,11 @@ class Worker:
         # a result that slipped in just before the abort still counts.
         if watchdog_fired and not done.is_set():
             self.watchdog_trips += 1
+            self._task_log(
+                task,
+                f"watchdog abort after {timeout:g}s "
+                f"(attempt {task.attempts}, still heartbeating)",
+            )
             self.queue.fail(
                 task.task_id,
                 self.worker_id,
@@ -295,21 +333,28 @@ class Worker:
             )
             return False
         if drain_release and not done.is_set():
+            self._task_log(task, "released back to queue (graceful drain)")
             self.queue.release(task.task_id, self.worker_id, "graceful drain")
             return False
         if lease_lost.is_set():
             # Another worker owns the task now; our cache writes were
             # deduplicated by put-if-absent, our result is redundant.
+            self._task_log(task, "lease lost: discarding result, standing down")
             return False
         error = outcome.get("error")
         if error is not None:
+            self._task_log(task, f"failed: {type(error).__name__}: {error}")
             self.queue.fail(
                 task.task_id, self.worker_id, f"{type(error).__name__}: {error}"
             )
             return False
-        return self.queue.complete(
+        accepted = self.queue.complete(
             task.task_id, self.worker_id, outcome["payload"]  # type: ignore[arg-type]
         )
+        self._task_log(
+            task, "completed" if accepted else "completed too late (lease lost)"
+        )
+        return accepted
 
     def _execute(self, task: Task) -> dict:
         # Imported here so the queue/backends layer stays importable

@@ -280,6 +280,7 @@ def run_sweep(
     wave_timeout: Optional[float] = None,
     task_timeout_seconds: Optional[float] = None,
     trace_dir: Optional[str] = None,
+    profiling=None,
 ) -> SweepResult:
     """Run every scenario of a grid over one shared artifact cache.
 
@@ -304,7 +305,12 @@ def run_sweep(
     cluster workers all join one tree (fingerprint-neutral — traced and
     untraced sweeps produce byte-identical results).  An already-active
     ambient tracer is used as-is; ``trace_dir`` is then ignored.
+    ``profiling`` (a :class:`repro.telemetry.ProfilingConfig`) rides
+    the trace context, so pool processes and cluster workers profile
+    their hot spans too; it requires a ``trace_dir``.
     """
+    if profiling is not None and trace_dir is None:
+        raise ValueError("profiling requires a trace_dir to write to")
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
     if executor in ("process", "cluster") and stages is not None:
@@ -353,6 +359,7 @@ def run_sweep(
             wave_timeout=wave_timeout,
             task_timeout_seconds=task_timeout_seconds,
             trace_dir=trace_dir,
+            profiling=profiling,
         )
     if isinstance(grid, SweepPlan):
         plan = grid
@@ -371,7 +378,7 @@ def run_sweep(
     tracer = get_tracer()
     owned: Optional[Tracer] = None
     if trace_dir is not None and not tracer:
-        owned = tracer = Tracer(trace_dir)
+        owned = tracer = Tracer(trace_dir, profiling=profiling)
     outcomes: Dict[str, ScenarioResult] = {}
     started = time.perf_counter()
     try:

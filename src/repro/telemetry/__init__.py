@@ -11,6 +11,13 @@ Public surface:
 * :func:`read_trace` / :func:`build_tree` / :func:`summarize` /
   :func:`render_tree` — the join/rollup side behind
   ``repro trace show|summary``.
+* :class:`ProfilingConfig` / :func:`read_profiles` /
+  :func:`profile_rollup` — opt-in per-span ``cProfile`` +
+  ``tracemalloc`` capture behind ``repro trace profile``.
+* :func:`monitor_snapshot` / :class:`MonitorServer` — the live view
+  (``repro top``) and its ``/metrics`` + ``/health`` HTTP plane.
+* :mod:`repro.telemetry.history` — the benchmark-history ledger and
+  regression gate behind ``repro bench record|compare``.
 
 See ``docs/observability.md`` for the span model and the JSONL schema.
 """
@@ -18,10 +25,29 @@ See ``docs/observability.md`` for the span model and the JSONL schema.
 from repro.telemetry.analyze import (
     SUMMARY_SCHEMA_VERSION,
     build_tree,
+    parse_jsonl,
     read_trace,
     render_tree,
     summarize,
     trace_files,
+)
+from repro.telemetry.monitor import (
+    MONITOR_SCHEMA_VERSION,
+    MonitorServer,
+    prometheus_metrics,
+    render_snapshot,
+)
+from repro.telemetry.monitor import snapshot as monitor_snapshot
+from repro.telemetry.monitor import verdict as monitor_verdict
+from repro.telemetry.profile import (
+    PROFILE_FILENAME,
+    PROFILE_SCHEMA_VERSION,
+    PROFILED_SPANS,
+    ProfilingConfig,
+    profile_files,
+    profile_rollup,
+    read_profiles,
+    render_profiles,
 )
 from repro.telemetry.tracer import (
     NULL_TRACER,
@@ -37,8 +63,14 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "MONITOR_SCHEMA_VERSION",
+    "MonitorServer",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILED_SPANS",
+    "PROFILE_FILENAME",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfilingConfig",
     "SUMMARY_SCHEMA_VERSION",
     "TRACE_FILENAME",
     "TRACE_SCHEMA_VERSION",
@@ -49,7 +81,16 @@ __all__ = [
     "build_tree",
     "deactivate",
     "get_tracer",
+    "monitor_snapshot",
+    "monitor_verdict",
+    "parse_jsonl",
+    "profile_files",
+    "profile_rollup",
+    "prometheus_metrics",
+    "read_profiles",
     "read_trace",
+    "render_profiles",
+    "render_snapshot",
     "render_tree",
     "summarize",
     "trace_files",

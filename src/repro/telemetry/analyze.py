@@ -24,28 +24,49 @@ def trace_files(trace_dir) -> List[str]:
     return sorted(glob.glob(os.path.join(os.fspath(trace_dir), "trace*.jsonl")))
 
 
+def parse_jsonl(path) -> List[dict]:
+    """Parse one JSONL file, tolerating exactly one *torn* final line.
+
+    A concurrent writer appends whole lines atomically (``O_APPEND``,
+    single write), so the only benign malformation a live reader can
+    observe is a final line still mid-write: last line of the file,
+    no trailing newline.  That record is skipped — it will be complete
+    on the next read.  Any *other* unparsable line is real corruption
+    and raises ``ValueError``: the CI smoke gate relies on a malformed
+    trace failing loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    torn_tail = bool(text) and not text.endswith("\n")
+    lines = text.split("\n")
+    records: List[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError as exc:
+            if torn_tail and lineno == len(lines):
+                continue  # a concurrent append caught mid-write
+            raise ValueError(f"{path}:{lineno}: unparsable trace line") from exc
+    return records
+
+
 def read_trace(trace_dir) -> List[dict]:
     """Every record of every trace file in ``trace_dir``.
 
     Raises ``FileNotFoundError`` when the directory holds no trace
-    files and ``ValueError`` on an unparsable line — the CI smoke gate
-    relies on a malformed trace failing loudly.
+    files and ``ValueError`` on an unparsable line; a torn final line
+    (a live run's flush caught mid-append) is skipped, so monitors can
+    read the trace of a running sweep (see :func:`parse_jsonl`).
     """
     files = trace_files(trace_dir)
     if not files:
         raise FileNotFoundError(f"no trace*.jsonl files under {trace_dir!r}")
     records: List[dict] = []
     for path in files:
-        with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ValueError(f"{path}:{lineno}: unparsable trace line") from exc
-                records.append(record)
+        records.extend(parse_jsonl(path))
     return records
 
 
@@ -110,13 +131,14 @@ def render_tree(records: Sequence[dict], max_attrs: int = 4) -> List[str]:
         detail = f" ({', '.join(shown[:max_attrs])})" if shown else ""
         return f"{node['name']}{marker} {node.get('seconds', 0.0):.3f}s{detail}"
 
-    def walk(node: dict, depth: int) -> None:
+    # Iterative walk: a pathological trace (a recursion bug in traced
+    # code) can nest deeper than Python's recursion limit, and a render
+    # tool must not crash on the traces it exists to debug.
+    stack = [(root, 0) for root in reversed(roots)]
+    while stack:
+        node, depth = stack.pop()
         lines.append("  " * depth + describe(node))
-        for child in node["children"]:
-            walk(child, depth + 1)
-
-    for root in roots:
-        walk(root, 0)
+        stack.extend((child, depth + 1) for child in reversed(node["children"]))
     for orphan in orphans:
         lines.append(f"ORPHAN {describe(orphan)}")
     return lines

@@ -1,0 +1,312 @@
+"""Benchmark-history ledger and regression gate (``repro bench``).
+
+``benchmarks/run_benchmarks.py`` refreshes the committed
+``BENCH_*.json`` trajectory the ROADMAP mandates, but until this module
+nothing *compared* runs — a silent 2x regression would merge green.
+The ledger turns the trajectory into an enforced invariant:
+
+* :func:`record` appends one entry per benchmark run to an append-only
+  directory (``benchmarks/history/``), keyed by git commit + the host
+  block every report already carries — one small JSON file per entry,
+  so concurrent CI runs never contend and ``git log`` shows the
+  trajectory.
+* :func:`extract_metrics` flattens a report's ``results`` tree to the
+  dotted-path wall-clock leaves (``*wall_seconds``) — the only numbers
+  a regression gate can act on; counts and ratios are covered by the
+  asserting benchmarks themselves.
+* :func:`compare` judges current metrics against a baseline with a
+  *relative* noise threshold (default 30%: CI runners are shared; a
+  gate that cries wolf gets deleted).  The baseline is the per-metric
+  **minimum** over the most recent same-host entries — best-known
+  performance, so a slow flake can never ratchet the baseline upward.
+
+Same-host matters: wall-clock comparisons across machines measure the
+machines.  :func:`host_key` reduces a host block to the fields that
+make timings comparable; ``repro bench compare`` *skips* (exit 0, with
+a note) when the ledger has no same-host baseline, unless forced with
+``--any-host``.
+
+Exit codes (``repro bench compare``): 0 OK-or-skipped, 1 regression,
+2 usage error — the CI gate treats 1 as failure.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default relative slowdown tolerated before a metric counts as a
+#: regression (current > baseline * (1 + threshold)).
+DEFAULT_THRESHOLD = 0.30
+
+#: BENCH report filenames, as written by ``benchmarks/run_benchmarks.py``.
+BENCH_GLOB = "BENCH_*.json"
+
+
+# ----------------------------------------------------------------------
+# provenance
+# ----------------------------------------------------------------------
+def git_info(cwd=None) -> Dict[str, object]:
+    """``{"commit": <hex-or-None>, "dirty": <bool-or-None>}`` for the
+    checkout at ``cwd`` — ``None`` fields outside a repo or without git.
+
+    Shared by the ``BENCH_*.json`` host block and the history ledger so
+    every wall-clock number is attributable to the code that produced
+    it.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if commit.returncode != 0:
+            return {"commit": None, "dirty": None}
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return {"commit": commit.stdout.strip(), "dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return {"commit": None, "dirty": None}
+
+
+def host_key(host: Optional[Dict[str, object]]) -> str:
+    """Collapse a host block to the fields that make wall-clock numbers
+    comparable: architecture, core count, interpreter and its
+    major.minor (a 3.11 → 3.12 jump changes timings legitimately)."""
+    host = host or {}
+    python = str(host.get("python") or "?")
+    major_minor = ".".join(python.split(".")[:2])
+    return (
+        f"{host.get('machine') or '?'}"
+        f"/{host.get('cpus') or '?'}cpu"
+        f"/{host.get('python_implementation') or '?'}"
+        f"-{major_minor}"
+    )
+
+
+# ----------------------------------------------------------------------
+# metric extraction
+# ----------------------------------------------------------------------
+def extract_metrics(report: Dict[str, object], prefix: str = "") -> Dict[str, float]:
+    """Dotted-path ``*wall_seconds`` leaves of one report's results.
+
+    Only wall-clock timings gate: counts, ratios and budgets are either
+    asserted by the benchmarks themselves or not performance at all.
+    """
+    results = report.get("results", report)
+    metrics: Dict[str, float] = {}
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, dict):
+            for key in sorted(node):
+                walk(node[key], f"{path}.{key}" if path else str(key))
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf = path.rsplit(".", 1)[-1]
+            if leaf.endswith("wall_seconds"):
+                metrics[path] = float(node)
+
+    walk(results, prefix)
+    return metrics
+
+
+def load_reports(bench_dir) -> Dict[str, Dict[str, object]]:
+    """All ``BENCH_*.json`` reports of a directory, by stem."""
+    bench_dir = Path(bench_dir)
+    reports: Dict[str, Dict[str, object]] = {}
+    for path in sorted(bench_dir.glob(BENCH_GLOB)):
+        reports[path.stem] = json.loads(path.read_text())
+    return reports
+
+
+def metrics_of_reports(reports: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """One flat metric namespace over a set of reports
+    (``BENCH_pipeline.pipeline_cache.cold_wall_seconds = ...``)."""
+    metrics: Dict[str, float] = {}
+    for name, report in sorted(reports.items()):
+        for path, value in extract_metrics(report).items():
+            metrics[f"{name}.{path}"] = value
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# the ledger
+# ----------------------------------------------------------------------
+def record(
+    history_dir,
+    reports: Dict[str, Dict[str, object]],
+    smoke: bool = False,
+    commit: Optional[str] = None,
+    dirty: Optional[bool] = None,
+    recorded_at: Optional[str] = None,
+) -> Path:
+    """Append one ledger entry for a benchmark run; returns its path.
+
+    ``commit``/``dirty`` default to the reports' host block (which
+    carries git provenance since this PR) and fall back to asking git.
+    One file per entry — append-only, no read-modify-write, safe under
+    concurrent CI runs.
+    """
+    if not reports:
+        raise ValueError("no BENCH_*.json reports to record")
+    history_dir = Path(history_dir)
+    history_dir.mkdir(parents=True, exist_ok=True)
+    host = next(iter(sorted(reports.items())))[1].get("host") or {}
+    if commit is None:
+        commit = host.get("git_commit")
+    if dirty is None:
+        dirty = host.get("git_dirty")
+    if commit is None:
+        info = git_info()
+        commit, dirty = info["commit"], info["dirty"]
+    if recorded_at is None:
+        recorded_at = datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        )
+    entry = {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "recorded_at": recorded_at,
+        "commit": commit,
+        "dirty": dirty,
+        "host": {k: v for k, v in host.items() if not k.startswith("git_")},
+        "host_key": host_key(host),
+        "smoke": bool(smoke),
+        "sources": sorted(reports),
+        "metrics": metrics_of_reports(reports),
+    }
+    stamp = recorded_at.replace(":", "").replace("-", "").replace("+0000", "Z")
+    short = (commit or "nocommit")[:12]
+    kind = "smoke" if smoke else "full"
+    path = history_dir / f"{stamp}-{kind}-{short}.json"
+    # Append-only: never overwrite an existing entry (same second, same
+    # commit → disambiguate).
+    suffix = 1
+    while path.exists():
+        path = history_dir / f"{stamp}-{kind}-{short}-{suffix}.json"
+        suffix += 1
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entries(history_dir) -> List[Dict[str, object]]:
+    """Every ledger entry, oldest first; unreadable files raise."""
+    history_dir = Path(history_dir)
+    if not history_dir.is_dir():
+        return []
+    entries = []
+    for path in sorted(history_dir.glob("*.json")):
+        entry = json.loads(path.read_text())
+        entry["_path"] = str(path)
+        entries.append(entry)
+    entries.sort(key=lambda e: str(e.get("recorded_at") or ""))
+    return entries
+
+
+def baseline(
+    entries: Sequence[Dict[str, object]],
+    host: Optional[Dict[str, object]],
+    smoke: bool = False,
+    any_host: bool = False,
+    window: int = 10,
+) -> Tuple[Dict[str, float], List[Dict[str, object]]]:
+    """Per-metric best (minimum) over the last ``window`` comparable
+    entries; returns ``(metrics, entries_used)``.
+
+    Comparable = same :func:`host_key` (unless ``any_host``) and same
+    smoke/full kind.  The minimum — not the latest — is the baseline:
+    a slow flake in the ledger must not loosen the gate.
+    """
+    key = host_key(host)
+    matching = [
+        entry
+        for entry in entries
+        if bool(entry.get("smoke")) == bool(smoke)
+        and (any_host or str(entry.get("host_key")) == key)
+    ]
+    used = matching[-window:]
+    best: Dict[str, float] = {}
+    for entry in used:
+        for metric, value in (entry.get("metrics") or {}).items():
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                continue
+            if metric not in best or value < best[metric]:
+                best[metric] = value
+    return best, used
+
+
+def compare(
+    current: Dict[str, float],
+    base: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Judge ``current`` against ``base`` metric by metric.
+
+    A metric regresses when ``current > base * (1 + threshold)``.
+    Metrics present on only one side are reported (new scenarios appear,
+    old ones get renamed) but never fail the gate.
+    """
+    regressions = []
+    improvements = []
+    compared = 0
+    for metric in sorted(set(current) & set(base)):
+        now, then = current[metric], base[metric]
+        compared += 1
+        if then <= 0:
+            continue
+        ratio = now / then
+        row = {
+            "metric": metric,
+            "current_seconds": round(now, 6),
+            "baseline_seconds": round(then, 6),
+            "ratio": round(ratio, 4),
+        }
+        if ratio > 1.0 + threshold:
+            regressions.append(row)
+        elif ratio < 1.0 - threshold:
+            improvements.append(row)
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "threshold": threshold,
+        "compared": compared,
+        "only_current": sorted(set(current) - set(base)),
+        "only_baseline": sorted(set(base) - set(current)),
+        "regressions": regressions,
+        "improvements": improvements,
+        "ok": not regressions,
+    }
+
+
+def render_comparison(result: Dict[str, object]) -> List[str]:
+    """Human-readable lines behind ``repro bench compare``."""
+    lines = [
+        f"compared {result['compared']} metric(s) at "
+        f"±{100 * float(result['threshold']):.0f}% threshold"
+    ]
+    for row in result["regressions"]:
+        lines.append(
+            f"  REGRESSION {row['metric']}: {row['current_seconds']}s vs "
+            f"baseline {row['baseline_seconds']}s ({row['ratio']}x)"
+        )
+    for row in result["improvements"]:
+        lines.append(
+            f"  improved {row['metric']}: {row['current_seconds']}s vs "
+            f"baseline {row['baseline_seconds']}s ({row['ratio']}x)"
+        )
+    if result["only_current"]:
+        lines.append(
+            f"  new metric(s) without baseline: "
+            f"{', '.join(result['only_current'][:5])}"
+            + (" ..." if len(result["only_current"]) > 5 else "")
+        )
+    if not result["regressions"]:
+        lines.append("  no regressions")
+    return lines

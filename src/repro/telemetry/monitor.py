@@ -1,0 +1,541 @@
+"""Live observability over a running (or finished) sweep.
+
+:func:`snapshot` joins the two on-disk sources of truth a distributed
+sweep leaves behind — the queue SQLite (per-state counts, lease ages,
+attempts, dead letters: exactly
+:meth:`repro.cluster.queue.TaskQueue.status_report`, embedded verbatim
+so ``repro top`` can never disagree with ``repro queue status``) and
+the trace directory (cache hit/miss counters, gauges) — into one
+schema-versioned dict with derived views: per-wave progress,
+per-worker liveness, cache hit rate, an ETA extrapolated from the
+completion rate, and a health verdict.
+
+The same snapshot backs three surfaces:
+
+* ``repro top [--once] [--json]`` — a poll loop (or one shot) in the
+  terminal,
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4) of
+  the queue/wave/worker gauges and every telemetry counter, via
+  :class:`MonitorServer` (stdlib ``http.server``; the admin plane the
+  roadmap's ``repro serve`` item builds on),
+* ``GET /health`` — the verdict as JSON, HTTP 200 for
+  ``drained``/``active``/``empty``/``idle`` and 503 for
+  ``stalled``/``degraded``.
+
+Verdicts (see ``docs/observability.md``):
+
+* ``drained`` — every task terminal and none dead,
+* ``degraded`` — at least one dead letter,
+* ``stalled`` — a running task's lease has expired (its worker shows
+  no sign of life, the queue will re-assign it),
+* ``active`` — pending or running tasks with live leases,
+* ``empty`` — a queue with no tasks yet,
+* ``idle`` — no queue at all (trace-only monitoring).
+
+Everything is read-only: the monitor never opens the queue for
+writing, never mutates a trace, and tolerates a torn trace line from
+a live writer (see :func:`repro.telemetry.analyze.parse_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+MONITOR_SCHEMA_VERSION = 1
+
+#: HTTP statuses per verdict: healthy surfaces return 200, a sweep
+#: needing intervention returns 503 so load balancers / checkers trip.
+_HEALTHY_VERDICTS = ("drained", "active", "empty", "idle")
+
+
+# ----------------------------------------------------------------------
+# snapshot assembly
+# ----------------------------------------------------------------------
+def _queue_report(queue_dir) -> Optional[Dict[str, object]]:
+    from repro.cluster.coordinator import queue_path
+    from repro.cluster.queue import TaskQueue
+
+    queue_file = queue_path(queue_dir)
+    if not queue_file.exists():
+        # A read-only monitor must not create an empty queue file.
+        raise FileNotFoundError(f"no task queue at {queue_file}")
+    return TaskQueue(queue_file).status_report()
+
+
+def _wave_progress(report: Dict[str, object]) -> Dict[str, Dict[str, int]]:
+    """Per-wave status counts derived from the queue roster."""
+    waves: Dict[str, Dict[str, int]] = {}
+    for task in report.get("tasks", []):  # type: ignore[union-attr]
+        wave = str(task.get("wave"))
+        bucket = waves.setdefault(wave, {"total": 0})
+        bucket["total"] += 1
+        status = str(task.get("status"))
+        bucket[status] = bucket.get(status, 0) + 1
+    return waves
+
+
+def _worker_liveness(report: Dict[str, object]) -> List[Dict[str, object]]:
+    """One row per worker currently holding a lease."""
+    workers: Dict[str, Dict[str, object]] = {}
+    for row in report.get("running", []):  # type: ignore[union-attr]
+        owner = str(row.get("owner"))
+        entry = workers.setdefault(
+            owner,
+            {
+                "worker_id": owner,
+                "running_tasks": 0,
+                "task_ids": [],
+                "seconds_since_update": 0.0,
+                "lease_seconds_remaining": None,
+            },
+        )
+        entry["running_tasks"] += 1  # type: ignore[operator]
+        entry["task_ids"].append(row.get("task_id"))  # type: ignore[union-attr]
+        entry["seconds_since_update"] = max(
+            float(entry["seconds_since_update"]),  # type: ignore[arg-type]
+            float(row.get("seconds_since_update") or 0.0),
+        )
+        remaining = row.get("lease_seconds_remaining")
+        if remaining is not None:
+            current = entry["lease_seconds_remaining"]
+            entry["lease_seconds_remaining"] = (
+                float(remaining)
+                if current is None
+                else min(float(current), float(remaining))  # type: ignore[arg-type]
+            )
+        entry["alive"] = (
+            entry["lease_seconds_remaining"] is None
+            or float(entry["lease_seconds_remaining"]) > 0.0  # type: ignore[arg-type]
+        )
+    return [workers[owner] for owner in sorted(workers)]
+
+
+def _progress_and_eta(
+    report: Dict[str, object], now: float
+) -> Tuple[Dict[str, object], Optional[float]]:
+    counts: Dict[str, int] = dict(report.get("counts", {}))  # type: ignore[arg-type]
+    total = int(report.get("total_tasks") or 0)
+    terminal = counts.get("done", 0) + counts.get("dead", 0)
+    progress = {
+        "total": total,
+        "terminal": terminal,
+        "fraction": round(terminal / total, 4) if total else 0.0,
+    }
+    remaining = total - terminal
+    if remaining <= 0 or counts.get("done", 0) < 2:
+        return progress, None
+    # Completion timestamps reconstructed from the roster: for a
+    # terminal task ``seconds_in_state`` measures from its transition.
+    finished = sorted(
+        now - float(task.get("seconds_in_state") or 0.0)
+        for task in report.get("tasks", [])  # type: ignore[union-attr]
+        if task.get("status") == "done"
+    )
+    window = finished[-1] - finished[0]
+    if window <= 0:
+        return progress, None
+    rate = (len(finished) - 1) / window  # tasks per second
+    return progress, round(remaining / rate, 1)
+
+
+def verdict(report: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """The health verdict for one queue status report."""
+    if report is None:
+        return {"verdict": "idle", "reasons": ["no queue directory monitored"]}
+    counts: Dict[str, int] = dict(report.get("counts", {}))  # type: ignore[arg-type]
+    total = int(report.get("total_tasks") or 0)
+    if total == 0:
+        return {"verdict": "empty", "reasons": ["queue holds no tasks"]}
+    reasons: List[str] = []
+    dead = counts.get("dead", 0)
+    if dead:
+        reasons.append(f"{dead} dead-lettered task(s)")
+        return {"verdict": "degraded", "reasons": reasons}
+    expired = [
+        row
+        for row in report.get("running", [])  # type: ignore[union-attr]
+        if (row.get("lease_seconds_remaining") or 0.0) <= 0.0
+    ]
+    if expired:
+        reasons.append(
+            f"{len(expired)} running task(s) with expired leases: "
+            + ", ".join(str(row.get("task_id")) for row in expired[:5])
+        )
+        return {"verdict": "stalled", "reasons": reasons}
+    if counts.get("done", 0) == total:
+        return {"verdict": "drained", "reasons": [f"all {total} tasks done"]}
+    live = counts.get("pending", 0) + counts.get("running", 0)
+    reasons.append(
+        f"{counts.get('running', 0)} running, {counts.get('pending', 0)} pending"
+    )
+    if live:
+        return {"verdict": "active", "reasons": reasons}
+    # Terminal mix without dead letters and not all done cannot happen
+    # with the current status set; classify conservatively.
+    return {"verdict": "active", "reasons": reasons}
+
+
+def _trace_block(trace_dir) -> Optional[Dict[str, object]]:
+    from repro.telemetry.analyze import read_trace
+
+    try:
+        records = read_trace(trace_dir)
+    except FileNotFoundError:
+        return None
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    runs = set()
+    for record in records:
+        run_id = record.get("run_id")
+        if run_id:
+            runs.add(str(run_id))
+        kind = record.get("kind")
+        name = str(record.get("name"))
+        if kind == "counter":
+            counters[name] = counters.get(name, 0) + record.get("value", 1)
+        elif kind == "gauge":
+            gauges[name] = float(record.get("value") or 0.0)  # last value wins
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    lookups = hits + misses
+    return {
+        "runs": len(runs),
+        "counters": counters,
+        "gauges": gauges,
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+        },
+    }
+
+
+def snapshot(
+    queue_dir=None, trace_dir=None, now: Optional[float] = None
+) -> Dict[str, object]:
+    """One coherent monitor snapshot (``repro top --once --json``).
+
+    ``queue`` embeds :meth:`TaskQueue.status_report` verbatim — the
+    acceptance contract is that ``repro top`` and ``/metrics`` can
+    never disagree with ``repro queue status`` because they render the
+    same report.  ``waves``/``workers``/``progress``/``eta_seconds``
+    are derived views over that report; ``trace`` rolls up the trace
+    directory's counters and gauges when one is given.
+    """
+    if queue_dir is None and trace_dir is None:
+        raise ValueError("snapshot needs a queue_dir and/or a trace_dir")
+    if now is None:
+        now = time.time()
+    queue_report = _queue_report(queue_dir) if queue_dir is not None else None
+    trace_block = _trace_block(trace_dir) if trace_dir is not None else None
+    waves = _wave_progress(queue_report) if queue_report is not None else {}
+    workers = _worker_liveness(queue_report) if queue_report is not None else []
+    if queue_report is not None:
+        progress, eta = _progress_and_eta(queue_report, now)
+    else:
+        progress, eta = {"total": 0, "terminal": 0, "fraction": 0.0}, None
+    return {
+        "schema_version": MONITOR_SCHEMA_VERSION,
+        "generated_at": round(now, 3),
+        "queue_dir": str(queue_dir) if queue_dir is not None else None,
+        "trace_dir": str(trace_dir) if trace_dir is not None else None,
+        "queue": queue_report,
+        "waves": waves,
+        "workers": workers,
+        "progress": progress,
+        "eta_seconds": eta,
+        "trace": trace_block,
+        "health": verdict(queue_report),
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering: terminal and Prometheus text exposition
+# ----------------------------------------------------------------------
+def render_snapshot(snap: Dict[str, object]) -> List[str]:
+    """Human-readable lines behind ``repro top``."""
+    lines: List[str] = []
+    sources = []
+    if snap.get("queue_dir"):
+        sources.append(f"queue {snap['queue_dir']}")
+    if snap.get("trace_dir"):
+        sources.append(f"trace {snap['trace_dir']}")
+    lines.append("repro top — " + ", ".join(sources))
+    health = snap.get("health") or {}
+    lines.append(
+        f"  health: {health.get('verdict')} "
+        f"({'; '.join(health.get('reasons', []))})"
+    )
+    queue = snap.get("queue")
+    if queue is not None:
+        counts = queue.get("counts") or {}
+        summary = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+        lines.append(
+            f"  queue: {queue.get('state')}, {queue.get('total_tasks')} "
+            f"task(s) ({summary or 'no tasks'})"
+        )
+        waves = snap.get("waves") or {}
+        if waves:
+            parts = []
+            for wave in sorted(waves, key=lambda w: int(w)):
+                bucket = waves[wave]
+                done = bucket.get("done", 0)
+                parts.append(f"{wave}: {done}/{bucket['total']} done")
+            lines.append("  waves: " + " | ".join(parts))
+        workers = snap.get("workers") or []
+        if workers:
+            for worker in workers:
+                remaining = worker.get("lease_seconds_remaining")
+                lease = (
+                    f"lease {remaining:.1f}s left"
+                    if remaining is not None
+                    else "no lease age"
+                )
+                lines.append(
+                    f"  worker {worker['worker_id']}: "
+                    f"{worker['running_tasks']} running, "
+                    f"{worker['seconds_since_update']:.1f}s since heartbeat, "
+                    f"{lease}"
+                )
+        else:
+            lines.append("  workers: none holding leases")
+        progress = snap.get("progress") or {}
+        eta = snap.get("eta_seconds")
+        lines.append(
+            f"  progress: {progress.get('terminal')}/{progress.get('total')} "
+            f"terminal ({100 * float(progress.get('fraction') or 0):.0f}%)"
+            + (f", eta {eta:.0f}s" if eta is not None else "")
+        )
+    trace = snap.get("trace")
+    if trace is not None:
+        cache = trace.get("cache") or {}
+        rate = cache.get("hit_rate")
+        lines.append(
+            f"  cache: {cache.get('hits')} hit(s) / {cache.get('misses')} "
+            f"miss(es)"
+            + (f" ({rate:.0%} hit rate)" if rate is not None else "")
+        )
+    return lines
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_metrics(snap: Dict[str, object]) -> str:
+    """Prometheus text exposition (0.0.4) of one snapshot.
+
+    Queue counts, wave progress and worker liveness gauges come from
+    the embedded queue status report; every telemetry counter/gauge of
+    the trace directory is exported under ``repro_counter_total`` /
+    ``repro_gauge`` with its dotted name as the ``name`` label.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, value, help_text: str, metric_type: str, labels=None):
+        if not any(line.startswith(f"# HELP {name} ") for line in lines):
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric_type}")
+        label_text = ""
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+            )
+            label_text = "{" + rendered + "}"
+        lines.append(f"{name}{label_text} {value}")
+
+    queue = snap.get("queue")
+    if queue is not None:
+        emit(
+            "repro_queue_total_tasks", int(queue.get("total_tasks") or 0),
+            "Tasks in the queue.", "gauge",
+        )
+        for status in sorted(queue.get("counts") or {}):
+            emit(
+                "repro_queue_tasks", (queue.get("counts") or {})[status],
+                "Tasks by status.", "gauge", {"status": status},
+            )
+        emit(
+            "repro_queue_open", 1 if queue.get("state") == "open" else 0,
+            "1 while the coordinator holds the queue open.", "gauge",
+        )
+        emit(
+            "repro_queue_dead_letters", len(queue.get("dead_letters") or []),
+            "Quarantined tasks.", "gauge",
+        )
+        for wave in sorted(snap.get("waves") or {}, key=lambda w: int(w)):
+            bucket = (snap.get("waves") or {})[wave]
+            for status, count in sorted(bucket.items()):
+                if status == "total":
+                    continue
+                emit(
+                    "repro_wave_tasks", count,
+                    "Tasks by wave and status.", "gauge",
+                    {"wave": wave, "status": status},
+                )
+            emit(
+                "repro_wave_tasks", bucket["total"],
+                "Tasks by wave and status.", "gauge",
+                {"wave": wave, "status": "total"},
+            )
+        for worker in snap.get("workers") or []:
+            emit(
+                "repro_worker_running_tasks", worker["running_tasks"],
+                "Running tasks per worker holding a lease.", "gauge",
+                {"worker": worker["worker_id"]},
+            )
+            emit(
+                "repro_worker_seconds_since_heartbeat",
+                worker["seconds_since_update"],
+                "Seconds since the worker last claimed or heartbeat.", "gauge",
+                {"worker": worker["worker_id"]},
+            )
+        progress = snap.get("progress") or {}
+        emit(
+            "repro_progress_fraction", progress.get("fraction", 0.0),
+            "Fraction of tasks terminal.", "gauge",
+        )
+        eta = snap.get("eta_seconds")
+        if eta is not None:
+            emit("repro_eta_seconds", eta, "Estimated seconds to drain.", "gauge")
+    trace = snap.get("trace")
+    if trace is not None:
+        for name in sorted(trace.get("counters") or {}):
+            emit(
+                "repro_counter_total", (trace.get("counters") or {})[name],
+                "Telemetry counters summed over the trace directory.",
+                "counter", {"name": name},
+            )
+        for name in sorted(trace.get("gauges") or {}):
+            emit(
+                "repro_gauge", (trace.get("gauges") or {})[name],
+                "Telemetry gauges (last value) from the trace directory.",
+                "gauge", {"name": name},
+            )
+    health = snap.get("health") or {}
+    emit(
+        "repro_health",
+        1 if health.get("verdict") in _HEALTHY_VERDICTS else 0,
+        "1 when the verdict is drained/active/empty/idle.", "gauge",
+        {"verdict": str(health.get("verdict"))},
+    )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# the /metrics + /health server
+# ----------------------------------------------------------------------
+class MonitorServer:
+    """Stdlib HTTP server exposing the snapshot (``repro top --serve``).
+
+    Routes:
+
+    * ``GET /metrics`` — Prometheus text exposition,
+    * ``GET /health`` — the verdict as JSON (200 healthy, 503 not),
+    * ``GET /`` or ``/snapshot`` — the full snapshot as JSON.
+
+    Every request computes a fresh snapshot — the queue SQLite and the
+    trace dir are the state; there is nothing to cache or invalidate.
+    Bind ``port=0`` for an ephemeral port (tests); the bound port is
+    ``server.port``.
+    """
+
+    def __init__(
+        self, queue_dir=None, trace_dir=None, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        if queue_dir is None and trace_dir is None:
+            raise ValueError("MonitorServer needs a queue_dir and/or a trace_dir")
+        self.queue_dir = queue_dir
+        self.trace_dir = trace_dir
+        monitor = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # noqa: A003 - quiet by design
+                pass
+
+            def _respond(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    snap = monitor.snapshot()
+                except FileNotFoundError as exc:
+                    self._respond(
+                        404, "text/plain; charset=utf-8", f"{exc}\n".encode()
+                    )
+                    return
+                except Exception as exc:  # noqa: BLE001 - surface, don't die
+                    self._respond(
+                        500, "text/plain; charset=utf-8", f"{exc}\n".encode()
+                    )
+                    return
+                if path == "/metrics":
+                    self._respond(
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        prometheus_metrics(snap).encode("utf-8"),
+                    )
+                elif path == "/health":
+                    health = dict(snap.get("health") or {})
+                    health["schema_version"] = MONITOR_SCHEMA_VERSION
+                    status = (
+                        200 if health.get("verdict") in _HEALTHY_VERDICTS else 503
+                    )
+                    self._respond(
+                        status,
+                        "application/json",
+                        (json.dumps(health, sort_keys=True) + "\n").encode(),
+                    )
+                elif path in ("/", "/snapshot"):
+                    self._respond(
+                        200,
+                        "application/json",
+                        (json.dumps(snap, sort_keys=True) + "\n").encode(),
+                    )
+                else:
+                    self._respond(
+                        404, "text/plain; charset=utf-8", b"not found\n"
+                    )
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    def snapshot(self) -> Dict[str, object]:
+        return snapshot(queue_dir=self.queue_dir, trace_dir=self.trace_dir)
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MonitorServer":
+        """Serve on a daemon thread (tests, ``repro top --serve``)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -38,6 +38,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional
 
+from repro.telemetry.profile import (
+    PROFILE_FILENAME,
+    ProfiledSpanHandle,
+    ProfilingConfig,
+    SpanProfiler,
+)
+
 TRACE_SCHEMA_VERSION = 1
 TRACE_FILENAME = "trace.jsonl"
 
@@ -55,11 +62,18 @@ class TelemetryConfig:
             all workers' spans merge into one tree).
         parent_span_id: Span the receiving process should parent its
             root spans under (e.g. the coordinator's wave span).
+        profiling: Opt-in :class:`~repro.telemetry.ProfilingConfig`
+            riding with the context, so every process joined to the
+            run profiles the same spans.  ``None`` (the default) keeps
+            profiling off; like the rest of this config it is in no
+            stage's config slice, so turning it on never changes a
+            fingerprint or an output byte.
     """
 
     trace_dir: Optional[str] = None
     run_id: Optional[str] = None
     parent_span_id: Optional[str] = None
+    profiling: Optional[ProfilingConfig] = None
 
     @property
     def enabled(self) -> bool:
@@ -176,11 +190,16 @@ class Tracer:
         run_id: Optional[str] = None,
         parent_span_id: Optional[str] = None,
         filename: str = TRACE_FILENAME,
+        profiling: Optional[ProfilingConfig] = None,
     ) -> None:
         self.trace_dir = os.fspath(trace_dir) if trace_dir is not None else None
         self.run_id = run_id or _new_id()
         self.parent_span_id = parent_span_id
         self.filename = filename
+        #: Opt-in per-span profiling (``None`` = off; the disabled path
+        #: is a single ``is None`` branch per span).
+        self.profiling = profiling
+        self._profiler = SpanProfiler(profiling) if profiling is not None else None
         #: Creating process — a fork-inherited copy of a tracer is
         #: recognizable by ``tracer.pid != os.getpid()`` (its buffer
         #: belongs to the parent; children must not flush it).
@@ -198,6 +217,7 @@ class Tracer:
             config.trace_dir,
             run_id=config.run_id,
             parent_span_id=config.parent_span_id,
+            profiling=getattr(config, "profiling", None),
         )
 
     # ------------------------------------------------------------------
@@ -234,12 +254,20 @@ class Tracer:
             "_started": time.perf_counter(),
         }
         stack.append(record["span_id"])
-        return _SpanHandle(self, record)
+        handle = _SpanHandle(self, record)
+        if self._profiler is not None and name in self._profiler.span_names:
+            return ProfiledSpanHandle(handle, record, self._profiler, self._append)
+        return handle
 
     def _finish_span(self, record: Dict[str, object]) -> None:
         stack = self._stack()
         if stack and stack[-1] == record["span_id"]:
             stack.pop()
+        with self._lock:
+            self._records.append(record)
+
+    def _append(self, record: Dict[str, object]) -> None:
+        """Buffer a ready-made record (profile records use this)."""
         with self._lock:
             self._records.append(record)
 
@@ -272,6 +300,7 @@ class Tracer:
             trace_dir=self.trace_dir,
             run_id=self.run_id,
             parent_span_id=parent_span_id,
+            profiling=self.profiling,
         )
 
     # ------------------------------------------------------------------
@@ -286,21 +315,39 @@ class Tracer:
         """Append all buffered records to ``<trace_dir>/<filename>``.
 
         The whole batch goes through one ``O_APPEND`` write, so flushes
-        from concurrent processes never interleave mid-line.  Returns
-        the path written (``None`` when nothing was buffered or the
-        tracer has no trace directory).
+        from concurrent processes never interleave mid-line.  Profile
+        records flush the same way but to ``profile.jsonl`` — beside
+        the trace, never into it, so ``trace*.jsonl`` readers see only
+        span/counter records.  Returns the trace path written (``None``
+        when nothing was buffered or the tracer has no trace
+        directory).
         """
         with self._lock:
             records, self._records = self._records, []
         if not records or self.trace_dir is None:
             return None
-        lines = []
+        trace_lines, profile_lines = [], []
         for record in records:
             record.pop("_started", None)
-            lines.append(json.dumps(record, sort_keys=True, default=str))
-        payload = ("\n".join(lines) + "\n").encode("utf-8")
+            line = json.dumps(record, sort_keys=True, default=str)
+            if record.get("kind") == "profile":
+                profile_lines.append(line)
+            else:
+                trace_lines.append(line)
         os.makedirs(self.trace_dir, exist_ok=True)
-        path = os.path.join(self.trace_dir, self.filename)
+        path: Optional[str] = None
+        if trace_lines:
+            path = os.path.join(self.trace_dir, self.filename)
+            self._append_file(path, trace_lines)
+        if profile_lines:
+            self._append_file(
+                os.path.join(self.trace_dir, PROFILE_FILENAME), profile_lines
+            )
+        return path
+
+    @staticmethod
+    def _append_file(path: str, lines: List[str]) -> None:
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
         fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
         try:
             while payload:
@@ -308,7 +355,6 @@ class Tracer:
                 payload = payload[written:]
         finally:
             os.close(fd)
-        return path
 
 
 # ----------------------------------------------------------------------
